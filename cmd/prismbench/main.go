@@ -1,0 +1,108 @@
+// Command prismbench regenerates the paper's evaluation figures on the
+// simulated cluster. Each subcommand corresponds to one figure (see
+// DESIGN.md's per-experiment index):
+//
+//	prismbench fig1        # microbenchmark latencies (Fig. 1)
+//	prismbench fig2        # indirect read vs network scale (Fig. 2)
+//	prismbench fig3        # PRISM-KV vs Pilaf, 100% reads (Fig. 3)
+//	prismbench fig4        # PRISM-KV vs Pilaf, 50% reads (Fig. 4)
+//	prismbench fig6        # PRISM-RS vs ABDLOCK, uniform (Fig. 6)
+//	prismbench fig7        # PRISM-RS vs ABDLOCK, contention (Fig. 7)
+//	prismbench fig9        # PRISM-TX vs FaRM, uniform (Fig. 9)
+//	prismbench fig10       # PRISM-TX vs FaRM, contention (Fig. 10)
+//	prismbench rpcvsrdma   # §2.1 motivating measurement
+//	prismbench ext-shards  # extension: PRISM-TX shard scaling
+//	prismbench ext-multikey # extension: multi-key transactions
+//	prismbench all         # everything above
+//
+// Flags scale the experiments; defaults regenerate every figure in
+// seconds at reduced (shape-preserving) keyspace scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prism/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	keys := flag.Int64("keys", cfg.Keys, "objects per store (paper: 8388608)")
+	valueSize := flag.Int("value", cfg.ValueSize, "object size in bytes")
+	machines := flag.Int("machines", cfg.ClientMachines, "client machines")
+	measure := flag.Duration("measure", cfg.Measure, "virtual measurement window")
+	warmup := flag.Duration("warmup", cfg.Warmup, "virtual warmup window")
+	seed := flag.Int64("seed", cfg.Seed, "simulation seed")
+	maxClients := flag.Int("max-clients", 0, "truncate the client ladder at this count (0 = full ladder)")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: prismbench [flags] {fig1|fig2|fig3|fig4|fig6|fig7|fig9|fig10|rpcvsrdma|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	cfg.Keys = *keys
+	cfg.ValueSize = *valueSize
+	cfg.ClientMachines = *machines
+	cfg.Measure = *measure
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	if *maxClients > 0 {
+		var ladder []int
+		for _, c := range cfg.ClientCounts {
+			if c <= *maxClients {
+				ladder = append(ladder, c)
+			}
+		}
+		if len(ladder) == 0 {
+			ladder = []int{*maxClients}
+		}
+		cfg.ClientCounts = ladder
+	}
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	figures := map[string]func(bench.Config) *bench.Figure{
+		"fig1":         bench.Fig1,
+		"fig2":         bench.Fig2,
+		"fig3":         bench.Fig3,
+		"fig4":         bench.Fig4,
+		"fig6":         bench.Fig6,
+		"fig7":         bench.Fig7,
+		"fig9":         bench.Fig9,
+		"fig10":        bench.Fig10,
+		"rpcvsrdma":    bench.RPCvsRDMA,
+		"ext-shards":   bench.ExtShards,
+		"ext-multikey": bench.ExtMultiKey,
+	}
+	order := []string{"rpcvsrdma", "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "ext-shards", "ext-multikey"}
+
+	run := func(name string) {
+		fn, ok := figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "prismbench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fig := fn(cfg)
+		if *format == "csv" {
+			fig.FprintCSV(os.Stdout)
+		} else {
+			fig.Fprint(os.Stdout)
+			fmt.Printf("   [generated in %.1fs]\n\n", time.Since(start).Seconds())
+		}
+	}
+
+	if flag.Arg(0) == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(flag.Arg(0))
+}

@@ -1,0 +1,214 @@
+// Command prismtrace prints an annotated, op-by-op trace of the canonical
+// PRISM interaction patterns — a teaching/debugging aid that shows exactly
+// which wire operations each application-level operation issues, with
+// their flags, sizes, and simulated timing, across the deployment models.
+//
+//	prismtrace kvget      # PRISM-KV GET (one indirect bounded READ)
+//	prismtrace kvput      # PRISM-KV PUT (probe + ALLOCATE/WRITE/CAS chain)
+//	prismtrace abdwrite   # PRISM-RS write phase chain
+//	prismtrace txcommit   # PRISM-TX prepare + commit CASes
+//	prismtrace all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prism"
+	"prism/internal/abd"
+	"prism/internal/memory"
+	"prism/internal/sim"
+	"prism/internal/tx"
+	"prism/internal/wire"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: prismtrace {kvget|kvput|abdwrite|txcommit|all}")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	which := flag.Arg(0)
+	if which == "all" {
+		for _, w := range []string{"kvget", "kvput", "abdwrite", "txcommit"} {
+			trace(w)
+			fmt.Println()
+		}
+		return
+	}
+	trace(which)
+}
+
+// traceConn wraps op issue with printing.
+func describeOps(ops []wire.Op) {
+	for i, op := range ops {
+		var flags []string
+		for _, f := range []struct {
+			bit  wire.Flags
+			name string
+		}{
+			{wire.FlagTargetIndirect, "target-indirect"},
+			{wire.FlagDataIndirect, "data-indirect"},
+			{wire.FlagBounded, "bounded"},
+			{wire.FlagConditional, "conditional"},
+			{wire.FlagRedirect, "redirect"},
+		} {
+			if op.Flags.Has(f.bit) {
+				flags = append(flags, f.name)
+			}
+		}
+		fl := ""
+		if len(flags) > 0 {
+			fl = fmt.Sprintf(" flags=%v", flags)
+		}
+		extra := ""
+		switch op.Code {
+		case wire.OpCAS:
+			extra = fmt.Sprintf(" mode=%v width=%dB", op.Mode, len(op.CompareMask))
+		case wire.OpAllocate:
+			extra = fmt.Sprintf(" freelist=%d payload=%dB", op.FreeList, len(op.Data))
+		case wire.OpRead:
+			extra = fmt.Sprintf(" len=%d", op.Len)
+		case wire.OpWrite:
+			extra = fmt.Sprintf(" payload=%dB", len(op.Data))
+		}
+		fmt.Printf("    op[%d] %-9s target=%#x%s%s\n", i, op.Code, op.Target, extra, fl)
+	}
+}
+
+func trace(which string) {
+	c := prism.NewCluster(prism.ClusterConfig{Seed: 3})
+
+	switch which {
+	case "kvget", "kvput":
+		srv := c.NewServer("kv", prism.SoftwarePRISM)
+		store, err := prism.NewKVServer(srv, prism.KVOptions(64, 256))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store.Load(7, []byte("traced value"))
+		conn := c.NewClientMachine("cli").Connect(srv)
+		client := prism.NewKVClient(conn, store.Meta(), 1)
+		c.Go("trace", func(p *sim.Proc) {
+			if which == "kvget" {
+				fmt.Println("PRISM-KV GET(7): one round trip —")
+				start := p.Now()
+				v, err := client.Get(p, 7)
+				fmt.Printf("  -> %q err=%v RTT=%v\n", v, err, p.Now().Sub(start))
+				fmt.Println("  wire ops issued (reconstructed):")
+				describeOps([]wire.Op{
+					opReadBounded(store, 7),
+				})
+			} else {
+				fmt.Println("PRISM-KV PUT(7): two round trips —")
+				start := p.Now()
+				err := client.Put(p, 7, []byte("new value"))
+				fmt.Printf("  -> err=%v total=%v\n", err, p.Now().Sub(start))
+				fmt.Println("  RT1 probe chain:")
+				describeOps(probeOps(store, 7))
+				fmt.Println("  RT2 out-of-place install chain:")
+				describeOps(installOps(store, conn, 7))
+			}
+		})
+		c.Run()
+
+	case "abdwrite":
+		fmt.Println("PRISM-RS write phase (per replica, §7.3): one chained round trip —")
+		srv := c.NewServer("replica", prism.SoftwarePRISM)
+		rep, err := prism.NewRSReplica(srv, prism.RSOptions{NBlocks: 8, BlockSize: 64, ExtraBuffers: 16})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conn := c.NewClientMachine("cli").Connect(srv)
+		client := prism.NewRSClient(1, []*prism.Conn{conn}, []abd.Meta{rep.Meta()})
+		c.Go("trace", func(p *sim.Proc) {
+			start := p.Now()
+			tag, err := client.PutT(p, 3, make([]byte, 64))
+			fmt.Printf("  PUT block 3 -> tag %v err=%v total=%v (read phase + write phase)\n",
+				tag, err, p.Now().Sub(start))
+			fmt.Println("  write-phase chain (1. WRITE tag to tmp; 2. ALLOCATE redirect addr to")
+			fmt.Println("  tmp+8; 3. CAS_GT <tag|addr> with data-indirect from tmp):")
+			m := rep.Meta()
+			describeOps(abdChain(m, conn, 3))
+		})
+		c.Run()
+
+	case "txcommit":
+		fmt.Println("PRISM-TX commit for a 1-key RMW (§8.2): three round trips total —")
+		srv := c.NewServer("shard", prism.SoftwarePRISM)
+		shard, err := prism.NewTXShard(srv, prism.TXOptions{NSlots: 8, MaxValue: 64, ExtraBuffers: 32})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		shard.Load(2, make([]byte, 64))
+		conn := c.NewClientMachine("cli").Connect(srv)
+		client := c.NewTXClient(1, []*prism.Conn{conn}, []tx.Meta{shard.Meta()})
+		c.Go("trace", func(p *sim.Proc) {
+			t := client.Begin()
+			start := p.Now()
+			v, err := t.Read(p, 2)
+			fmt.Printf("  exec READ key 2 -> %dB err=%v RTT=%v\n", len(v), err, p.Now().Sub(start))
+			t.Write(2, make([]byte, 64))
+			start = p.Now()
+			ts, err := t.Commit(p)
+			fmt.Printf("  commit -> ts=%v err=%v (prepare RT + install RT) total=%v\n",
+				ts, err, p.Now().Sub(start))
+			fmt.Println("  prepare chain: read-validation CAS_GT (RC|TS vs PW|PR, swap PR),")
+			fmt.Println("  then CONDITIONAL write-validation CAS_GT (TS vs PW, swap PW);")
+			fmt.Println("  install chain: WRITE ts|bound to tmp, ALLOCATE redirect, CAS_GT <C|addr|bound>.")
+		})
+		c.Run()
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// The reconstructions below mirror exactly what the clients issue (the
+// clients build these internally; prismtrace re-derives them for display).
+func opReadBounded(store *prism.KVServer, key int64) wire.Op {
+	m := store.Meta()
+	return wire.Op{
+		Code: wire.OpRead, RKey: m.Key,
+		Target: m.HashBase + 24*memoryAddr(key%m.NSlots) + 8,
+		Len:    uint64(8 + 8 + m.MaxValue), Flags: wire.FlagBounded,
+	}
+}
+
+func probeOps(store *prism.KVServer, key int64) []wire.Op {
+	m := store.Meta()
+	slot := m.HashBase + 24*memoryAddr(key%m.NSlots)
+	return []wire.Op{
+		{Code: wire.OpRead, RKey: m.Key, Target: slot, Len: 24},
+		{Code: wire.OpRead, RKey: m.Key, Target: slot + 8, Len: uint64(8 + 8 + m.MaxValue), Flags: wire.FlagBounded},
+	}
+}
+
+func installOps(store *prism.KVServer, conn *prism.Conn, key int64) []wire.Op {
+	m := store.Meta()
+	slot := m.HashBase + 24*memoryAddr(key%m.NSlots)
+	return []wire.Op{
+		{Code: wire.OpWrite, RKey: conn.TempKey, Target: conn.TempAddr, Data: make([]byte, 24)},
+		{Code: wire.OpAllocate, FreeList: 4, Data: make([]byte, 25), Flags: wire.FlagConditional | wire.FlagRedirect, RKey: conn.TempKey, RedirectTo: conn.TempAddr + 8},
+		{Code: wire.OpCAS, Mode: wire.CASGt, RKey: m.Key, Target: slot, Data: make([]byte, 8), CompareMask: make([]byte, 24), SwapMask: make([]byte, 24), Flags: wire.FlagConditional | wire.FlagDataIndirect},
+	}
+}
+
+func abdChain(m abd.Meta, conn *prism.Conn, block int64) []wire.Op {
+	entry := m.MetaBase + 16*memoryAddr(block)
+	return []wire.Op{
+		{Code: wire.OpWrite, RKey: conn.TempKey, Target: conn.TempAddr, Data: make([]byte, 8)},
+		{Code: wire.OpAllocate, FreeList: m.FreeList, Data: make([]byte, uint64(8+m.BlockSize)), Flags: wire.FlagConditional | wire.FlagRedirect, RKey: conn.TempKey, RedirectTo: conn.TempAddr + 8},
+		{Code: wire.OpCAS, Mode: wire.CASGt, RKey: m.Key, Target: entry, Data: make([]byte, 8), CompareMask: make([]byte, 16), SwapMask: make([]byte, 16), Flags: wire.FlagConditional | wire.FlagDataIndirect},
+	}
+}
+
+func memoryAddr(v int64) memory.Addr { return memory.Addr(v) }

@@ -1,0 +1,90 @@
+// Package abd implements the paper's replicated block store case study
+// (§7): PRISM-RS, a multi-writer ABD register protocol [4, 25] built
+// entirely from PRISM one-sided operations, and ABDLOCK, the baseline
+// that mediates replica access with RDMA locks in the style of DrTM [44].
+//
+// PRISM-RS replica layout (§7.3, Figure 5):
+//
+//	metadata[i] = [ tag (8, big-endian) | addr (8, little-endian) ]
+//	buffer      = [ tag (8, big-endian) | value (blockSize) ]
+//
+// The tag is intentionally duplicated: an indirect READ of metadata[i].addr
+// returns tag and value atomically (they are written once into a fresh
+// buffer and never modified), and the enhanced CAS orders installs by
+// comparing the metadata tag with CAS_GT while swapping both fields.
+package abd
+
+import (
+	"errors"
+	"fmt"
+
+	"prism/internal/memory"
+)
+
+// Tag orders versions: a logical timestamp plus the writer's client id,
+// compared lexicographically — exactly the (ts, id) pair of multi-writer
+// ABD. Packed as ts<<16 | id so that big-endian byte comparison of the
+// packed value matches lexicographic order on (ts, id).
+type Tag uint64
+
+// MakeTag packs a logical timestamp and client id.
+func MakeTag(ts uint64, client uint16) Tag {
+	if ts >= 1<<48 {
+		panic("abd: timestamp overflow")
+	}
+	return Tag(ts<<16 | uint64(client))
+}
+
+// TS returns the logical timestamp.
+func (t Tag) TS() uint64 { return uint64(t) >> 16 }
+
+// Client returns the writer id.
+func (t Tag) Client() uint16 { return uint16(t) }
+
+// Next returns a tag with timestamp ts+1 owned by client.
+func (t Tag) Next(client uint16) Tag { return MakeTag(t.TS()+1, client) }
+
+func (t Tag) String() string { return fmt.Sprintf("(%d,%d)", t.TS(), t.Client()) }
+
+// metaSize is the per-block metadata entry size for fixed-size blocks:
+// [tag|addr]. Variable-size blocks (§7.3's extension) add a bound field —
+// [tag|addr|bound] — making the <addr,bound> pair at offset 8 directly
+// consumable by a bounded indirect READ, exactly as in PRISM-KV.
+const (
+	metaSize         = 16
+	metaSizeVariable = 24
+)
+
+// Errors.
+var (
+	ErrBadBlock = errors.New("abd: block index out of range")
+	ErrTooLarge = errors.New("abd: value exceeds the block size limit")
+)
+
+// Meta describes a PRISM-RS replica to clients.
+type Meta struct {
+	Key      memory.RKey
+	MetaBase memory.Addr
+	NBlocks  int64
+	// BlockSize is the block size (fixed mode) or the maximum value size
+	// (variable mode).
+	BlockSize int
+	FreeList  uint32
+	// Variable selects variable-size blocks: metadata entries carry a
+	// bound and GETs return only the stored bytes.
+	Variable bool
+}
+
+func (m *Meta) entrySize() int64 {
+	if m.Variable {
+		return metaSizeVariable
+	}
+	return metaSize
+}
+
+func (m *Meta) entryAddr(block int64) memory.Addr {
+	return m.MetaBase + memory.Addr(block*m.entrySize())
+}
+
+// bufSize is the buffer bytes for one (maximum-size) block version.
+func (m *Meta) bufSize() uint64 { return uint64(8 + m.BlockSize) }

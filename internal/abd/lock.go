@@ -1,0 +1,249 @@
+package abd
+
+import (
+	"fmt"
+	"time"
+
+	"prism/internal/memory"
+	"prism/internal/prism"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+// ABDLOCK (§7.2) implements multi-writer ABD over standard RDMA verbs by
+// serializing block access with per-block spinlocks acquired via classic
+// CAS, in the style of DrTM [44]. Block layout (in place, fixed size):
+//
+//	[ lock (8, LE: 0 or holder id) | tag (8, BE) | value (blockSize) ]
+//
+// A GET/PUT locks the block at a majority, READs tag|value, propagates the
+// chosen tag|value with a WRITE, and unlocks — two round trips more than
+// PRISM-RS, plus contention-driven retries.
+
+const lockHdr = 16 // lock + tag
+
+// LockMeta describes an ABDLOCK replica.
+type LockMeta struct {
+	Key       memory.RKey
+	Base      memory.Addr
+	NBlocks   int64
+	BlockSize int
+}
+
+func (m *LockMeta) blockAddr(b int64) memory.Addr {
+	return m.Base + memory.Addr(b*int64(lockHdr+m.BlockSize))
+}
+
+// LockReplica is a passive ABDLOCK storage node: after initialization the
+// server CPU does nothing; all protocol steps are classic verbs.
+type LockReplica struct {
+	rs   *rdma.Server
+	meta LockMeta
+}
+
+// NewLockReplica provisions the in-place block array with tag (1,0).
+func NewLockReplica(rs *rdma.Server, nBlocks int64, blockSize int) (*LockReplica, error) {
+	space := rs.Space()
+	region, err := space.Register(uint64(nBlocks) * uint64(lockHdr+blockSize))
+	if err != nil {
+		return nil, fmt.Errorf("abd: lock replica region: %w", err)
+	}
+	meta := LockMeta{Key: region.Key, Base: region.Base, NBlocks: nBlocks, BlockSize: blockSize}
+	initTag := MakeTag(1, 0)
+	for b := int64(0); b < nBlocks; b++ {
+		hdr := make([]byte, lockHdr)
+		prism.PutBE64(hdr, 8, uint64(initTag))
+		if err := space.Write(meta.Key, meta.blockAddr(b), hdr); err != nil {
+			return nil, err
+		}
+	}
+	return &LockReplica{rs: rs, meta: meta}, nil
+}
+
+// Meta returns the control-plane description.
+func (r *LockReplica) Meta() LockMeta { return r.meta }
+
+// NIC returns the transport server.
+func (r *LockReplica) NIC() *rdma.Server { return r.rs }
+
+// LockClient runs the ABDLOCK protocol.
+type LockClient struct {
+	id    uint16
+	conns []*rdma.Conn
+	metas []LockMeta
+	f     int
+	rngF  func() float64 // jitter source (engine RNG)
+
+	// Backoff bounds for lock-acquisition retries.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+
+	// Stats
+	LockRetries int64
+}
+
+// NewLockClient builds a client over one connection per replica.
+func NewLockClient(id uint16, conns []*rdma.Conn, metas []LockMeta, jitter func() float64) *LockClient {
+	if len(conns) != len(metas) || len(conns) == 0 || len(conns)%2 == 0 {
+		panic("abd: need an odd number of replicas with matching metadata")
+	}
+	if id == 0 {
+		panic("abd: client id 0 is the unlocked sentinel")
+	}
+	return &LockClient{
+		id:         id,
+		conns:      conns,
+		metas:      metas,
+		f:          (len(conns) - 1) / 2,
+		rngF:       jitter,
+		BackoffMin: 4 * time.Microsecond,
+		BackoffMax: 512 * time.Microsecond,
+	}
+}
+
+// acquire tries to lock block at every replica and returns the set that
+// succeeded once a majority is locked; on failure it releases and backs
+// off. Mirrors §7.2 (including its liveness hazards, which the backoff
+// mitigates).
+func (c *LockClient) acquire(p *sim.Proc, block int64) []int {
+	backoff := c.BackoffMin
+	for {
+		futs := make([]*sim.Future[[]wire.Result], len(c.conns))
+		for i := range c.conns {
+			m := &c.metas[i]
+			futs[i] = c.conns[i].IssueAsync([]wire.Op{
+				prism.ClassicCAS(m.Key, m.blockAddr(block), 0, uint64(c.id)),
+			})
+		}
+		// Lock acquisition needs the outcome from every replica we asked
+		// (acquired or not) to know what to release; wait for all.
+		res := sim.WaitAll(p, futs)
+		var got []int
+		for i, r := range res {
+			if r[0].Status == wire.StatusOK {
+				got = append(got, i)
+			}
+		}
+		if len(got) >= c.f+1 {
+			return got
+		}
+		// Failed: release what we got, back off, retry.
+		c.LockRetries++
+		c.release(p, block, got)
+		sleep := backoff
+		if c.rngF != nil {
+			sleep = time.Duration(float64(backoff) * (0.5 + c.rngF()))
+		}
+		p.Sleep(sleep)
+		if backoff < c.BackoffMax {
+			backoff *= 2
+		}
+	}
+}
+
+// release unlocks block at the given replicas (CAS holder -> 0) and waits
+// for completion.
+func (c *LockClient) release(p *sim.Proc, block int64, replicas []int) {
+	futs := make([]*sim.Future[[]wire.Result], 0, len(replicas))
+	for _, i := range replicas {
+		m := &c.metas[i]
+		futs = append(futs, c.conns[i].IssueAsync([]wire.Op{
+			prism.ClassicCAS(m.Key, m.blockAddr(block), uint64(c.id), 0),
+		}))
+	}
+	sim.WaitAll(p, futs)
+}
+
+// readLocked reads tag|value from the locked replicas.
+func (c *LockClient) readLocked(p *sim.Proc, block int64, replicas []int) (Tag, []byte, error) {
+	futs := make([]*sim.Future[[]wire.Result], 0, len(replicas))
+	for _, i := range replicas {
+		m := &c.metas[i]
+		futs = append(futs, c.conns[i].IssueAsync([]wire.Op{
+			prism.Read(m.Key, m.blockAddr(block)+8, uint64(8+m.BlockSize)),
+		}))
+	}
+	res := sim.WaitAll(p, futs)
+	var maxTag Tag
+	var maxVal []byte
+	for _, r := range res {
+		if r[0].Status != wire.StatusOK {
+			return 0, nil, fmt.Errorf("abd: locked read status %v", r[0].Status)
+		}
+		tag := Tag(prism.BE64(r[0].Data, 0))
+		if tag > maxTag {
+			maxTag = tag
+			maxVal = r[0].Data[8:]
+		}
+	}
+	return maxTag, maxVal, nil
+}
+
+// writeLocked writes tag|value in place at the locked replicas.
+func (c *LockClient) writeLocked(p *sim.Proc, block int64, replicas []int, tag Tag, value []byte) error {
+	img := make([]byte, 8+len(value))
+	prism.PutBE64(img, 0, uint64(tag))
+	copy(img[8:], value)
+	futs := make([]*sim.Future[[]wire.Result], 0, len(replicas))
+	for _, i := range replicas {
+		m := &c.metas[i]
+		futs = append(futs, c.conns[i].IssueAsync([]wire.Op{
+			prism.Write(m.Key, m.blockAddr(block)+8, img),
+		}))
+	}
+	res := sim.WaitAll(p, futs)
+	for _, r := range res {
+		if r[0].Status != wire.StatusOK {
+			return fmt.Errorf("abd: locked write status %v", r[0].Status)
+		}
+	}
+	return nil
+}
+
+// Get: lock majority, read, propagate the max version, unlock.
+func (c *LockClient) Get(p *sim.Proc, block int64) ([]byte, error) {
+	_, val, err := c.GetT(p, block)
+	return val, err
+}
+
+// GetT is Get, also returning the version tag observed (for oracles).
+func (c *LockClient) GetT(p *sim.Proc, block int64) (Tag, []byte, error) {
+	if block < 0 || block >= c.metas[0].NBlocks {
+		return 0, nil, ErrBadBlock
+	}
+	locked := c.acquire(p, block)
+	tag, val, err := c.readLocked(p, block, locked)
+	if err == nil {
+		err = c.writeLocked(p, block, locked, tag, val)
+	}
+	c.release(p, block, locked)
+	if err != nil {
+		return 0, nil, err
+	}
+	return tag, val, nil
+}
+
+// Put: lock majority, read max tag, write the new version, unlock.
+func (c *LockClient) Put(p *sim.Proc, block int64, value []byte) error {
+	_, err := c.PutT(p, block, value)
+	return err
+}
+
+// PutT is Put, also returning the tag the write was installed at.
+func (c *LockClient) PutT(p *sim.Proc, block int64, value []byte) (Tag, error) {
+	if block < 0 || block >= c.metas[0].NBlocks {
+		return 0, ErrBadBlock
+	}
+	if len(value) != c.metas[0].BlockSize {
+		return 0, fmt.Errorf("abd: value size %d, want %d", len(value), c.metas[0].BlockSize)
+	}
+	locked := c.acquire(p, block)
+	tag, _, err := c.readLocked(p, block, locked)
+	if err == nil {
+		tag = tag.Next(c.id)
+		err = c.writeLocked(p, block, locked, tag, value)
+	}
+	c.release(p, block, locked)
+	return tag, err
+}

@@ -1,0 +1,395 @@
+package abd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"prism/internal/alloc"
+	"prism/internal/memory"
+	"prism/internal/prism"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+const rpcFree byte = 1
+
+// ReplicaOptions sizes a PRISM-RS replica.
+type ReplicaOptions struct {
+	NBlocks   int64
+	BlockSize int
+	// ExtraBuffers beyond one per block, absorbing in-flight updates that
+	// await reclamation.
+	ExtraBuffers int
+	// VariableSize enables §7.3's variable-size extension: metadata
+	// entries gain a bound field, GETs return only the stored bytes, and
+	// PUTs accept any length up to BlockSize.
+	VariableSize bool
+}
+
+// Replica is one PRISM-RS storage node. After initialization its CPU only
+// recycles buffers; all protocol steps are remote one-sided operations.
+type Replica struct {
+	rs   *rdma.Server
+	meta Meta
+}
+
+// NewReplica provisions a replica: metadata array, one initial buffer per
+// block (tag (1,0), zero value), and a free list for out-of-place writes.
+func NewReplica(rs *rdma.Server, opts ReplicaOptions) (*Replica, error) {
+	space := rs.Space()
+	meta := Meta{
+		NBlocks:   opts.NBlocks,
+		BlockSize: opts.BlockSize,
+		FreeList:  1,
+		Variable:  opts.VariableSize,
+	}
+	metaRegion, err := space.Register(uint64(opts.NBlocks) * uint64(meta.entrySize()))
+	if err != nil {
+		return nil, fmt.Errorf("abd: metadata region: %w", err)
+	}
+	meta.Key = metaRegion.Key
+	meta.MetaBase = metaRegion.Base
+	bufSize := meta.bufSize()
+	total := uint64(opts.NBlocks) + uint64(opts.ExtraBuffers)
+	bufRegion, err := space.RegisterShared(metaRegion.Key, bufSize*total)
+	if err != nil {
+		return nil, fmt.Errorf("abd: buffer region: %w", err)
+	}
+	fl := alloc.NewFreeList(meta.FreeList, bufSize, metaRegion.Key)
+
+	// Initialize every block with tag (1,0) and a zero value, installing
+	// the first total-NBlocks buffers; the rest go on the free list.
+	initTag := MakeTag(1, 0)
+	for b := int64(0); b < opts.NBlocks; b++ {
+		bufAddr := bufRegion.Base + memory.Addr(uint64(b)*bufSize)
+		img := make([]byte, bufSize)
+		prism.PutBE64(img, 0, uint64(initTag))
+		if err := space.Write(meta.Key, bufAddr, img); err != nil {
+			return nil, err
+		}
+		entry := make([]byte, meta.entrySize())
+		prism.PutBE64(entry, 0, uint64(initTag))
+		prism.PutLE64(entry, 8, uint64(bufAddr))
+		if meta.Variable {
+			// The bound covers the whole [tag|value] buffer image so a
+			// bounded indirect READ returns both.
+			prism.PutLE64(entry, 16, bufSize)
+		}
+		if err := space.Write(meta.Key, meta.entryAddr(b), entry); err != nil {
+			return nil, err
+		}
+	}
+	for i := uint64(opts.NBlocks); i < total; i++ {
+		fl.Post(bufRegion.Base + memory.Addr(i*bufSize))
+	}
+	rs.AddFreeList(fl)
+	rs.SetConnTempKey(meta.Key)
+
+	r := &Replica{rs: rs, meta: meta}
+	rs.SetRPCHandler(r.handleRPC)
+	return r, nil
+}
+
+// Meta returns the control-plane description.
+func (r *Replica) Meta() Meta { return r.meta }
+
+// NIC returns the transport server.
+func (r *Replica) NIC() *rdma.Server { return r.rs }
+
+func (r *Replica) handleRPC(payload []byte) ([]byte, time.Duration) {
+	if len(payload) == 0 || payload[0] != rpcFree {
+		return nil, 0
+	}
+	rest := payload[1:]
+	n := 0
+	for len(rest) >= 8 {
+		addr := memory.Addr(binary.LittleEndian.Uint64(rest))
+		r.rs.RecycleBuffer(r.meta.FreeList, addr)
+		rest = rest[8:]
+		n++
+	}
+	return []byte{0}, time.Duration(n) * 100 * time.Nanosecond
+}
+
+// Client executes the PRISM-RS protocol against a replica group. Each
+// closed-loop client owns one Client (one connection per replica).
+type Client struct {
+	id    uint16
+	conns []*rdma.Conn
+	metas []Meta
+	f     int // tolerated failures; quorum = f+1
+
+	// SkipWriteBackIfAgreed enables the classic ABD read optimization:
+	// when all f+1 read-phase tags agree, the GET's write-back phase is
+	// skipped. Off by default to match the paper's protocol.
+	SkipWriteBackIfAgreed bool
+
+	// lastReadAgreed records whether the previous read phase saw
+	// unanimous tags (consulted by the write-back optimization).
+	lastReadAgreed bool
+
+	// tmpSlot rotates each connection's temp-buffer slot per chain. The
+	// ABD client proceeds after f+1 write-phase acks, so a straggler
+	// chain may still be live on a connection when the next operation
+	// issues its chain there; rotating slots (matched to the transport's
+	// send window) keeps their redirect targets disjoint.
+	tmpSlot []int
+
+	// ctrl, when set, carries reclamation RPCs on dedicated control
+	// connections so they never queue behind data-path chains on the RC
+	// queue pair (requests on one QP execute in order).
+	ctrl []*rdma.Conn
+
+	// Reclamation batching per replica.
+	frees     [][]byte
+	FreeBatch int
+
+	// Stats
+	WriteBacksSkipped int64
+	CASLost           int64 // installs superseded by a newer tag
+}
+
+// NewClient builds a client over one connection per replica (2f+1 total).
+func NewClient(id uint16, conns []*rdma.Conn, metas []Meta) *Client {
+	if len(conns) != len(metas) || len(conns) == 0 || len(conns)%2 == 0 {
+		panic("abd: need an odd number of replicas with matching metadata")
+	}
+	return &Client{
+		id:        id,
+		conns:     conns,
+		metas:     metas,
+		f:         (len(conns) - 1) / 2,
+		frees:     make([][]byte, len(conns)),
+		tmpSlot:   make([]int, len(conns)),
+		FreeBatch: 16,
+	}
+}
+
+type readReply struct {
+	replica int
+	tag     Tag
+	value   []byte
+	ok      bool
+	status  wire.Status
+}
+
+// readPhase performs the ABD read phase: an indirect READ of the block's
+// buffer at every replica; first f+1 replies win.
+func (c *Client) readPhase(p *sim.Proc, block int64) (Tag, []byte, error) {
+	futs := make([]*sim.Future[readReply], len(c.conns))
+	for i := range c.conns {
+		i := i
+		m := &c.metas[i]
+		// Fixed-size blocks dereference a plain pointer; variable-size
+		// blocks (§7.3 extension) dereference the <addr,bound> pair so the
+		// reply carries only the stored bytes.
+		op := prism.ReadIndirect(m.Key, m.entryAddr(block)+8, m.bufSize())
+		if m.Variable {
+			op = prism.ReadBounded(m.Key, m.entryAddr(block)+8, m.bufSize())
+		}
+		f := c.conns[i].IssueAsync([]wire.Op{op})
+		rf := sim.NewFuture[readReply](p.Engine())
+		futs[i] = rf
+		f.OnComplete(func(res []wire.Result) {
+			rep := readReply{replica: i}
+			rep.status = res[0].Status
+			if res[0].Status == wire.StatusOK && len(res[0].Data) >= 8 {
+				rep.ok = true
+				rep.tag = Tag(prism.BE64(res[0].Data, 0))
+				rep.value = res[0].Data[8:]
+			}
+			rf.Complete(rep)
+		})
+	}
+	replies := sim.WaitQuorum(p, c.f+1, futs)
+	var maxTag Tag
+	var maxVal []byte
+	agreed := true
+	for _, rep := range replies {
+		if !rep.ok {
+			return 0, nil, fmt.Errorf("abd: read phase failed at replica %d (status %v)", rep.replica, rep.status)
+		}
+		if rep.tag != replies[0].tag {
+			agreed = false
+		}
+		if rep.tag > maxTag {
+			maxTag = rep.tag
+			maxVal = rep.value
+		}
+	}
+	c.lastReadAgreed = agreed
+	return maxTag, maxVal, nil
+}
+
+// writePhase propagates tag/value to all replicas with the §7.3 chain and
+// waits for f+1 CAS acknowledgments.
+func (c *Client) writePhase(p *sim.Proc, block int64, tag Tag, value []byte) error {
+	if c.metas[0].Variable {
+		if len(value) > c.metas[0].BlockSize {
+			return ErrTooLarge
+		}
+	} else if len(value) != c.metas[0].BlockSize {
+		return fmt.Errorf("abd: value size %d, want %d", len(value), c.metas[0].BlockSize)
+	}
+	const slots = rdma.ConnTempSize / rdma.TempSlotSize
+	futs := make([]*sim.Future[int], len(c.conns))
+	for i := range c.conns {
+		i := i
+		m := &c.metas[i]
+		conn := c.conns[i]
+		tmp := conn.TempAddr + memory.Addr(c.tmpSlot[i]*rdma.TempSlotSize)
+		c.tmpSlot[i] = (c.tmpSlot[i] + 1) % slots
+		entrySize := int(m.entrySize())
+
+		img := make([]byte, 8+len(value))
+		prism.PutBE64(img, 0, uint64(tag))
+		copy(img[8:], value)
+
+		// tmp mirrors the metadata entry: [tag | addr(redirected) (| bound)].
+		pre := make([]byte, entrySize)
+		prism.PutBE64(pre, 0, uint64(tag))
+		if m.Variable {
+			prism.PutLE64(pre, 16, uint64(len(img)))
+		}
+
+		f := conn.IssueAsync([]wire.Op{
+			// 1. WRITE the tag (and bound, in variable mode) to tmp.
+			prism.Write(conn.TempKey, tmp, pre),
+			// 2. ALLOCATE the new version, redirecting its address to
+			//    tmp+8 (immediately after the tag).
+			prism.Conditional(prism.RedirectTo(prism.Allocate(m.FreeList, img), conn.TempKey, tmp+8)),
+			// 3. CAS_GT the metadata entry against *tmp.
+			prism.Conditional(prism.CASIndirectData(m.Key, m.entryAddr(block), wire.CASGt, tmp,
+				prism.FieldMask(entrySize, 0, 8), prism.FullMask(entrySize))),
+		})
+		rf := sim.NewFuture[int](p.Engine())
+		futs[i] = rf
+		f.OnComplete(func(res []wire.Result) {
+			okAck := 0
+			switch {
+			case res[2].Status == wire.StatusOK:
+				okAck = 1
+				// Old version retired.
+				old := prism.LE64(res[2].Data, 8)
+				if old != 0 {
+					c.retire(i, memory.Addr(old))
+				}
+			case res[2].Status == wire.StatusCASFailed:
+				// Replica already stores a newer tag: counts as an ack
+				// (the newer value subsumes ours), but our allocated
+				// buffer is orphaned — retire it.
+				okAck = 1
+				c.CASLost++
+				if res[1].Status == wire.StatusOK {
+					c.retire(i, res[1].Addr)
+				}
+			case res[1].Status == wire.StatusRNR:
+				okAck = 0 // replica out of buffers; not an ack
+			}
+			rf.Complete(okAck)
+		})
+	}
+	acks := sim.WaitQuorum(p, c.f+1, futs)
+	good := 0
+	for _, a := range acks {
+		good += a
+	}
+	if good < c.f+1 {
+		// Collect stragglers? The protocol only needs f+1; a failed chain
+		// among the first f+1 repliers is rare (RNR). Treat as an error.
+		return fmt.Errorf("abd: write phase acked by %d < %d replicas", good, c.f+1)
+	}
+	c.maybeFlushFrees(p)
+	return nil
+}
+
+// Get performs a linearizable read: ABD read phase, then write-back of the
+// maximum version (§7.1) so later reads cannot observe an older value.
+func (c *Client) Get(p *sim.Proc, block int64) ([]byte, error) {
+	_, val, err := c.GetT(p, block)
+	return val, err
+}
+
+// GetT is Get, also returning the version tag observed (for oracles).
+func (c *Client) GetT(p *sim.Proc, block int64) (Tag, []byte, error) {
+	if block < 0 || block >= c.metas[0].NBlocks {
+		return 0, nil, ErrBadBlock
+	}
+	tag, val, err := c.readPhase(p, block)
+	if err != nil {
+		return 0, nil, err
+	}
+	if c.SkipWriteBackIfAgreed && c.lastReadAgreed {
+		c.WriteBacksSkipped++
+		return tag, val, nil
+	}
+	if err := c.writePhase(p, block, tag, val); err != nil {
+		return 0, nil, err
+	}
+	return tag, val, nil
+}
+
+// Put performs a linearizable write: read phase to learn the maximum tag,
+// then propagation of the new value at a strictly larger tag.
+func (c *Client) Put(p *sim.Proc, block int64, value []byte) error {
+	_, err := c.PutT(p, block, value)
+	return err
+}
+
+// PutT is Put, also returning the tag the write was installed at.
+func (c *Client) PutT(p *sim.Proc, block int64, value []byte) (Tag, error) {
+	if block < 0 || block >= c.metas[0].NBlocks {
+		return 0, ErrBadBlock
+	}
+	maxTag, _, err := c.readPhase(p, block)
+	if err != nil {
+		return 0, err
+	}
+	tag := maxTag.Next(c.id)
+	return tag, c.writePhase(p, block, tag, value)
+}
+
+func (c *Client) retire(replica int, addr memory.Addr) {
+	var rec [8]byte
+	binary.LittleEndian.PutUint64(rec[:], uint64(addr))
+	c.frees[replica] = append(c.frees[replica], rec[:]...)
+}
+
+func (c *Client) maybeFlushFrees(p *sim.Proc) {
+	for i, pending := range c.frees {
+		if len(pending)/8 >= c.FreeBatch {
+			c.flushReplicaFrees(i)
+		}
+	}
+}
+
+// UseControlConns routes reclamation RPCs over dedicated connections (one
+// per replica, same order as the data connections).
+func (c *Client) UseControlConns(ctrl []*rdma.Conn) {
+	if len(ctrl) != len(c.conns) {
+		panic("abd: control connections must match replicas")
+	}
+	c.ctrl = ctrl
+}
+
+func (c *Client) flushReplicaFrees(i int) {
+	if len(c.frees[i]) == 0 {
+		return
+	}
+	payload := append([]byte{rpcFree}, c.frees[i]...)
+	c.frees[i] = nil
+	conn := c.conns[i]
+	if c.ctrl != nil {
+		conn = c.ctrl[i]
+	}
+	conn.IssueAsync([]wire.Op{prism.Send(payload)})
+}
+
+// FlushFrees sends all pending reclamation batches.
+func (c *Client) FlushFrees() {
+	for i := range c.frees {
+		c.flushReplicaFrees(i)
+	}
+}

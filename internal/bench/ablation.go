@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+
+	"prism/internal/abd"
+	"prism/internal/alloc"
+	"prism/internal/kv"
+	"prism/internal/model"
+	"prism/internal/prism"
+	"prism/internal/sim"
+	"prism/internal/wire"
+	"prism/internal/workload"
+)
+
+// Ablations of the design choices DESIGN.md §5 calls out. Each returns a
+// small categorical Figure comparing the design as-built against the
+// alternative.
+
+// AblationABDWriteback measures PRISM-RS GET latency with and without the
+// classic ABD read optimization (skip the write-back phase when all f+1
+// read-phase tags agree). The paper's protocol always writes back; the
+// optimization halves uncontended GETs to one round trip.
+func AblationABDWriteback(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "ablation-abd-writeback",
+		Title:  "PRISM-RS GET: always write back (paper) vs skip-if-agreed",
+		XLabel: "variant", YLabel: "mean GET latency (µs)",
+	}
+	for _, skip := range []bool{false, true} {
+		e, mkClient := buildPRISMRS(cfg, cfg.Seed, 0)
+		d := newLoadDriver(e, cfg)
+		const clients = 16
+		for i := 0; i < clients; i++ {
+			st := mkClient(i).(*abd.Client)
+			st.SkipWriteBackIfAgreed = skip
+			gen := workload.NewGenerator(workload.Mix{
+				Keys: cfg.Keys, ReadFrac: 1.0, ValueSize: cfg.ValueSize,
+			}, cfg.Seed*7000+int64(i))
+			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				_, key := gen.Next()
+				_, err := st.Get(p, key)
+				return 0, err
+			})
+		}
+		pt := d.run(clients)
+		name := "always write back (paper)"
+		if skip {
+			name = "skip write-back when tags agree"
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   name,
+			Points: []Point{pt},
+			Labels: []string{fmt.Sprintf("mean=%.2fµs p99=%.2fµs", float64(pt.Mean)/1e3, float64(pt.P99)/1e3)},
+		})
+	}
+	return fig
+}
+
+// AblationKVSlotCache measures PRISM-KV PUT latency with and without the
+// slot cache the paper's §6.2 parenthetical describes: read-modify-write
+// workloads can skip the slot-probe round trip, halving PUTs to one round
+// trip.
+func AblationKVSlotCache(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "ablation-kv-slotcache",
+		Title:  "PRISM-KV PUT: probe every time (paper's pessimal case) vs cached slot",
+		XLabel: "variant", YLabel: "mean PUT latency (µs)",
+	}
+	// A read-modify-write loop over a small working set, so the cache has
+	// hits (each client revisits its keys many times).
+	cfg.Keys = 16
+	for _, cache := range []bool{false, true} {
+		e, mkClient := buildPRISMKV(cfg, cfg.Seed)
+		d := newLoadDriver(e, cfg)
+		const clients = 16
+		for i := 0; i < clients; i++ {
+			st := mkClient(i).(*kv.Client)
+			st.SlotCache = cache
+			gen := workload.NewGenerator(workload.Mix{
+				Keys: cfg.Keys, ReadFrac: 0, ValueSize: cfg.ValueSize,
+			}, cfg.Seed*8000+int64(i))
+			ver := 0
+			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				_, key := gen.Next()
+				ver++
+				return 0, st.Put(p, key, gen.Value(key, ver))
+			})
+		}
+		pt := d.run(clients)
+		name := "probe + chain (2 RTs)"
+		if cache {
+			name = "cached slot + chain (1 RT)"
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   name,
+			Points: []Point{pt},
+			Labels: []string{fmt.Sprintf("mean=%.2fµs", float64(pt.Mean)/1e3)},
+		})
+	}
+	return fig
+}
+
+// AblationRedirectTarget measures the out-of-place update chain on the
+// projected hardware NIC with redirect targets in on-NIC memory (§4.2's
+// recommendation) vs in host memory (one extra PCIe round trip per
+// redirected op).
+func AblationRedirectTarget(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "ablation-redirect-target",
+		Title:  "Chain redirect target on the projected NIC: on-NIC vs host memory",
+		XLabel: "variant", YLabel: "chain round trip (µs)",
+	}
+	for _, host := range []bool{false, true} {
+		p := model.Default().WithNetwork(model.Direct)
+		p.RedirectToHostMem = host
+		env := newMicroEnvWithParams(model.ProjectedHardwarePRISM, p, cfg.Seed)
+		var tag uint64 = 1
+		lat := env.measure(func(i int) []wire.Op {
+			tag++
+			tagBytes := make([]byte, 8)
+			prism.PutBE64(tagBytes, 0, tag)
+			tmp := env.conn.TempAddr
+			return []wire.Op{
+				prism.Write(env.conn.TempKey, tmp, tagBytes),
+				prism.Conditional(prism.RedirectTo(prism.Allocate(1, make([]byte, microValue)), env.conn.TempKey, tmp+8)),
+				prism.Conditional(prism.CASIndirectData(env.reg.Key, env.reg.Base+64, wire.CASGt, tmp,
+					prism.FieldMask(16, 0, 8), prism.FullMask(16))),
+			}
+		})
+		name := "on-NIC temp storage (§4.2)"
+		if host {
+			name = "host-memory temp storage"
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   name,
+			Points: []Point{{Clients: 1, Mean: lat, Median: lat, P99: lat}},
+			Labels: []string{fmt.Sprintf("chain RTT %.2fµs", float64(lat)/1e3)},
+		})
+	}
+	return fig
+}
+
+// AblationFreelistClasses quantifies §3.2's space/simplicity tradeoff:
+// provisioning one free list per power-of-two size class vs a single list
+// of max-size buffers, for a mixed-size object population. It reports how
+// many objects fit in a fixed byte budget and the resulting space
+// overhead.
+func AblationFreelistClasses(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "ablation-freelist-classes",
+		Title:  "ALLOCATE buffer provisioning: power-of-two classes vs single class",
+		XLabel: "variant", YLabel: "objects stored in a fixed byte budget",
+	}
+	// Object sizes: mixed 64..maxEntry bytes, skewed toward small.
+	sizes := make([]uint64, 512)
+	rng := sim.NewEngine(cfg.Seed).Rand()
+	maxSize := uint64(cfg.ValueSize)
+	for i := range sizes {
+		// Log-uniform-ish mix of small and large objects.
+		s := uint64(16) << rng.Intn(6) // 16..512
+		if s > maxSize {
+			s = maxSize
+		}
+		sizes[i] = s
+	}
+	budget := uint64(len(sizes)) * maxSize / 2 // can't fit all at max size
+
+	type variant struct {
+		name    string
+		classes []uint64
+	}
+	variants := []variant{
+		{"power-of-two classes (§3.2)", alloc.SizeClasses(64, maxSize)},
+		{"single max-size class", []uint64{maxSize}},
+	}
+	for _, v := range variants {
+		// Provision lists proportionally to demand per class, within the
+		// byte budget, then count how many of the population's objects can
+		// be stored and the wasted bytes.
+		stored := 0
+		used := uint64(0)
+		waste := uint64(0)
+		for _, s := range sizes {
+			i, err := alloc.ClassFor(v.classes, s)
+			if err != nil {
+				continue
+			}
+			if used+v.classes[i] > budget {
+				continue
+			}
+			used += v.classes[i]
+			waste += v.classes[i] - s
+			stored++
+		}
+		overhead := float64(waste) / float64(used)
+		fig.Series = append(fig.Series, Series{
+			Name:   v.name,
+			Points: []Point{{Clients: 1, Throughput: float64(stored)}},
+			Labels: []string{fmt.Sprintf("stored %d/%d objects, %.0f%% bytes wasted", stored, len(sizes), overhead*100)},
+		})
+	}
+	return fig
+}

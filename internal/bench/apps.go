@@ -1,0 +1,475 @@
+package bench
+
+import (
+	"fmt"
+
+	"prism/internal/abd"
+	"prism/internal/fabric"
+	"prism/internal/kv"
+	"prism/internal/model"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/tx"
+	"prism/internal/workload"
+)
+
+// kvStore abstracts PRISM-KV and Pilaf clients for the shared driver.
+type kvStore interface {
+	Get(p *sim.Proc, key int64) ([]byte, error)
+	Put(p *sim.Proc, key int64, value []byte) error
+}
+
+// kvSystem builds a fresh loaded cluster and a per-client store factory.
+type kvSystem struct {
+	name  string
+	build func(cfg Config, seed int64) (e *sim.Engine, mkClient func(id int) kvStore)
+}
+
+func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
+	p := model.Default().WithNetwork(model.Rack)
+	e := sim.NewEngine(seed)
+	net := fabric.New(e, p)
+	nic := rdma.NewServer(net, "server", model.SoftwarePRISM)
+	opts := kv.DefaultOptions(cfg.Keys, cfg.ValueSize)
+	srv, err := kv.NewServer(nic, opts)
+	if err != nil {
+		panic(err)
+	}
+	gen := workload.NewGenerator(workload.Mix{Keys: cfg.Keys, ReadFrac: 1, ValueSize: cfg.ValueSize}, seed)
+	for k := int64(0); k < cfg.Keys; k++ {
+		if err := srv.Load(k, gen.Value(k, 0)); err != nil {
+			panic(err)
+		}
+	}
+	machines := make([]*rdma.Client, cfg.ClientMachines)
+	for i := range machines {
+		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+	}
+	return e, func(id int) kvStore {
+		m := machines[id%len(machines)]
+		c := kv.NewClient(m.Connect(srv.NIC()), srv.Meta(), uint16(id+1))
+		c.CtrlConn = m.Connect(srv.NIC()) // reclamation rides a control QP
+		c.FreeBatch = 4                   // keep unreclaimed churn small under heavy write load
+		return c
+	}
+}
+
+func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
+	return func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
+		p := model.Default().WithNetwork(model.Rack)
+		e := sim.NewEngine(seed)
+		net := fabric.New(e, p)
+		nic := rdma.NewServer(net, "server", deploy)
+		opts := kv.DefaultOptions(cfg.Keys, cfg.ValueSize)
+		srv, err := kv.NewPilafServer(nic, opts)
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewGenerator(workload.Mix{Keys: cfg.Keys, ReadFrac: 1, ValueSize: cfg.ValueSize}, seed)
+		for k := int64(0); k < cfg.Keys; k++ {
+			if err := srv.Load(k, gen.Value(k, 0)); err != nil {
+				panic(err)
+			}
+		}
+		machines := make([]*rdma.Client, cfg.ClientMachines)
+		for i := range machines {
+			machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+		}
+		crc := p.PilafCRCCost
+		return e, func(id int) kvStore {
+			m := machines[id%len(machines)]
+			return kv.NewPilafClient(m.Connect(srv.NIC()), srv.Meta(), crc)
+		}
+	}
+}
+
+// kvCurve sweeps the client ladder for one system and workload mix.
+func kvCurve(sys kvSystem, cfg Config, readFrac float64) Series {
+	s := Series{Name: sys.name}
+	for _, nClients := range cfg.ClientCounts {
+		e, mkClient := sys.build(cfg, cfg.Seed)
+		d := newLoadDriver(e, cfg)
+		for i := 0; i < nClients; i++ {
+			st := mkClient(i)
+			gen := workload.NewGenerator(workload.Mix{
+				Keys: cfg.Keys, ReadFrac: readFrac, ValueSize: cfg.ValueSize,
+			}, cfg.Seed*1000+int64(i))
+			ver := 0
+			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				kind, key := gen.Next()
+				if kind == workload.OpGet {
+					_, err := st.Get(p, key)
+					return 0, err
+				}
+				ver++
+				return 0, st.Put(p, key, gen.Value(key, ver))
+			})
+		}
+		s.Points = append(s.Points, d.run(nClients))
+	}
+	return s
+}
+
+// Fig3 reproduces Figure 3: PRISM-KV vs Pilaf (hardware and software
+// RDMA), 100% reads, uniform distribution — throughput vs latency.
+func Fig3(cfg Config) *Figure {
+	return kvFigure(cfg, "fig3", "PRISM-KV vs Pilaf, 100% reads, uniform", 1.0)
+}
+
+// Fig4 reproduces Figure 4: the same comparison at 50% reads (YCSB-A).
+func Fig4(cfg Config) *Figure {
+	return kvFigure(cfg, "fig4", "PRISM-KV vs Pilaf, 50% reads, uniform", 0.5)
+}
+
+func kvFigure(cfg Config, id, title string, readFrac float64) *Figure {
+	fig := &Figure{ID: id, Title: title, XLabel: "throughput (ops/s)", YLabel: "mean latency (µs)"}
+	systems := []kvSystem{
+		{"Pilaf", buildPilaf(model.HardwareRDMA)},
+		{"Pilaf (software RDMA)", buildPilaf(model.SoftwarePRISM)},
+		{"PRISM-KV", buildPRISMKV},
+	}
+	for _, sys := range systems {
+		fig.Series = append(fig.Series, kvCurve(sys, cfg, readFrac))
+	}
+	return fig
+}
+
+// --- PRISM-RS / ABDLOCK (Figures 6, 7) ---
+
+type blockStore interface {
+	Get(p *sim.Proc, block int64) ([]byte, error)
+	Put(p *sim.Proc, block int64, value []byte) error
+}
+
+type rsSystem struct {
+	name  string
+	build func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore)
+}
+
+func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
+	p := model.Default().WithNetwork(model.Rack)
+	e := sim.NewEngine(seed)
+	net := fabric.New(e, p)
+	const nReplicas = 3
+	replicas := make([]*abd.Replica, nReplicas)
+	for i := range replicas {
+		nic := rdma.NewServer(net, fmt.Sprintf("replica-%d", i), model.SoftwarePRISM)
+		r, err := abd.NewReplica(nic, abd.ReplicaOptions{
+			NBlocks:   cfg.Keys,
+			BlockSize: cfg.ValueSize,
+			// Generous slack: writes in flight before reclamation lands.
+			ExtraBuffers: 4096,
+		})
+		if err != nil {
+			panic(err)
+		}
+		replicas[i] = r
+	}
+	machines := make([]*rdma.Client, cfg.ClientMachines)
+	for i := range machines {
+		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+	}
+	return e, func(id int) blockStore {
+		m := machines[id%len(machines)]
+		conns := make([]*rdma.Conn, nReplicas)
+		metas := make([]abd.Meta, nReplicas)
+		for i, r := range replicas {
+			conns[i] = m.Connect(r.NIC())
+			metas[i] = r.Meta()
+		}
+		c := abd.NewClient(uint16(id+1), conns, metas)
+		ctrl := make([]*rdma.Conn, nReplicas)
+		for i, r := range replicas {
+			ctrl[i] = m.Connect(r.NIC())
+		}
+		c.UseControlConns(ctrl) // reclamation rides control QPs
+		c.FreeBatch = 8
+		return c
+	}
+}
+
+func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore) {
+	return func(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
+		p := model.Default().WithNetwork(model.Rack)
+		e := sim.NewEngine(seed)
+		net := fabric.New(e, p)
+		const nReplicas = 3
+		replicas := make([]*abd.LockReplica, nReplicas)
+		for i := range replicas {
+			nic := rdma.NewServer(net, fmt.Sprintf("replica-%d", i), deploy)
+			r, err := abd.NewLockReplica(nic, cfg.Keys, cfg.ValueSize)
+			if err != nil {
+				panic(err)
+			}
+			replicas[i] = r
+		}
+		machines := make([]*rdma.Client, cfg.ClientMachines)
+		for i := range machines {
+			machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+		}
+		return e, func(id int) blockStore {
+			m := machines[id%len(machines)]
+			conns := make([]*rdma.Conn, nReplicas)
+			metas := make([]abd.LockMeta, nReplicas)
+			for i, r := range replicas {
+				conns[i] = m.Connect(r.NIC())
+				metas[i] = r.Meta()
+			}
+			jit := e.Rand().Float64
+			return abd.NewLockClient(uint16(id+1), conns, metas, jit)
+		}
+	}
+}
+
+func rsCurve(sys rsSystem, cfg Config, theta float64, clientCounts []int) Series {
+	s := Series{Name: sys.name}
+	for _, nClients := range clientCounts {
+		e, mkClient := sys.build(cfg, cfg.Seed, theta)
+		d := newLoadDriver(e, cfg)
+		for i := 0; i < nClients; i++ {
+			st := mkClient(i)
+			gen := workload.NewGenerator(workload.Mix{
+				Keys: cfg.Keys, ReadFrac: 0.5, ValueSize: cfg.ValueSize, Theta: theta,
+			}, cfg.Seed*2000+int64(i))
+			ver := 0
+			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				kind, key := gen.Next()
+				if kind == workload.OpGet {
+					_, err := st.Get(p, key)
+					return 0, err
+				}
+				ver++
+				return 0, st.Put(p, key, gen.Value(key, ver))
+			})
+		}
+		s.Points = append(s.Points, d.run(nClients))
+	}
+	return s
+}
+
+// Fig6 reproduces Figure 6: PRISM-RS vs lock-based ABD, 50% writes,
+// uniform — throughput vs latency, 3 replicas.
+func Fig6(cfg Config) *Figure {
+	fig := &Figure{
+		ID: "fig6", Title: "PRISM-RS vs ABDLOCK, 50% writes, uniform, 3 replicas",
+		XLabel: "throughput (ops/s)", YLabel: "mean latency (µs)",
+	}
+	systems := []rsSystem{
+		{"ABDLOCK", buildABDLOCK(model.HardwareRDMA)},
+		{"ABDLOCK (software RDMA)", buildABDLOCK(model.SoftwarePRISM)},
+		{"PRISM-RS", buildPRISMRS},
+	}
+	for _, sys := range systems {
+		fig.Series = append(fig.Series, rsCurve(sys, cfg, 0, cfg.ClientCounts))
+	}
+	return fig
+}
+
+// Fig7 reproduces Figure 7: latency under contention — 100 closed-loop
+// clients, Zipf coefficient swept from 0 to 1.2.
+func Fig7(cfg Config) *Figure {
+	fig := &Figure{
+		ID: "fig7", Title: "PRISM-RS vs ABDLOCK under contention (100 clients)",
+		XLabel: "Zipf coefficient", YLabel: "mean latency (µs)",
+	}
+	thetas := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.1, 1.2}
+	systems := []rsSystem{
+		{"ABDLOCK", buildABDLOCK(model.HardwareRDMA)},
+		{"PRISM-RS", buildPRISMRS},
+	}
+	const clients = 100
+	for _, sys := range systems {
+		s := Series{Name: sys.name}
+		for _, theta := range thetas {
+			curve := rsCurve(rsSystem{sys.name, sys.build}, cfg, theta, []int{clients})
+			pt := curve.Points[0]
+			s.Points = append(s.Points, pt)
+			s.Labels = append(s.Labels, fmt.Sprintf("zipf=%.2f  mean=%.2fµs  p99=%.2fµs",
+				theta, float64(pt.Mean)/1e3, float64(pt.P99)/1e3))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// --- PRISM-TX / FaRM (Figures 9, 10) ---
+
+type txSystem struct {
+	name  string
+	build func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner)
+}
+
+// txRunner executes one YCSB-T read-modify-write transaction, retrying
+// aborts until commit; returns the number of aborts.
+type txRunner func(p *sim.Proc, gen *workload.TxGenerator) (aborts int64, err error)
+
+func buildPRISMTX(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
+	p := model.Default().WithNetwork(model.Rack)
+	e := sim.NewEngine(seed)
+	net := fabric.New(e, p)
+	nic := rdma.NewServer(net, "shard", model.SoftwarePRISM)
+	shard, err := tx.NewShard(nic, tx.ShardOptions{NSlots: cfg.Keys, MaxValue: cfg.ValueSize, ExtraBuffers: 8192})
+	if err != nil {
+		panic(err)
+	}
+	gen := workload.NewTxGenerator(workload.TxMix{Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1}, seed)
+	for k := int64(0); k < cfg.Keys; k++ {
+		if err := shard.Load(k, gen.Value(k, 0)); err != nil {
+			panic(err)
+		}
+	}
+	machines := make([]*rdma.Client, cfg.ClientMachines)
+	for i := range machines {
+		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+	}
+	return e, func(id int) txRunner {
+		m := machines[id%len(machines)]
+		c := tx.NewClient(uint16(id+1), []*rdma.Conn{m.Connect(shard.NIC())}, []tx.Meta{shard.Meta()}, e)
+		c.UseControlConns([]*rdma.Conn{m.Connect(shard.NIC())})
+		ver := 0
+		return func(p *sim.Proc, g *workload.TxGenerator) (int64, error) {
+			keys := g.Next()
+			var aborts int64
+			for {
+				t := c.Begin()
+				for _, k := range keys {
+					old, err := t.Read(p, k)
+					if err != nil {
+						return aborts, err
+					}
+					ver++
+					nv := append([]byte(nil), old...)
+					if len(nv) > 0 {
+						nv[0] ^= byte(ver)
+					}
+					t.Write(k, nv)
+				}
+				if _, err := t.Commit(p); err == nil {
+					return aborts, nil
+				}
+				aborts++
+			}
+		}
+	}
+}
+
+func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
+	return func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
+		p := model.Default().WithNetwork(model.Rack)
+		e := sim.NewEngine(seed)
+		net := fabric.New(e, p)
+		nic := rdma.NewServer(net, "shard", deploy)
+		srv, err := tx.NewFarmServer(nic, tx.ShardOptions{NSlots: cfg.Keys, MaxValue: cfg.ValueSize})
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewTxGenerator(workload.TxMix{Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1}, seed)
+		for k := int64(0); k < cfg.Keys; k++ {
+			if err := srv.Load(k, gen.Value(k, 0)); err != nil {
+				panic(err)
+			}
+		}
+		machines := make([]*rdma.Client, cfg.ClientMachines)
+		for i := range machines {
+			machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+		}
+		return e, func(id int) txRunner {
+			m := machines[id%len(machines)]
+			c := tx.NewFarmClient(uint16(id+1), []*rdma.Conn{m.Connect(srv.NIC())}, []tx.FarmMeta{srv.Meta()})
+			ver := 0
+			return func(p *sim.Proc, g *workload.TxGenerator) (int64, error) {
+				keys := g.Next()
+				var aborts int64
+				for {
+					t := c.Begin()
+					for _, k := range keys {
+						old, err := t.Read(p, k)
+						if err != nil {
+							return aborts, err
+						}
+						ver++
+						nv := append([]byte(nil), old...)
+						if len(nv) > 0 {
+							nv[0] ^= byte(ver)
+						}
+						t.Write(k, nv)
+					}
+					if _, err := t.Commit(p); err == nil {
+						return aborts, nil
+					}
+					aborts++
+				}
+			}
+		}
+	}
+}
+
+func txCurve(sys txSystem, cfg Config, theta float64, clientCounts []int) Series {
+	s := Series{Name: sys.name}
+	for _, nClients := range clientCounts {
+		e, mkRunner := sys.build(cfg, cfg.Seed)
+		d := newLoadDriver(e, cfg)
+		for i := 0; i < nClients; i++ {
+			run := mkRunner(i)
+			gen := workload.NewTxGenerator(workload.TxMix{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1, Theta: theta,
+			}, cfg.Seed*3000+int64(i))
+			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				return run(p, gen)
+			})
+		}
+		s.Points = append(s.Points, d.run(nClients))
+	}
+	return s
+}
+
+// Fig9 reproduces Figure 9: PRISM-TX vs FaRM throughput-latency, YCSB-T
+// read-modify-write transactions, uniform access, one shard.
+func Fig9(cfg Config) *Figure {
+	fig := &Figure{
+		ID: "fig9", Title: "PRISM-TX vs FaRM, YCSB-T, uniform",
+		XLabel: "throughput (txns/s)", YLabel: "mean latency (µs)",
+	}
+	systems := []txSystem{
+		{"FaRM", buildFaRM(model.HardwareRDMA)},
+		{"FaRM (software RDMA)", buildFaRM(model.SoftwarePRISM)},
+		{"PRISM-TX", buildPRISMTX},
+	}
+	for _, sys := range systems {
+		fig.Series = append(fig.Series, txCurve(sys, cfg, 0, cfg.ClientCounts))
+	}
+	return fig
+}
+
+// Fig10 reproduces Figure 10: peak throughput under varying Zipf skew.
+func Fig10(cfg Config) *Figure {
+	fig := &Figure{
+		ID: "fig10", Title: "PRISM-TX vs FaRM peak throughput under contention",
+		XLabel: "Zipf coefficient", YLabel: "peak throughput (txns/s)",
+	}
+	thetas := []float64{0, 0.4, 0.8, 1.0, 1.2, 1.4, 1.6}
+	// Peak = best throughput over a short client ladder.
+	ladder := []int{64, 192, 320}
+	systems := []txSystem{
+		{"FaRM", buildFaRM(model.HardwareRDMA)},
+		{"FaRM (software RDMA)", buildFaRM(model.SoftwarePRISM)},
+		{"PRISM-TX", buildPRISMTX},
+	}
+	for _, sys := range systems {
+		s := Series{Name: sys.name}
+		for _, theta := range thetas {
+			curve := txCurve(sys, cfg, theta, ladder)
+			best := curve.Points[0]
+			for _, pt := range curve.Points[1:] {
+				if pt.Throughput > best.Throughput {
+					best = pt
+				}
+			}
+			s.Points = append(s.Points, best)
+			s.Labels = append(s.Labels, fmt.Sprintf("zipf=%.2f  peak=%.0f txns/s (aborts %d)",
+				theta, best.Throughput, best.Aborts))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

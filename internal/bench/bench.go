@@ -1,0 +1,191 @@
+// Package bench is the benchmark harness that regenerates every figure in
+// the paper's evaluation (Figures 1–4, 6, 7, 9, 10, plus the §2.1
+// RPC-vs-RDMA motivation measurement). Each Fig* function builds the
+// corresponding simulated cluster, drives closed-loop clients through the
+// paper's workload, and returns the same rows/series the paper plots.
+//
+// Scale note: the paper uses 8 M x 512 B objects (4 GB per store). The
+// harness defaults to a smaller keyspace with identical uniform/Zipf
+// contention characteristics so figures regenerate in seconds; Config.Keys
+// restores full scale when memory allows. The shapes under comparison are
+// insensitive to keyspace size at uniform access (§6.2's collisionless
+// hash makes every slot independent).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"prism/internal/sim"
+	"prism/internal/stats"
+)
+
+// Config scales an experiment.
+type Config struct {
+	Keys      int64 // objects in the store (paper: 8M)
+	ValueSize int   // bytes per object (paper: 512)
+	// ClientCounts is the closed-loop client ladder for throughput-latency
+	// curves.
+	ClientCounts []int
+	// ClientMachines is how many client machines the clients are spread
+	// over (paper: up to 11).
+	ClientMachines int
+	// Warmup and Measure are virtual-time windows.
+	Warmup  time.Duration
+	Measure time.Duration
+	// MaxOps caps measured operations per point (0 = no cap) so high
+	// throughput points do not dominate wall-clock time.
+	MaxOps int64
+	Seed   int64
+}
+
+// DefaultConfig returns the laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		Keys:           16384,
+		ValueSize:      512,
+		ClientCounts:   []int{1, 2, 4, 8, 16, 32, 64, 128, 192, 288},
+		ClientMachines: 11,
+		Warmup:         200 * time.Microsecond,
+		Measure:        4 * time.Millisecond,
+		MaxOps:         0,
+		Seed:           42,
+	}
+}
+
+// Point is one measured point of a curve.
+type Point = stats.Summary
+
+// Series is a named curve (one line in a paper figure). For categorical
+// figures (Fig. 1, Fig. 2), Labels names each point instead of a client
+// count.
+type Series struct {
+	Name   string
+	Points []Point
+	Labels []string
+}
+
+// Figure is a reproduced figure: a set of series plus axis descriptions.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Fprint renders the figure as aligned text tables.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(w, "   (%s vs %s)\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "-- %s\n", s.Name)
+		for i, pt := range s.Points {
+			if i < len(s.Labels) {
+				fmt.Fprintf(w, "   %-28s %8.2fµs\n", s.Labels[i], float64(pt.Mean)/1e3)
+			} else {
+				fmt.Fprintf(w, "   %s\n", pt)
+			}
+		}
+	}
+}
+
+// FprintCSV renders the figure as CSV rows for external plotting:
+// figure,series,label,clients,throughput_ops,mean_us,p50_us,p99_us,aborts,errors
+func (f *Figure) FprintCSV(w io.Writer) {
+	fmt.Fprintln(w, "figure,series,label,clients,throughput_ops,mean_us,p50_us,p99_us,aborts,errors")
+	for _, s := range f.Series {
+		for i, pt := range s.Points {
+			label := ""
+			if i < len(s.Labels) {
+				label = strings.ReplaceAll(s.Labels[i], ",", ";")
+			}
+			fmt.Fprintf(w, "%s,%s,%s,%d,%.0f,%.3f,%.3f,%.3f,%d,%d\n",
+				f.ID, strings.ReplaceAll(s.Name, ",", ";"), label,
+				pt.Clients, pt.Throughput,
+				float64(pt.Mean)/1e3, float64(pt.Median)/1e3, float64(pt.P99)/1e3,
+				pt.Aborts, pt.Errors)
+		}
+	}
+}
+
+// loadDriver runs a closed-loop client population against op, measuring
+// completed ops and latencies in the virtual measurement window.
+//
+// op is invoked repeatedly per client; it returns the number of logical
+// operations completed (usually 1; transactions may retry internally and
+// still count 1) or an error to stop that client.
+type loadDriver struct {
+	e       *sim.Engine
+	cfg     Config
+	rec     *stats.LatencyRecorder
+	ops     int64
+	aborts  int64
+	errs    int64
+	lastEnd sim.Time
+	stopped bool
+}
+
+func newLoadDriver(e *sim.Engine, cfg Config) *loadDriver {
+	return &loadDriver{e: e, cfg: cfg, rec: stats.NewLatencyRecorder()}
+}
+
+// spawn starts one closed-loop client process running op until the driver
+// stops.
+func (d *loadDriver) spawn(name string, op func(p *sim.Proc) (aborts int64, err error)) {
+	d.e.Go(name, func(p *sim.Proc) {
+		warmEnd := sim.Time(d.cfg.Warmup)
+		measureEnd := sim.Time(d.cfg.Warmup + d.cfg.Measure)
+		for !d.stopped {
+			start := p.Now()
+			if start >= measureEnd {
+				return
+			}
+			aborts, err := op(p)
+			if err != nil {
+				d.errs++
+				return
+			}
+			end := p.Now()
+			if start >= warmEnd && end <= measureEnd {
+				d.rec.Record(end.Sub(start))
+				d.ops++
+				d.aborts += aborts
+				if end > d.lastEnd {
+					d.lastEnd = end
+				}
+				if d.cfg.MaxOps > 0 && d.ops >= d.cfg.MaxOps {
+					d.stopped = true
+				}
+			}
+		}
+	})
+}
+
+// run drives the simulation through the measurement window, drains the
+// in-flight operations so client processes exit cleanly, and summarizes.
+func (d *loadDriver) run(clients int) Point {
+	d.e.RunUntil(sim.Time(d.cfg.Warmup + d.cfg.Measure))
+	d.stopped = true
+	d.e.Run() // drain in-flight ops; clients observe stopped and exit
+	// Throughput from ops completed in the effective measured window
+	// (shorter than Measure when MaxOps stopped the run early).
+	window := d.cfg.Measure
+	if d.cfg.MaxOps > 0 && d.lastEnd > sim.Time(d.cfg.Warmup) {
+		if span := d.lastEnd.Sub(sim.Time(d.cfg.Warmup)); span < window {
+			window = span
+		}
+	}
+	tput := float64(d.ops) / window.Seconds()
+	return Point{
+		Clients:    clients,
+		Throughput: tput,
+		Mean:       d.rec.Mean(),
+		Median:     d.rec.Median(),
+		P99:        d.rec.P99(),
+		Aborts:     d.aborts,
+		Errors:     d.errs,
+	}
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	cfg := DefaultConfig()
+	cfg.Keys = 512
+	cfg.Warmup = 50 * time.Microsecond
+	cfg.Measure = 300 * time.Microsecond
+	cfg.ClientCounts = []int{4, 32}
+	return cfg
+}
+
+func point(t *testing.T, fig *Figure, series string, idx int) Point {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Name == series {
+			if idx >= len(s.Points) {
+				t.Fatalf("series %q has %d points", series, len(s.Points))
+			}
+			return s.Points[idx]
+		}
+	}
+	t.Fatalf("series %q not found in %s", series, fig.ID)
+	return Point{}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	fig := Fig1(tiny())
+	// PRISM SW read ≈ RDMA read + 2.5–3.2 µs.
+	rdmaRead := point(t, fig, "RDMA", 0).Mean
+	swRead := point(t, fig, "PRISM SW", 0).Mean
+	diff := swRead - rdmaRead
+	if diff < 2200*time.Nanosecond || diff > 3500*time.Nanosecond {
+		t.Fatalf("software overhead for READ = %v, want ≈2.5-2.8µs", diff)
+	}
+	// BlueField is the slowest PRISM option on every op (§4.3).
+	for i := 0; i < 5; i++ {
+		bf := point(t, fig, "PRISM BlueField", i).Mean
+		sw := point(t, fig, "PRISM SW", i).Mean
+		hw := point(t, fig, "PRISM HW (proj.)", i).Mean
+		if !(hw < sw && sw < bf) {
+			t.Fatalf("op %d ordering: hw=%v sw=%v bf=%v", i, hw, sw, bf)
+		}
+	}
+	// Stock RDMA cannot express the PRISM ops (points 2-4 are zero).
+	for i := 2; i < 5; i++ {
+		if point(t, fig, "RDMA", i).Mean != 0 {
+			t.Fatalf("stock RDMA reported latency for PRISM-only op %d", i)
+		}
+	}
+}
+
+func TestFig2PRISMBeatsTwoReadsEverywhere(t *testing.T) {
+	fig := Fig2(tiny())
+	for i, profile := range []string{"rack", "cluster", "datacenter"} {
+		two := point(t, fig, "2x RDMA", i).Mean
+		sw := point(t, fig, "PRISM SW", i).Mean
+		if sw >= two {
+			t.Fatalf("%s: PRISM SW %v not faster than 2x RDMA %v", profile, sw, two)
+		}
+	}
+	// The gap grows with network latency (the paper's core argument).
+	gap := func(i int) time.Duration {
+		return point(t, fig, "2x RDMA", i).Mean - point(t, fig, "PRISM SW", i).Mean
+	}
+	if !(gap(0) < gap(1) && gap(1) < gap(2)) {
+		t.Fatalf("gap not increasing with scale: %v %v %v", gap(0), gap(1), gap(2))
+	}
+	// Datacenter scale: ~2x improvement (53 vs 29 µs in the paper).
+	ratio := float64(point(t, fig, "2x RDMA", 2).Mean) / float64(point(t, fig, "PRISM SW", 2).Mean)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("datacenter improvement ratio %.2f, want ≈1.8", ratio)
+	}
+}
+
+func TestRPCvsRDMACrossover(t *testing.T) {
+	fig := RPCvsRDMA(tiny())
+	oneRead := point(t, fig, "one-sided READ", 0).Mean
+	rpc := point(t, fig, "two-sided RPC", 0).Mean
+	twoReads := point(t, fig, "2x one-sided READs", 0).Mean
+	// §2.1: one READ clearly fastest; one RPC beats two dependent READs.
+	if !(oneRead < rpc && rpc < twoReads) {
+		t.Fatalf("crossover broken: read=%v rpc=%v 2reads=%v", oneRead, rpc, twoReads)
+	}
+}
+
+func TestFig3ReadLatencyAnchors(t *testing.T) {
+	fig := Fig3(tiny())
+	prismLat := point(t, fig, "PRISM-KV", 0).Mean
+	pilafHW := point(t, fig, "Pilaf", 0).Mean
+	pilafSW := point(t, fig, "Pilaf (software RDMA)", 0).Mean
+	// §6.2: ~6 µs vs ~8 µs vs ~14 µs.
+	if !(prismLat < pilafHW && pilafHW < pilafSW) {
+		t.Fatalf("ordering: prism=%v pilafHW=%v pilafSW=%v", prismLat, pilafHW, pilafSW)
+	}
+	if prismLat > 7*time.Microsecond || prismLat < 5*time.Microsecond {
+		t.Fatalf("PRISM-KV GET %v, want ≈6µs", prismLat)
+	}
+	if pilafSW < 12*time.Microsecond || pilafSW > 16*time.Microsecond {
+		t.Fatalf("Pilaf SW GET %v, want ≈14µs", pilafSW)
+	}
+	// Ratio of software-Pilaf to PRISM-KV ≈ 2x (two round trips + CRCs).
+	if r := float64(pilafSW) / float64(prismLat); r < 1.8 || r > 2.8 {
+		t.Fatalf("SW Pilaf/PRISM ratio %.2f, want ≈2.3", r)
+	}
+}
+
+func TestFig6PRISMRSWins(t *testing.T) {
+	cfg := tiny()
+	fig := Fig6(cfg)
+	rs := point(t, fig, "PRISM-RS", 0).Mean
+	lock := point(t, fig, "ABDLOCK", 0).Mean
+	lockSW := point(t, fig, "ABDLOCK (software RDMA)", 0).Mean
+	if !(rs < lock && lock < lockSW) {
+		t.Fatalf("ordering: rs=%v lock=%v lockSW=%v", rs, lock, lockSW)
+	}
+	// No client errors anywhere.
+	for _, s := range fig.Series {
+		for _, pt := range s.Points {
+			if pt.Errors > 0 {
+				t.Fatalf("%s: %d client errors", s.Name, pt.Errors)
+			}
+		}
+	}
+}
+
+func TestFig9PRISMTXWins(t *testing.T) {
+	fig := Fig9(tiny())
+	prismTX := point(t, fig, "PRISM-TX", 0).Mean
+	farm := point(t, fig, "FaRM", 0).Mean
+	farmSW := point(t, fig, "FaRM (software RDMA)", 0).Mean
+	if !(prismTX < farm && farm < farmSW) {
+		t.Fatalf("ordering: tx=%v farm=%v farmSW=%v", prismTX, farm, farmSW)
+	}
+	// The gap should be in the paper's few-µs class.
+	if gap := farm - prismTX; gap < 2*time.Microsecond || gap > 9*time.Microsecond {
+		t.Fatalf("PRISM-TX advantage %v, want ≈3-6µs", gap)
+	}
+}
+
+func TestFigurePrintRendersAllSeries(t *testing.T) {
+	fig := RPCvsRDMA(tiny())
+	var sb strings.Builder
+	fig.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"one-sided READ", "two-sided RPC", "rpcvsrdma"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationABDWritebackHalvesGets(t *testing.T) {
+	cfg := tiny()
+	fig := AblationABDWriteback(cfg)
+	always := fig.Series[0].Points[0].Mean
+	skip := fig.Series[1].Points[0].Mean
+	if r := float64(always) / float64(skip); r < 1.7 || r > 2.5 {
+		t.Fatalf("write-back skip speedup %.2f, want ≈2x (always=%v skip=%v)", r, always, skip)
+	}
+}
+
+func TestAblationRedirectTargetCostsOnePCIe(t *testing.T) {
+	fig := AblationRedirectTarget(tiny())
+	onNIC := fig.Series[0].Points[0].Mean
+	host := fig.Series[1].Points[0].Mean
+	diff := host - onNIC
+	if diff < 700*time.Nanosecond || diff > 1200*time.Nanosecond {
+		t.Fatalf("host-memory redirect penalty %v, want ≈0.9µs (one PCIe RTT)", diff)
+	}
+}
+
+func TestAblationFreelistClasses(t *testing.T) {
+	fig := AblationFreelistClasses(tiny())
+	classed := fig.Series[0].Points[0].Throughput
+	single := fig.Series[1].Points[0].Throughput
+	if classed <= single {
+		t.Fatalf("size classes stored %v objects vs single class %v; classes should win", classed, single)
+	}
+}
+
+func TestDriverDeterminism(t *testing.T) {
+	run := func() []Point {
+		return kvCurve(kvSystem{"PRISM-KV", buildPRISMKV}, tiny(), 1.0).Points
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across identical runs:\n%v\n%v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExtShardsScaling(t *testing.T) {
+	cfg := tiny()
+	fig := ExtShards(cfg)
+	pts := fig.Series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Throughput grows substantially with shards (aggregate bandwidth).
+	if !(pts[1].Throughput > 1.5*pts[0].Throughput && pts[2].Throughput > 1.5*pts[1].Throughput) {
+		t.Fatalf("shard scaling: %v / %v / %v txns/s",
+			pts[0].Throughput, pts[1].Throughput, pts[2].Throughput)
+	}
+}
+
+func TestExtMultiKeyLatencyGrows(t *testing.T) {
+	cfg := tiny()
+	// 8-key transactions need a bigger keyspace (fewer conflicts) and a
+	// longer window to record completions.
+	cfg.Keys = 4096
+	cfg.Measure = 1500 * time.Microsecond
+	fig := ExtMultiKey(cfg)
+	pts := fig.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Mean <= pts[i-1].Mean {
+			t.Fatalf("latency not increasing with keys/txn: %v", pts)
+		}
+	}
+	for _, pt := range pts {
+		if pt.Errors > 0 {
+			t.Fatalf("client errors: %d", pt.Errors)
+		}
+	}
+}
+
+func TestFprintCSV(t *testing.T) {
+	fig := RPCvsRDMA(tiny())
+	var sb strings.Builder
+	fig.FprintCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // header + 3 series x 1 point
+		t.Fatalf("csv lines: %d\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure,series,label,clients") {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		if fields := strings.Split(ln, ","); len(fields) != 10 {
+			t.Fatalf("csv row has %d fields: %q", len(fields), ln)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"prism/internal/fabric"
+	"prism/internal/model"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/tx"
+	"prism/internal/workload"
+)
+
+// Extension experiments beyond the paper's evaluation. The paper ran
+// PRISM-TX on a single shard because of testbed size (§8.3); the
+// simulator has no such limit, so these measure the full distributed
+// commit protocol's scaling behavior.
+
+// buildTXCluster provisions n PRISM-TX shards and a client factory for
+// transactions of keysPerTx keys.
+func buildTXCluster(cfg Config, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner) {
+	p := model.Default().WithNetwork(model.Rack)
+	e := sim.NewEngine(cfg.Seed)
+	net := fabric.New(e, p)
+	shards := make([]*tx.Shard, nShards)
+	metas := make([]tx.Meta, nShards)
+	perShard := cfg.Keys / int64(nShards)
+	for i := range shards {
+		nic := rdma.NewServer(net, fmt.Sprintf("shard-%d", i), model.SoftwarePRISM)
+		s, err := tx.NewShard(nic, tx.ShardOptions{NSlots: perShard + 1, MaxValue: cfg.ValueSize, ExtraBuffers: 8192})
+		if err != nil {
+			panic(err)
+		}
+		shards[i] = s
+		metas[i] = s.Meta()
+	}
+	gen := workload.NewTxGenerator(workload.TxMix{Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx}, cfg.Seed)
+	for k := int64(0); k < cfg.Keys; k++ {
+		if err := shards[k%int64(nShards)].Load(k, gen.Value(k, 0)); err != nil {
+			panic(err)
+		}
+	}
+	machines := make([]*rdma.Client, cfg.ClientMachines)
+	for i := range machines {
+		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+	}
+	return e, func(id int) txRunner {
+		m := machines[id%len(machines)]
+		conns := make([]*rdma.Conn, nShards)
+		ctrl := make([]*rdma.Conn, nShards)
+		for i, s := range shards {
+			conns[i] = m.Connect(s.NIC())
+			ctrl[i] = m.Connect(s.NIC())
+		}
+		c := tx.NewClient(uint16(id+1), conns, metas, e)
+		c.UseControlConns(ctrl)
+		ver := 0
+		return func(p *sim.Proc, g *workload.TxGenerator) (int64, error) {
+			keys := g.Next()
+			var aborts int64
+			for {
+				t := c.Begin()
+				for _, k := range keys {
+					old, err := t.Read(p, k)
+					if err != nil {
+						return aborts, err
+					}
+					ver++
+					nv := append([]byte(nil), old...)
+					if len(nv) > 0 {
+						nv[0] ^= byte(ver)
+					}
+					t.Write(k, nv)
+				}
+				if _, err := t.Commit(p); err == nil {
+					return aborts, nil
+				}
+				aborts++
+			}
+		}
+	}
+}
+
+// ExtShards measures PRISM-TX throughput as the data is partitioned over
+// 1, 2, and 4 shards (uniform single-key RMW, fixed client count):
+// aggregate NIC bandwidth and dedicated-core capacity scale with shards.
+func ExtShards(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "ext-shards",
+		Title:  "PRISM-TX shard scaling (extension; paper used 1 shard)",
+		XLabel: "shards", YLabel: "throughput (txns/s)",
+	}
+	const clients = 256
+	s := Series{Name: "PRISM-TX"}
+	for _, nShards := range []int{1, 2, 4} {
+		e, mkRunner := buildTXCluster(cfg, nShards, 1)
+		d := newLoadDriver(e, cfg)
+		for i := 0; i < clients; i++ {
+			run := mkRunner(i)
+			gen := workload.NewTxGenerator(workload.TxMix{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1,
+			}, cfg.Seed*4000+int64(i))
+			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				return run(p, gen)
+			})
+		}
+		pt := d.run(clients)
+		s.Points = append(s.Points, pt)
+		s.Labels = append(s.Labels, fmt.Sprintf("shards=%d  tput=%.0f txns/s  mean=%.2fµs",
+			nShards, pt.Throughput, float64(pt.Mean)/1e3))
+	}
+	fig.Series = append(fig.Series, s)
+	return fig
+}
+
+// ExtMultiKey measures PRISM-TX with multi-key transactions spanning two
+// shards: commit cost grows with the write set (validation + install
+// chains per key, parallel across keys; commit still two logical phases).
+func ExtMultiKey(cfg Config) *Figure {
+	fig := &Figure{
+		ID:     "ext-multikey",
+		Title:  "PRISM-TX multi-key transactions over 2 shards (extension)",
+		XLabel: "keys per transaction", YLabel: "mean latency (µs)",
+	}
+	const clients = 32
+	s := Series{Name: "PRISM-TX"}
+	for _, kpt := range []int{1, 2, 4, 8} {
+		e, mkRunner := buildTXCluster(cfg, 2, kpt)
+		d := newLoadDriver(e, cfg)
+		for i := 0; i < clients; i++ {
+			run := mkRunner(i)
+			gen := workload.NewTxGenerator(workload.TxMix{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: kpt,
+			}, cfg.Seed*5000+int64(i))
+			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				return run(p, gen)
+			})
+		}
+		pt := d.run(clients)
+		s.Points = append(s.Points, pt)
+		s.Labels = append(s.Labels, fmt.Sprintf("keys/txn=%d  mean=%.2fµs  tput=%.0f txns/s  aborts=%d",
+			kpt, float64(pt.Mean)/1e3, pt.Throughput, pt.Aborts))
+	}
+	fig.Series = append(fig.Series, s)
+	return fig
+}

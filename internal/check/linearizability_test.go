@@ -1,0 +1,127 @@
+package check
+
+import (
+	"testing"
+
+	"prism/internal/sim"
+)
+
+func us(n int64) sim.Time { return sim.Time(n * 1000) }
+
+func TestEmptyHistoryOK(t *testing.T) {
+	h := &RegisterHistory{}
+	if err := h.CheckLinearizable(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialHistoryOK(t *testing.T) {
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{IsWrite: true, Tag: 1, Invoke: us(0), Respond: us(10), Client: 1})
+	h.Add(RegisterOp{Tag: 1, Invoke: us(20), Respond: us(30), Client: 2})
+	h.Add(RegisterOp{IsWrite: true, Tag: 2, Invoke: us(40), Respond: us(50), Client: 1})
+	h.Add(RegisterOp{Tag: 2, Invoke: us(60), Respond: us(70), Client: 2})
+	if err := h.CheckLinearizable(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{IsWrite: true, Tag: 1, Invoke: us(0), Respond: us(10), Client: 1})
+	h.Add(RegisterOp{IsWrite: true, Tag: 2, Invoke: us(20), Respond: us(30), Client: 1})
+	// Read after write(2) completed but returns tag 1: stale.
+	h.Add(RegisterOp{Tag: 1, Invoke: us(40), Respond: us(50), Client: 2})
+	if err := h.CheckLinearizable(0); err == nil {
+		t.Fatal("stale read not detected")
+	}
+}
+
+func TestReadFromFutureDetected(t *testing.T) {
+	h := &RegisterHistory{}
+	// Read returns tag 5, but the write producing tag 5 starts later.
+	h.Add(RegisterOp{Tag: 5, Invoke: us(0), Respond: us(10), Client: 2})
+	h.Add(RegisterOp{IsWrite: true, Tag: 5, Invoke: us(20), Respond: us(30), Client: 1})
+	if err := h.CheckLinearizable(0); err == nil {
+		t.Fatal("read-from-future not detected")
+	}
+}
+
+func TestPhantomReadDetected(t *testing.T) {
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{Tag: 9, Invoke: us(0), Respond: us(10), Client: 2})
+	if err := h.CheckLinearizable(0); err == nil {
+		t.Fatal("read of never-written tag not detected")
+	}
+}
+
+func TestDuplicateWriteTagsDetected(t *testing.T) {
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{IsWrite: true, Tag: 3, Invoke: us(0), Respond: us(10), Client: 1})
+	h.Add(RegisterOp{IsWrite: true, Tag: 3, Invoke: us(20), Respond: us(30), Client: 2})
+	if err := h.CheckLinearizable(0); err == nil {
+		t.Fatal("duplicate write tags not detected")
+	}
+}
+
+func TestWriteOrderViolationDetected(t *testing.T) {
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{IsWrite: true, Tag: 5, Invoke: us(0), Respond: us(10), Client: 1})
+	// Later (real-time) write uses a smaller tag: violates write order.
+	h.Add(RegisterOp{IsWrite: true, Tag: 4, Invoke: us(20), Respond: us(30), Client: 2})
+	if err := h.CheckLinearizable(0); err == nil {
+		t.Fatal("write order violation not detected")
+	}
+}
+
+func TestConcurrentReadsMayDisagree(t *testing.T) {
+	// Two overlapping reads around a concurrent write may return old and
+	// new values in either order without violating linearizability.
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{IsWrite: true, Tag: 1, Invoke: us(0), Respond: us(10), Client: 1})
+	h.Add(RegisterOp{IsWrite: true, Tag: 2, Invoke: us(20), Respond: us(60), Client: 1})
+	h.Add(RegisterOp{Tag: 2, Invoke: us(25), Respond: us(35), Client: 2}) // sees new early
+	h.Add(RegisterOp{Tag: 1, Invoke: us(30), Respond: us(55), Client: 3}) // overlaps the write: old OK
+	if err := h.CheckLinearizable(0); err != nil {
+		t.Fatalf("valid concurrent history rejected: %v", err)
+	}
+}
+
+func TestConcurrentReadRealTimeOrderEnforced(t *testing.T) {
+	// But once a read returning tag 2 COMPLETES, a read invoked strictly
+	// later must not return tag 1.
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{IsWrite: true, Tag: 1, Invoke: us(0), Respond: us(10), Client: 1})
+	h.Add(RegisterOp{IsWrite: true, Tag: 2, Invoke: us(20), Respond: us(90), Client: 1})
+	h.Add(RegisterOp{Tag: 2, Invoke: us(25), Respond: us(35), Client: 2})
+	h.Add(RegisterOp{Tag: 1, Invoke: us(40), Respond: us(50), Client: 3}) // new-old inversion
+	if err := h.CheckLinearizable(0); err == nil {
+		t.Fatal("new-old read inversion not detected")
+	}
+}
+
+func TestInitialTagReadsOK(t *testing.T) {
+	h := &RegisterHistory{}
+	h.Add(RegisterOp{Tag: 7, Invoke: us(0), Respond: us(10), Client: 1})
+	if err := h.CheckLinearizable(7); err != nil {
+		t.Fatalf("initial-tag read rejected: %v", err)
+	}
+}
+
+func TestMultiRegisterIsolation(t *testing.T) {
+	m := NewMultiRegisterHistory()
+	m.Add(1, RegisterOp{IsWrite: true, Tag: 1, Invoke: us(0), Respond: us(10), Client: 1})
+	m.Add(2, RegisterOp{IsWrite: true, Tag: 1, Invoke: us(0), Respond: us(10), Client: 2})
+	// Same tags on different registers are fine.
+	if err := m.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ops() != 2 {
+		t.Fatalf("ops = %d", m.Ops())
+	}
+	// A violation in one register is reported.
+	m.Add(2, RegisterOp{Tag: 99, Invoke: us(20), Respond: us(30), Client: 3})
+	if err := m.Check(0); err == nil {
+		t.Fatal("per-register violation not detected")
+	}
+}

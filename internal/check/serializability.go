@@ -1,0 +1,180 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CommittedTx is one committed transaction as observed by a client:
+// its commit timestamp, the version each read observed, and the keys it
+// wrote. Timestamp-ordered OCC (Meerkat/PRISM-TX style) promises that
+// committed transactions serialize in timestamp order; FaRM promises
+// serializability in lock order, which its version counters also expose.
+type CommittedTx struct {
+	TS       uint64
+	Reads    map[int64]uint64 // key -> version observed
+	Writes   map[int64]uint64 // key -> version installed (usually TS)
+	ClientID int
+}
+
+// CheckSerializable replays committed transactions in timestamp order and
+// verifies that every read observed exactly the version installed by the
+// latest earlier writer of that key (or the preload version). This is
+// view-serializability in the equivalence order the protocol claims, which
+// is what both protocols guarantee.
+func CheckSerializable(txs []CommittedTx, initialVersion uint64) error {
+	sorted := make([]CommittedTx, len(txs))
+	copy(sorted, txs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].TS == sorted[i-1].TS {
+			return fmt.Errorf("check: transactions from clients %d and %d share timestamp %d",
+				sorted[i-1].ClientID, sorted[i].ClientID, sorted[i].TS)
+		}
+	}
+	// Versions installed by committed transactions, per key. A read of a
+	// version outside this set is a "phantom" version: PRISM-TX's abort
+	// rule bumps C without installing a value, acting as a committed
+	// no-op write at the aborted timestamp. Such reads are legal iff the
+	// phantom version is newer than the latest real write the replay has
+	// seen (the value is unchanged by no-ops), and they advance the
+	// expected version like a write would.
+	realWrites := make(map[int64]map[uint64]bool)
+	for _, tx := range sorted {
+		for key, ver := range tx.Writes {
+			m, ok := realWrites[key]
+			if !ok {
+				m = make(map[uint64]bool)
+				realWrites[key] = m
+			}
+			m[ver] = true
+		}
+	}
+	last := make(map[int64]uint64)
+	for _, tx := range sorted {
+		for key, rc := range tx.Reads {
+			want, ok := last[key]
+			if !ok {
+				want = initialVersion
+			}
+			if rc == want {
+				continue
+			}
+			if !realWrites[key][rc] && rc > want {
+				// Phantom no-op write (abort-time C bump) newer than the
+				// last real write: value-equivalent; advance the clock.
+				last[key] = rc
+				continue
+			}
+			return fmt.Errorf("check: tx %d (client %d) read key %d at version %d; serial order requires %d",
+				tx.TS, tx.ClientID, key, rc, want)
+		}
+		for key, ver := range tx.Writes {
+			last[key] = ver
+		}
+	}
+	return nil
+}
+
+// CheckConflictSerializable verifies the committed transactions are
+// conflict-serializable in SOME order (not necessarily timestamp order —
+// FaRM serializes in lock order). It reconstructs each key's version
+// chain from the read-version -> written-version edges, rejects lost
+// updates (two committed writers consuming the same version), phantom
+// reads (observing a version nobody installed), and finally checks the
+// cross-key dependency graph for cycles.
+func CheckConflictSerializable(txs []CommittedTx, initialVersion uint64) error {
+	// writerOf[key][version] = index of the tx that installed it.
+	writerOf := make(map[int64]map[uint64]int)
+	for i, tx := range txs {
+		for key, ver := range tx.Writes {
+			m, ok := writerOf[key]
+			if !ok {
+				m = make(map[uint64]int)
+				writerOf[key] = m
+			}
+			if prev, dup := m[ver]; dup {
+				return fmt.Errorf("check: txs %d and %d both installed version %d of key %d", prev, i, ver, key)
+			}
+			m[ver] = i
+		}
+	}
+	// Per-key chains: each committed writer consumes the version it read.
+	// nextOf[key][version] = tx that overwrote it.
+	nextOf := make(map[int64]map[uint64]int)
+	for i, tx := range txs {
+		for key := range tx.Writes {
+			rv, ok := tx.Reads[key]
+			if !ok {
+				// Blind write: no chain edge (allowed).
+				continue
+			}
+			m, ok := nextOf[key]
+			if !ok {
+				m = make(map[uint64]int)
+				nextOf[key] = m
+			}
+			if prev, dup := m[rv]; dup {
+				return fmt.Errorf("check: lost update on key %d: txs %d and %d both overwrote version %d",
+					key, prev, i, rv)
+			}
+			m[rv] = i
+		}
+	}
+	// Edges: for each read of (key, v):
+	//   writer(v) -> reader (wr dependency)
+	//   reader -> overwriter(v) (rw anti-dependency)
+	// and for each write consuming v: writer(v) -> overwriter (ww).
+	adj := make([][]int, len(txs))
+	addEdge := func(a, b int) {
+		if a != b {
+			adj[a] = append(adj[a], b)
+		}
+	}
+	for i, tx := range txs {
+		for key, rv := range tx.Reads {
+			if rv != initialVersion {
+				w, ok := writerOf[key][rv]
+				if !ok {
+					return fmt.Errorf("check: tx %d read version %d of key %d that no committed tx installed", i, rv, key)
+				}
+				addEdge(w, i)
+			}
+			if over, ok := nextOf[key][rv]; ok {
+				addEdge(i, over)
+			}
+		}
+	}
+	// Cycle detection (iterative DFS, colors).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(txs))
+	var stack []int
+	for s := range txs {
+		if color[s] != white {
+			continue
+		}
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			if color[n] == white {
+				color[n] = gray
+				for _, m := range adj[n] {
+					if color[m] == gray {
+						return fmt.Errorf("check: dependency cycle involving txs %d and %d", n, m)
+					}
+					if color[m] == white {
+						stack = append(stack, m)
+					}
+				}
+			} else {
+				color[n] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

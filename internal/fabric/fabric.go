@@ -1,0 +1,120 @@
+// Package fabric models the datacenter network connecting NICs: per-port
+// serialization at line rate, switch propagation latency, and optional
+// message loss. Reliability (retransmission, duplicate suppression) is the
+// NIC transport's job (package rdma), mirroring how RoCE NICs layer a
+// reliable connection over a lossy Ethernet fabric.
+//
+// Messages carry decoded payloads plus an explicit wire size; the size —
+// computed from the real encodings in package wire — drives bandwidth
+// accounting, so the fabric does not pay for encoding on the hot path. The
+// rdma package's tests exercise the full encode/decode path separately.
+package fabric
+
+import (
+	"fmt"
+
+	"prism/internal/model"
+	"prism/internal/sim"
+)
+
+// Message is one datagram in flight.
+type Message struct {
+	From, To *Node
+	Size     int // encoded size in bytes, excluding frame overhead
+	Payload  any
+}
+
+// Handler receives messages delivered to a node.
+type Handler func(m Message)
+
+// Node is one machine's NIC port.
+type Node struct {
+	net     *Network
+	name    string
+	tx, rx  *sim.Resource
+	handler Handler
+
+	// Counters for reporting and tests.
+	BytesSent     int64
+	BytesReceived int64
+	MsgsSent      int64
+	MsgsReceived  int64
+	MsgsDropped   int64
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// SetHandler installs the delivery callback. It must be set before any
+// message arrives.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// TxQueueDelay reports the current backlog on the node's transmit port.
+func (n *Node) TxQueueDelay() sim.Duration { return n.tx.QueueDelay() }
+
+// Network is a set of nodes joined through one switch profile.
+type Network struct {
+	e     *sim.Engine
+	p     model.Params
+	nodes []*Node
+}
+
+// New returns an empty network using p's latency/bandwidth parameters.
+func New(e *sim.Engine, p model.Params) *Network {
+	return &Network{e: e, p: p}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.e }
+
+// Params returns the cost model in effect.
+func (n *Network) Params() model.Params { return n.p }
+
+// NewNode adds a machine to the network.
+func (n *Network) NewNode(name string) *Node {
+	node := &Node{
+		net:  n,
+		name: name,
+		tx:   sim.NewResource(n.e),
+		rx:   sim.NewResource(n.e),
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Send transmits m.Payload from m.From to m.To. Delivery order between a
+// pair of nodes follows transmission order (FIFO ports); messages may be
+// dropped when the cost model's LossRate is nonzero.
+func (n *Network) Send(m Message) {
+	if m.From == nil || m.To == nil {
+		panic("fabric: Send with nil endpoint")
+	}
+	if m.From == m.To {
+		// Loopback: skip the wire, deliver after a negligible delay.
+		n.e.Schedule(0, func() { n.deliver(m) })
+		return
+	}
+	ser := n.p.SerializationDelay(m.Size)
+	m.From.BytesSent += int64(m.Size)
+	m.From.MsgsSent++
+	m.From.tx.Submit(ser, func() {
+		if n.p.LossRate > 0 && n.e.Rand().Float64() < n.p.LossRate {
+			m.To.MsgsDropped++
+			return
+		}
+		n.e.Schedule(n.p.Network.OneWay, func() {
+			// Receive-side serialization: the destination port is the
+			// contention point when many senders target one server.
+			m.To.rx.Submit(ser, func() { n.deliver(m) })
+		})
+	})
+}
+
+func (n *Network) deliver(m Message) {
+	m.To.BytesReceived += int64(m.Size)
+	m.To.MsgsReceived++
+	if m.To.handler == nil {
+		panic(fmt.Sprintf("fabric: node %q has no handler", m.To.name))
+	}
+	m.To.handler(m)
+}

@@ -1,0 +1,84 @@
+package kv
+
+import (
+	"prism/internal/memory"
+	"prism/internal/prism"
+)
+
+// ScanAndReclaim implements §3.2's garbage-collection-inspired alternative
+// to client-driven buffer reclamation: the server CPU scans the hash table
+// to find every buffer still referenced by a slot, treats any tracked-by-
+// no-one buffer as leaked (e.g. a client crashed between its CAS and its
+// reclamation RPC), waits for in-flight NIC operations to quiesce, and
+// reposts the leaked buffers to their free lists.
+//
+// done is invoked with the number of reclaimed buffers once the quiesce
+// completes (immediately, when the NIC is idle).
+//
+// Safety: a buffer that is neither referenced by any slot nor owned by a
+// free list at scan time can only be held by an operation already in
+// flight (an allocate-then-CAS chain that has not installed yet, or a
+// CAS-loser awaiting client reclamation). Operations starting after the
+// scan cannot acquire it — it is not on any free list. The post-quiesce
+// re-scan therefore sees its final state: installed (skip) or leaked
+// (reclaim).
+func (s *Server) ScanAndReclaim(done func(reclaimed int)) {
+	candidates := s.leakedBuffers()
+	if len(candidates) == 0 {
+		if done != nil {
+			done(0)
+		}
+		return
+	}
+	s.rs.Quiesce(func() {
+		// Re-scan: anything installed meanwhile is no longer leaked.
+		still := s.leakedBuffers()
+		reclaimed := 0
+		for fl, addrs := range still {
+			freeList := s.rs.FreeList(fl)
+			if _, wasCandidate := candidates[fl]; !wasCandidate {
+				continue
+			}
+			cand := make(map[memory.Addr]bool, len(candidates[fl]))
+			for _, a := range candidates[fl] {
+				cand[a] = true
+			}
+			for _, a := range addrs {
+				if cand[a] {
+					freeList.Post(a)
+					reclaimed++
+				}
+			}
+		}
+		if done != nil {
+			done(reclaimed)
+		}
+	})
+}
+
+// leakedBuffers returns, per free list, the buffers neither referenced by
+// a hash slot nor owned by the free list.
+func (s *Server) leakedBuffers() map[uint32][]memory.Addr {
+	space := s.rs.Space()
+	referenced := make(map[memory.Addr]bool, s.meta.NSlots)
+	for i := int64(0); i < s.meta.NSlots; i++ {
+		slot, err := space.Read(s.meta.Key, s.meta.slotAddr(i), slotSize)
+		if err != nil {
+			continue
+		}
+		if ptr := prism.LE64(slot, 8); ptr != 0 {
+			referenced[memory.Addr(ptr)] = true
+		}
+	}
+	leaked := make(map[uint32][]memory.Addr)
+	for _, cr := range s.classRegions {
+		tracked := s.rs.FreeList(cr.flID).Tracked()
+		for b := 0; b < cr.count; b++ {
+			addr := cr.base + memory.Addr(uint64(b)*cr.bufSize)
+			if !referenced[addr] && !tracked[addr] {
+				leaked[cr.flID] = append(leaked[cr.flID], addr)
+			}
+		}
+	}
+	return leaked
+}

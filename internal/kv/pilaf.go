@@ -1,0 +1,349 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"time"
+
+	"prism/internal/memory"
+	"prism/internal/prism"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+// Pilaf [31] stores a hash table of pointers into an extents region. GETs
+// are two one-sided READs (hash slot, then object) with self-verifying
+// CRCs to detect racing server-side writes; PUTs are RPCs executed by the
+// server CPU (§6). "Pilaf (software RDMA)" is the same protocol with the
+// server's one-sided path running in the software stack.
+//
+// Pilaf hash slot layout (32 bytes):
+//
+//	[ inuse (8, LE) | ptr (8, LE) | len (8, LE) | slotCRC (8, LE) ]
+//
+// Object layout in extents: [ klen(8) | key(8) | value | entryCRC(8) ].
+// Both CRCs must validate client-side; a mismatch means a concurrent
+// server-side PUT and the client retries (the paper attributes ~2 µs of
+// GET latency to CRC work).
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+const pilafSlotSize = 32
+
+// PilafServer owns the hash table and extents and serves PUT RPCs.
+type PilafServer struct {
+	rs   *rdma.Server
+	meta PilafMeta
+
+	space      *memory.Space
+	extents    *memory.Region
+	extentNext uint64
+	freeSlots  [][2]uint64 // recycled extents: {offset, size}
+
+	// index and slotOwner are the server CPU's coherent view of the hash
+	// table. The CPU's stores to simulated memory are staged (so remote
+	// one-sided readers can observe torn state, which Pilaf's CRCs catch),
+	// but a CPU always sees its own stores via store forwarding — so
+	// server-side lookups must come from here, never from re-reading the
+	// (possibly still-staged) simulated memory.
+	index     map[int64]pilafRef // key -> current extent
+	slotOwner map[int64]int64    // slot index -> key
+
+	// Puts counts RPC PUTs executed by the server CPU.
+	Puts int64
+}
+
+type pilafRef struct {
+	slot int64
+	ptr  memory.Addr
+	len  uint64
+}
+
+// PilafMeta is the client control-plane description.
+type PilafMeta struct {
+	Key      memory.RKey
+	HashBase memory.Addr
+	NSlots   int64
+	Hash     Hash
+	MaxValue int
+}
+
+// NewPilafServer provisions Pilaf on the given NIC. extentsBytes is the
+// capacity of the object store.
+func NewPilafServer(rs *rdma.Server, opts Options) (*PilafServer, error) {
+	space := rs.Space()
+	hashRegion, err := space.Register(uint64(opts.NSlots) * pilafSlotSize)
+	if err != nil {
+		return nil, fmt.Errorf("kv: pilaf hash table: %w", err)
+	}
+	// Extents sized like PRISM-KV's buffer pool: one entry per slot plus
+	// slack for in-place-replacement churn.
+	entryBytes := pilafEntrySize(opts.MaxValue)
+	ext, err := space.RegisterShared(hashRegion.Key, entryBytes*uint64(opts.BuffersPerClass))
+	if err != nil {
+		return nil, fmt.Errorf("kv: pilaf extents: %w", err)
+	}
+	s := &PilafServer{
+		rs:        rs,
+		space:     space,
+		extents:   ext,
+		index:     make(map[int64]pilafRef),
+		slotOwner: make(map[int64]int64),
+		meta: PilafMeta{
+			Key:      hashRegion.Key,
+			HashBase: hashRegion.Base,
+			NSlots:   opts.NSlots,
+			Hash:     opts.Hash,
+			MaxValue: opts.MaxValue,
+		},
+	}
+	rs.SetRPCHandler(s.handleRPC)
+	return s, nil
+}
+
+// Meta returns the client description.
+func (s *PilafServer) Meta() PilafMeta { return s.meta }
+
+// NIC returns the transport server.
+func (s *PilafServer) NIC() *rdma.Server { return s.rs }
+
+func pilafEntrySize(valueLen int) uint64 {
+	return uint64(8 + 8 + valueLen + 8) // klen | key | value | crc
+}
+
+func pilafEncodeEntry(key int64, value []byte) []byte {
+	b := make([]byte, pilafEntrySize(len(value)))
+	binary.LittleEndian.PutUint64(b, 8)
+	binary.BigEndian.PutUint64(b[8:], uint64(key))
+	copy(b[16:], value)
+	crc := crc64.Checksum(b[:len(b)-8], crcTable)
+	binary.LittleEndian.PutUint64(b[len(b)-8:], crc)
+	return b
+}
+
+func pilafDecodeEntry(b []byte) (key int64, value []byte, ok bool) {
+	if len(b) < 24 {
+		return 0, nil, false
+	}
+	crc := binary.LittleEndian.Uint64(b[len(b)-8:])
+	if crc64.Checksum(b[:len(b)-8], crcTable) != crc {
+		return 0, nil, false
+	}
+	if binary.LittleEndian.Uint64(b) != 8 {
+		return 0, nil, false
+	}
+	key = int64(binary.BigEndian.Uint64(b[8:]))
+	return key, b[16 : len(b)-8], true
+}
+
+func pilafEncodeSlot(ptr memory.Addr, length uint64) []byte {
+	b := make([]byte, pilafSlotSize)
+	binary.LittleEndian.PutUint64(b, 1) // inuse
+	binary.LittleEndian.PutUint64(b[8:], uint64(ptr))
+	binary.LittleEndian.PutUint64(b[16:], length)
+	crc := crc64.Checksum(b[:24], crcTable)
+	binary.LittleEndian.PutUint64(b[24:], crc)
+	return b
+}
+
+func pilafDecodeSlot(b []byte) (inuse bool, ptr memory.Addr, length uint64, ok bool) {
+	if len(b) != pilafSlotSize {
+		return false, 0, 0, false
+	}
+	// A never-written slot is all zeros: decode as empty rather than as a
+	// CRC mismatch (which signals a torn concurrent update and retries).
+	if binary.LittleEndian.Uint64(b) == 0 {
+		return false, 0, 0, true
+	}
+	crc := binary.LittleEndian.Uint64(b[24:])
+	if crc64.Checksum(b[:24], crcTable) != crc {
+		return false, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(b) == 1,
+		memory.Addr(binary.LittleEndian.Uint64(b[8:])),
+		binary.LittleEndian.Uint64(b[16:]),
+		true
+}
+
+// allocExtent carves an entry from the extents region (server CPU side).
+func (s *PilafServer) allocExtent(n uint64) (memory.Addr, error) {
+	for i, f := range s.freeSlots {
+		if f[1] >= n {
+			s.freeSlots = append(s.freeSlots[:i], s.freeSlots[i+1:]...)
+			return s.extents.Base + memory.Addr(f[0]), nil
+		}
+	}
+	if s.extentNext+n > s.extents.Len {
+		return 0, fmt.Errorf("kv: pilaf extents full")
+	}
+	off := s.extentNext
+	s.extentNext += n
+	return s.extents.Base + memory.Addr(off), nil
+}
+
+// tearDelay separates the CPU's partial memory writes during a PUT, so
+// concurrent one-sided readers can observe torn state — the race Pilaf's
+// self-verifying CRCs exist to catch (§6, [31]). Server CPU stores are
+// not atomic at entry granularity on real hardware.
+const tearDelay = 300 * time.Nanosecond
+
+// put executes a PUT on the server CPU: allocate (or reuse) an extent,
+// write the entry (non-atomically), update the slot (non-atomically).
+// Lookups use the CPU's coherent index, never the staged simulated memory.
+func (s *PilafServer) put(key int64, value []byte) error {
+	s.Puts++
+	entry := pilafEncodeEntry(key, value)
+
+	var slot int64
+	if ref, ok := s.index[key]; ok {
+		slot = ref.slot
+		// Overwrite: retire the old extent.
+		s.freeSlots = append(s.freeSlots, [2]uint64{uint64(ref.ptr - s.extents.Base), ref.len})
+	} else {
+		// Insert: probe for a free slot.
+		idx := slotIndex(s.meta.Hash, key, s.meta.NSlots)
+		found := false
+		for probes := int64(0); probes < s.meta.NSlots; probes++ {
+			if _, taken := s.slotOwner[idx]; !taken {
+				found = true
+				break
+			}
+			idx = (idx + 1) % s.meta.NSlots
+		}
+		if !found {
+			return fmt.Errorf("kv: pilaf hash table full")
+		}
+		slot = idx
+	}
+
+	dst, err := s.allocExtent(uint64(len(entry)))
+	if err != nil {
+		return err
+	}
+	s.index[key] = pilafRef{slot: slot, ptr: dst, len: uint64(len(entry))}
+	s.slotOwner[slot] = key
+
+	// Stage the stores to simulated memory: first half of the entry now,
+	// second half a beat later, slot halves last — a remote reader
+	// interleaving anywhere in between sees a torn entry or a torn slot
+	// and must rely on the CRC to detect it.
+	slotAddr := s.meta.HashBase + memory.Addr(slot*pilafSlotSize)
+	half := len(entry) / 2
+	if err := s.space.Write(s.meta.Key, dst, entry[:half]); err != nil {
+		return err
+	}
+	e := s.rs.Engine()
+	e.Schedule(tearDelay, func() {
+		if err := s.space.Write(s.meta.Key, dst+memory.Addr(half), entry[half:]); err != nil {
+			panic(err)
+		}
+	})
+	slotImg := pilafEncodeSlot(dst, uint64(len(entry)))
+	e.Schedule(2*tearDelay, func() {
+		if err := s.space.Write(s.meta.Key, slotAddr, slotImg[:16]); err != nil {
+			panic(err)
+		}
+	})
+	e.Schedule(3*tearDelay, func() {
+		if err := s.space.Write(s.meta.Key, slotAddr+16, slotImg[16:]); err != nil {
+			panic(err)
+		}
+	})
+	return nil
+}
+
+// handleRPC dispatches Pilaf PUTs.
+func (s *PilafServer) handleRPC(payload []byte) ([]byte, time.Duration) {
+	if len(payload) < 9 || payload[0] != rpcPilafPut {
+		return []byte{1}, 0
+	}
+	key := int64(binary.BigEndian.Uint64(payload[1:9]))
+	value := payload[9:]
+	if err := s.put(key, value); err != nil {
+		return []byte{1}, 0
+	}
+	// CPU cost of the hash probe + extent copy beyond base dispatch.
+	return []byte{0}, 500 * time.Nanosecond
+}
+
+// Load bulk-installs an object (server-side, pre-experiment).
+func (s *PilafServer) Load(key int64, value []byte) error {
+	return s.put(key, value)
+}
+
+// PilafClient runs the Pilaf protocol over one connection.
+type PilafClient struct {
+	conn *rdma.Conn
+	meta PilafMeta
+	// crcCost is the modeled client-side CRC validation time per GET.
+	crcCost time.Duration
+
+	// Retries counts CRC-failure GET retries (concurrent PUT races).
+	Retries int64
+}
+
+// NewPilafClient wraps a connection to a Pilaf server.
+func NewPilafClient(conn *rdma.Conn, meta PilafMeta, crcCost time.Duration) *PilafClient {
+	return &PilafClient{conn: conn, meta: meta, crcCost: crcCost}
+}
+
+// Get performs Pilaf's two-READ lookup with CRC validation.
+func (c *PilafClient) Get(p *sim.Proc, key int64) ([]byte, error) {
+	const maxRetries = 1000 // torn-read retries before giving up
+	idx := slotIndex(c.meta.Hash, key, c.meta.NSlots)
+	retries := 0
+	for probes := int64(0); probes < c.meta.NSlots; probes++ {
+		slotAddr := c.meta.HashBase + memory.Addr(idx*pilafSlotSize)
+		res := c.conn.Issue(p, prism.Read(c.meta.Key, slotAddr, pilafSlotSize))
+		if res[0].Status != wire.StatusOK {
+			return nil, fmt.Errorf("kv: pilaf slot read %v", res[0].Status)
+		}
+		inuse, ptr, length, ok := pilafDecodeSlot(res[0].Data)
+		if !ok {
+			// Torn slot under a concurrent PUT: retry this probe.
+			c.Retries++
+			if retries++; retries > maxRetries {
+				return nil, fmt.Errorf("kv: pilaf slot CRC never settled")
+			}
+			probes--
+			continue
+		}
+		if !inuse {
+			return nil, ErrNotFound
+		}
+		res = c.conn.Issue(p, prism.Read(c.meta.Key, ptr, length))
+		if res[0].Status != wire.StatusOK {
+			return nil, fmt.Errorf("kv: pilaf entry read %v", res[0].Status)
+		}
+		p.Sleep(c.crcCost) // client-side CRC validation (§6.2: ~2 µs)
+		k, v, ok := pilafDecodeEntry(res[0].Data)
+		if !ok {
+			c.Retries++
+			if retries++; retries > maxRetries {
+				return nil, fmt.Errorf("kv: pilaf entry CRC never settled")
+			}
+			probes--
+			continue
+		}
+		if k == key {
+			return v, nil
+		}
+		idx = (idx + 1) % c.meta.NSlots
+	}
+	return nil, ErrNotFound
+}
+
+// Put sends the PUT RPC to the server CPU.
+func (c *PilafClient) Put(p *sim.Proc, key int64, value []byte) error {
+	payload := make([]byte, 9+len(value))
+	payload[0] = rpcPilafPut
+	binary.BigEndian.PutUint64(payload[1:9], uint64(key))
+	copy(payload[9:], value)
+	res := c.conn.Issue(p, prism.Send(payload))
+	if res[0].Status != wire.StatusOK || len(res[0].Data) != 1 || res[0].Data[0] != 0 {
+		return fmt.Errorf("kv: pilaf PUT failed")
+	}
+	return nil
+}

@@ -1,0 +1,535 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"prism/internal/alloc"
+	"prism/internal/memory"
+	"prism/internal/prism"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+// Reclamation RPC opcodes (application-level protocol riding OpSend).
+const (
+	rpcFree byte = iota + 1
+	rpcPilafPut
+)
+
+// Options configures a PRISM-KV server.
+type Options struct {
+	NSlots   int64
+	MaxValue int  // largest value size accepted
+	Hash     Hash // slot mapping
+	// BuffersPerClass is how many buffers each size class is provisioned
+	// with. Must cover the live objects in that class plus in-flight
+	// updates awaiting reclamation.
+	BuffersPerClass int
+	// MinClass is the smallest buffer class (bytes).
+	MinClass uint64
+}
+
+// DefaultOptions sizes a server for n objects of up to valueSize bytes.
+func DefaultOptions(n int64, valueSize int) Options {
+	return Options{
+		NSlots:          n,
+		MaxValue:        valueSize,
+		Hash:            Collisionless,
+		BuffersPerClass: int(n) + 8192,
+		MinClass:        64,
+	}
+}
+
+// Server is a PRISM-KV server: a hash-table region, size-classed free
+// lists, and a reclamation RPC handler. All remote GET/PUT work happens in
+// the NIC data path; the host CPU only registers memory and recycles
+// buffers.
+type Server struct {
+	rs   *rdma.Server
+	meta Meta
+	opts Options
+	// classRegions records where each size class's buffers live, for the
+	// garbage-collection-style reclamation scan (§3.2's alternative to
+	// client-driven reclamation).
+	classRegions []classRegion
+}
+
+type classRegion struct {
+	flID    uint32
+	base    memory.Addr
+	bufSize uint64
+	count   int
+}
+
+// NewServer provisions PRISM-KV on the given NIC.
+func NewServer(rs *rdma.Server, opts Options) (*Server, error) {
+	space := rs.Space()
+	hashRegion, err := space.Register(uint64(opts.NSlots) * slotSize)
+	if err != nil {
+		return nil, fmt.Errorf("kv: hash table registration: %w", err)
+	}
+	meta := Meta{
+		Key:      hashRegion.Key,
+		HashBase: hashRegion.Base,
+		NSlots:   opts.NSlots,
+		Hash:     opts.Hash,
+		MaxValue: opts.MaxValue,
+	}
+	// Size classes: powers of two from MinClass to the largest entry.
+	maxEntry := entrySize(opts.MaxValue)
+	if maxEntry < opts.MinClass {
+		maxEntry = opts.MinClass
+	}
+	classes := alloc.SizeClasses(opts.MinClass, maxEntry)
+	var regions []classRegion
+	for i, bufSize := range classes {
+		id := uint32(i + 1)
+		region, err := space.RegisterShared(hashRegion.Key, bufSize*uint64(opts.BuffersPerClass))
+		if err != nil {
+			return nil, fmt.Errorf("kv: buffer region: %w", err)
+		}
+		fl := alloc.NewFreeList(id, bufSize, hashRegion.Key)
+		for b := 0; b < opts.BuffersPerClass; b++ {
+			fl.Post(region.Base + memory.Addr(uint64(b)*bufSize))
+		}
+		rs.AddFreeList(fl)
+		meta.FreeLists = append(meta.FreeLists, FreeListInfo{ID: id, BufSize: bufSize})
+		regions = append(regions, classRegion{flID: id, base: region.Base, bufSize: bufSize, count: opts.BuffersPerClass})
+	}
+	rs.SetConnTempKey(hashRegion.Key)
+	s := &Server{rs: rs, meta: meta, opts: opts, classRegions: regions}
+	rs.SetRPCHandler(s.handleRPC)
+	return s, nil
+}
+
+// Meta returns the client control-plane description.
+func (s *Server) Meta() Meta { return s.meta }
+
+// NIC returns the underlying transport server.
+func (s *Server) NIC() *rdma.Server { return s.rs }
+
+// handleRPC serves the reclamation daemon (§3.2): clients report retired
+// buffers; the server re-registers them with the NIC free list after
+// quiesce.
+func (s *Server) handleRPC(payload []byte) ([]byte, time.Duration) {
+	if len(payload) == 0 {
+		return nil, 0
+	}
+	switch payload[0] {
+	case rpcFree:
+		// [op(1)] then repeated [freelist(4) | addr(8)]
+		rest := payload[1:]
+		n := 0
+		for len(rest) >= 12 {
+			fl := binary.LittleEndian.Uint32(rest)
+			addr := memory.Addr(binary.LittleEndian.Uint64(rest[4:]))
+			s.rs.RecycleBuffer(fl, addr)
+			rest = rest[12:]
+			n++
+		}
+		// Recycling is cheap bookkeeping; charge ~100ns per buffer.
+		return []byte{0}, time.Duration(n) * 100 * time.Nanosecond
+	default:
+		return nil, 0
+	}
+}
+
+// Load installs key=value server-side (bulk loading before an experiment,
+// as the paper does). It consumes a free-list buffer like a remote PUT
+// would.
+func (s *Server) Load(key int64, value []byte) error {
+	entry := encodeEntry(key, value)
+	flID, err := s.meta.classFor(uint64(len(entry)))
+	if err != nil {
+		return err
+	}
+	buf, err := s.rs.FreeList(flID).Pop()
+	if err != nil {
+		return fmt.Errorf("kv: load out of buffers: %w", err)
+	}
+	space := s.rs.Space()
+	if err := space.Write(s.meta.Key, buf, entry); err != nil {
+		return err
+	}
+	install := func(addr memory.Addr) error {
+		out := make([]byte, slotSize)
+		prism.PutBE64(out, 0, 1) // initial tag
+		prism.PutLE64(out, 8, uint64(buf))
+		prism.PutLE64(out, 16, uint64(len(entry)))
+		return space.Write(s.meta.Key, addr, out)
+	}
+	// slotState reports whether the slot is free or already holds key.
+	slotState := func(addr memory.Addr) (free, same bool, err error) {
+		slot, err := space.Read(s.meta.Key, addr, slotSize)
+		if err != nil {
+			return false, false, err
+		}
+		ptr := prism.LE64(slot, 8)
+		if ptr == 0 {
+			return true, false, nil
+		}
+		existing, err := space.Read(s.meta.Key, memory.Addr(ptr), entryHeader+8)
+		if err != nil {
+			return false, false, err
+		}
+		k, _, err := decodeEntry(existing)
+		return false, err == nil && k == key, nil
+	}
+	if s.meta.Hash == TwoChoice {
+		for _, idx := range []int64{slotIndex(s.meta.Hash, key, s.meta.NSlots), slotIndex2(key, s.meta.NSlots)} {
+			addr := s.meta.slotAddr(idx)
+			free, same, err := slotState(addr)
+			if err != nil {
+				return err
+			}
+			if free || same {
+				return install(addr)
+			}
+		}
+		return fmt.Errorf("kv: both candidate slots taken loading key %d", key)
+	}
+	idx := slotIndex(s.meta.Hash, key, s.meta.NSlots)
+	for probes := int64(0); probes < s.meta.NSlots; probes++ {
+		addr := s.meta.slotAddr(idx)
+		free, same, err := slotState(addr)
+		if err != nil {
+			return err
+		}
+		if free || same {
+			return install(addr)
+		}
+		idx = (idx + 1) % s.meta.NSlots
+	}
+	return fmt.Errorf("kv: hash table full loading key %d", key)
+}
+
+// Client executes PRISM-KV operations over one connection. Each simulated
+// closed-loop client owns one Client value.
+type Client struct {
+	conn     *rdma.Conn
+	meta     Meta
+	clientID uint16
+	tagClock uint64
+
+	// SlotCache, when enabled, remembers the probed slot (and caches the
+	// pessimal first PUT round trip away) for read-modify-write loops —
+	// the ablation the paper's §6.2 parenthetical describes.
+	SlotCache   bool
+	cachedSlots map[int64]int64
+
+	// CtrlConn, when set, carries reclamation RPCs on a dedicated control
+	// connection so they never queue behind data-path chains on the RC
+	// queue pair (requests on one QP execute in order).
+	CtrlConn *rdma.Conn
+
+	// Reclamation batching.
+	frees      []byte // encoded [freelist|addr] tuples
+	freesCount int
+	// FreeBatch is the number of retired buffers accumulated before an
+	// asynchronous reclamation RPC is sent.
+	FreeBatch int
+
+	// Stats
+	Probes  int64 // hash probes beyond the first slot
+	CASFail int64 // PUT chains that lost a tag race
+}
+
+// NewClient wraps a connection to a PRISM-KV server.
+func NewClient(conn *rdma.Conn, meta Meta, clientID uint16) *Client {
+	return &Client{
+		conn:        conn,
+		meta:        meta,
+		clientID:    clientID,
+		FreeBatch:   16,
+		cachedSlots: make(map[int64]int64),
+	}
+}
+
+// nextTag returns a fresh tag greater than any tag this client has seen or
+// produced: (logical clock << 16) | clientID, matching the paper's
+// loosely-synchronized tag scheme.
+func (c *Client) nextTag(atLeast uint64) uint64 {
+	clock := c.tagClock + 1
+	if floor := atLeast >> 16; floor >= clock {
+		clock = floor + 1
+	}
+	c.tagClock = clock
+	return clock<<16 | uint64(c.clientID)
+}
+
+// Get performs the §6.1 read: one indirect bounded READ per probe (or,
+// for two-choice hashing, one chained round trip reading both candidate
+// slots).
+func (c *Client) Get(p *sim.Proc, key int64) ([]byte, error) {
+	if c.meta.Hash == TwoChoice {
+		return c.getTwoChoice(p, key)
+	}
+	idx := slotIndex(c.meta.Hash, key, c.meta.NSlots)
+	for probes := int64(0); probes < c.meta.NSlots; probes++ {
+		res := c.conn.Issue(p, prism.ReadBounded(c.meta.Key, c.meta.slotAddr(idx)+8, entrySize(c.meta.MaxValue)))
+		if res[0].Status == wire.StatusNAKAccess {
+			// Null pointer: empty slot terminates the probe sequence.
+			return nil, ErrNotFound
+		}
+		if res[0].Status != wire.StatusOK {
+			return nil, fmt.Errorf("kv: GET status %v", res[0].Status)
+		}
+		k, v, err := decodeEntry(res[0].Data)
+		if err != nil {
+			return nil, err
+		}
+		if k == key {
+			return v, nil
+		}
+		c.Probes++
+		idx = (idx + 1) % c.meta.NSlots
+	}
+	return nil, ErrNotFound
+}
+
+// Put performs the §6.1 out-of-place update: a probe round trip to find
+// the slot and learn the current tag, then one chained round trip that
+// writes the new tag/bound to the connection's temp buffer, ALLOCATEs the
+// new object (redirecting its address into the temp buffer), and installs
+// the <tag,ptr,bound> triple with an enhanced CAS. No server CPU runs.
+func (c *Client) Put(p *sim.Proc, key int64, value []byte) error {
+	if len(value) > c.meta.MaxValue {
+		return ErrTooLarge
+	}
+	entry := encodeEntry(key, value)
+	flID, err := c.meta.classFor(uint64(len(entry)))
+	if err != nil {
+		return err
+	}
+
+	rnrRetries := 0
+	for {
+		idx, curTag, err := c.findSlot(p, key)
+		if err != nil {
+			return err
+		}
+		slot := c.meta.slotAddr(idx)
+		tag := c.nextTag(curTag)
+
+		// tmp layout mirrors the slot: [tag | ptr(redirected) | bound].
+		tmp := c.conn.TempAddr
+		pre := make([]byte, slotSize)
+		prism.PutBE64(pre, 0, tag)
+		prism.PutLE64(pre, 16, uint64(len(entry)))
+		res := c.conn.Issue(p,
+			prism.Write(c.conn.TempKey, tmp, pre),
+			prism.Conditional(prism.RedirectTo(prism.Allocate(flID, entry), c.conn.TempKey, tmp+8)),
+			prism.Conditional(prism.CASIndirectData(c.meta.Key, slot, wire.CASGt, tmp,
+				prism.FieldMask(slotSize, 0, 8), prism.FullMask(slotSize))),
+		)
+		if res[1].Status == wire.StatusRNR {
+			// Free list transiently empty: push our pending reclamations
+			// to the server immediately and retry after a short backoff
+			// while the daemon reposts buffers.
+			if rnrRetries++; rnrRetries > 100 {
+				return fmt.Errorf("kv: free list %d exhausted", flID)
+			}
+			c.FlushFrees(p)
+			p.Sleep(time.Duration(rnrRetries) * 10 * time.Microsecond)
+			continue
+		}
+		if res[0].Status != wire.StatusOK || res[1].Status != wire.StatusOK {
+			return fmt.Errorf("kv: PUT chain statuses %v %v %v", res[0].Status, res[1].Status, res[2].Status)
+		}
+		switch res[2].Status {
+		case wire.StatusOK:
+			// Installed: retire the previous buffer (if any).
+			oldPtr := prism.LE64(res[2].Data, 8)
+			if oldPtr != 0 {
+				oldLen := prism.LE64(res[2].Data, 16)
+				oldClass, err := c.meta.classFor(oldLen)
+				if err == nil {
+					c.retire(p, oldClass, memory.Addr(oldPtr))
+				}
+			}
+			return nil
+		case wire.StatusCASFailed:
+			// A concurrent PUT installed a newer tag first: last-writer-
+			// wins says our value is superseded. Retire our orphaned
+			// buffer and report success (the paper's PRISM-KV treats the
+			// overwrite race the same way).
+			c.CASFail++
+			c.retire(p, flID, res[1].Addr)
+			return nil
+		default:
+			return fmt.Errorf("kv: PUT CAS status %v", res[2].Status)
+		}
+	}
+}
+
+// Delete removes a key by swinging its slot to the null pointer with a
+// fresh tag (tombstone-free: an empty slot simply has ptr == 0).
+func (c *Client) Delete(p *sim.Proc, key int64) error {
+	idx, curTag, err := c.findSlot(p, key)
+	if err != nil {
+		return err
+	}
+	slot := c.meta.slotAddr(idx)
+	tag := c.nextTag(curTag)
+	data := make([]byte, slotSize)
+	prism.PutBE64(data, 0, tag)
+	res := c.conn.Issue(p,
+		prism.CAS(c.meta.Key, slot, wire.CASGt, data, prism.FieldMask(slotSize, 0, 8), prism.FullMask(slotSize)),
+	)
+	switch res[0].Status {
+	case wire.StatusOK:
+		oldPtr := prism.LE64(res[0].Data, 8)
+		if oldPtr != 0 {
+			oldLen := prism.LE64(res[0].Data, 16)
+			if oldClass, err := c.meta.classFor(oldLen); err == nil {
+				c.retire(p, oldClass, memory.Addr(oldPtr))
+			}
+		}
+		return nil
+	case wire.StatusCASFailed:
+		return nil // a newer write superseded the delete
+	default:
+		return fmt.Errorf("kv: DELETE status %v", res[0].Status)
+	}
+}
+
+// getTwoChoice reads both candidate slots of a two-choice table in one
+// chained round trip.
+func (c *Client) getTwoChoice(p *sim.Proc, key int64) ([]byte, error) {
+	s1 := slotIndex(c.meta.Hash, key, c.meta.NSlots)
+	s2 := slotIndex2(key, c.meta.NSlots)
+	res := c.conn.Issue(p,
+		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s1)+8, entrySize(c.meta.MaxValue)),
+		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s2)+8, entrySize(c.meta.MaxValue)),
+	)
+	for _, r := range res {
+		if r.Status != wire.StatusOK {
+			continue // empty slot NAKs on the null pointer
+		}
+		if k, v, err := decodeEntry(r.Data); err == nil && k == key {
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// findSlotTwoChoice resolves the slot for key under two-choice hashing in
+// one chained round trip: the slot already holding key, else a free
+// candidate.
+func (c *Client) findSlotTwoChoice(p *sim.Proc, key int64) (int64, uint64, error) {
+	s1 := slotIndex(c.meta.Hash, key, c.meta.NSlots)
+	s2 := slotIndex2(key, c.meta.NSlots)
+	res := c.conn.Issue(p,
+		prism.Read(c.meta.Key, c.meta.slotAddr(s1), slotSize),
+		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s1)+8, entrySize(c.meta.MaxValue)),
+		prism.Read(c.meta.Key, c.meta.slotAddr(s2), slotSize),
+		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s2)+8, entrySize(c.meta.MaxValue)),
+	)
+	slots := [2]int64{s1, s2}
+	var emptyIdx int64 = -1
+	var emptyTag uint64
+	for i := 0; i < 2; i++ {
+		slotRes, objRes := res[2*i], res[2*i+1]
+		if slotRes.Status != wire.StatusOK {
+			return 0, 0, fmt.Errorf("kv: slot read status %v", slotRes.Status)
+		}
+		tag := prism.BE64(slotRes.Data, 0)
+		ptr := prism.LE64(slotRes.Data, 8)
+		if ptr == 0 {
+			if emptyIdx < 0 {
+				emptyIdx, emptyTag = slots[i], tag
+			}
+			continue
+		}
+		if objRes.Status == wire.StatusOK {
+			if k, _, err := decodeEntry(objRes.Data); err == nil && k == key {
+				return slots[i], tag, nil
+			}
+		}
+	}
+	if emptyIdx >= 0 {
+		return emptyIdx, emptyTag, nil
+	}
+	return 0, 0, fmt.Errorf("kv: both candidate slots for key %d are taken (resize the table)", key)
+}
+
+// findSlot probes for the slot holding key (or the first empty slot) and
+// returns its index and current tag. One round trip per probe: a chain of
+// a direct slot READ and an indirect bounded READ of its object.
+func (c *Client) findSlot(p *sim.Proc, key int64) (int64, uint64, error) {
+	if c.SlotCache {
+		if idx, ok := c.cachedSlots[key]; ok {
+			return idx, c.tagClock << 16, nil
+		}
+	}
+	if c.meta.Hash == TwoChoice {
+		idx, tag, err := c.findSlotTwoChoice(p, key)
+		if err == nil && c.SlotCache {
+			c.cachedSlots[key] = idx
+		}
+		return idx, tag, err
+	}
+	idx := slotIndex(c.meta.Hash, key, c.meta.NSlots)
+	for probes := int64(0); probes < c.meta.NSlots; probes++ {
+		slot := c.meta.slotAddr(idx)
+		res := c.conn.Issue(p,
+			prism.Read(c.meta.Key, slot, slotSize),
+			prism.ReadBounded(c.meta.Key, slot+8, entrySize(c.meta.MaxValue)),
+		)
+		if res[0].Status != wire.StatusOK {
+			return 0, 0, fmt.Errorf("kv: slot read status %v", res[0].Status)
+		}
+		tag := prism.BE64(res[0].Data, 0)
+		ptr := prism.LE64(res[0].Data, 8)
+		if ptr == 0 {
+			// Empty slot: claim it for insertion.
+			if c.SlotCache {
+				c.cachedSlots[key] = idx
+			}
+			return idx, tag, nil
+		}
+		if res[1].Status == wire.StatusOK {
+			if k, _, err := decodeEntry(res[1].Data); err == nil && k == key {
+				if c.SlotCache {
+					c.cachedSlots[key] = idx
+				}
+				return idx, tag, nil
+			}
+		}
+		c.Probes++
+		idx = (idx + 1) % c.meta.NSlots
+	}
+	return 0, 0, fmt.Errorf("kv: hash table full for key %d", key)
+}
+
+// retire queues a buffer for reclamation and flushes a batch
+// asynchronously when full (§3.2's client-driven scheme).
+func (c *Client) retire(p *sim.Proc, freeList uint32, addr memory.Addr) {
+	var rec [12]byte
+	binary.LittleEndian.PutUint32(rec[:4], freeList)
+	binary.LittleEndian.PutUint64(rec[4:], uint64(addr))
+	c.frees = append(c.frees, rec[:]...)
+	c.freesCount++
+	if c.freesCount >= c.FreeBatch {
+		c.FlushFrees(p)
+	}
+}
+
+// FlushFrees sends the accumulated reclamation batch without waiting for
+// the acknowledgment (asynchronous, per §6.1).
+func (c *Client) FlushFrees(p *sim.Proc) {
+	if c.freesCount == 0 {
+		return
+	}
+	payload := append([]byte{rpcFree}, c.frees...)
+	c.frees = nil
+	c.freesCount = 0
+	conn := c.conn
+	if c.CtrlConn != nil {
+		conn = c.CtrlConn
+	}
+	conn.IssueAsync([]wire.Op{prism.Send(payload)})
+}

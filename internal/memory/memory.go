@@ -1,0 +1,208 @@
+// Package memory models a server's registered memory: the regions an
+// application pins and registers with its NIC, the rkeys that protect
+// them, and the address/bounds checks the NIC performs on every remote
+// access. Addresses are 64-bit virtual addresses in a per-server space.
+//
+// The failure modes mirror real verbs: an access with the wrong rkey, to
+// an unregistered address, or crossing a region boundary is rejected with
+// a typed error (the simulated equivalent of a NAK).
+package memory
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RKey is a remote protection key returned by registration, required on
+// every remote access to the region it protects.
+type RKey uint32
+
+// Addr is a virtual address in a server's memory space.
+type Addr uint64
+
+// Access errors, surfaced to remote clients as NAKs.
+var (
+	ErrBadRKey       = errors.New("memory: rkey does not match region")
+	ErrUnregistered  = errors.New("memory: address not in any registered region")
+	ErrOutOfBounds   = errors.New("memory: access crosses region boundary")
+	ErrNullPointer   = errors.New("memory: indirect access through null pointer")
+	ErrRegionTooWide = errors.New("memory: registration exceeds space")
+)
+
+// Region is a registered, pinned memory region.
+type Region struct {
+	Base Addr
+	Len  uint64
+	Key  RKey
+	data []byte
+}
+
+// End returns the first address past the region.
+func (r *Region) End() Addr { return r.Base + Addr(r.Len) }
+
+// Contains reports whether [addr, addr+n) lies inside the region.
+func (r *Region) Contains(addr Addr, n uint64) bool {
+	return addr >= r.Base && n <= r.Len && addr+Addr(n) <= r.End() && addr+Addr(n) >= addr
+}
+
+// Space is one server's memory: a set of registered regions in a single
+// virtual address space. The zero value is not usable; call NewSpace.
+type Space struct {
+	regions []*Region // sorted by Base
+	nextKey RKey
+	brk     Addr // bump pointer for Register allocations
+}
+
+// NewSpace returns an empty memory space. Address 0 is never allocated so
+// that 0 can serve as the null pointer.
+func NewSpace() *Space {
+	return &Space{nextKey: 1, brk: 0x1000}
+}
+
+// Register pins and registers a fresh region of n bytes, returning it with
+// a newly generated rkey. Registration is a host-CPU operation (§3.2); the
+// caller is responsible for charging its cost if modeled.
+func (s *Space) Register(n uint64) (*Region, error) {
+	if n == 0 || n > 1<<40 {
+		return nil, ErrRegionTooWide
+	}
+	r := &Region{Base: s.brk, Len: n, Key: s.nextKey, data: make([]byte, n)}
+	s.nextKey++
+	s.brk += Addr(n)
+	// keep 64-byte alignment between regions so layouts look realistic
+	if rem := s.brk % 64; rem != 0 {
+		s.brk += 64 - rem
+	}
+	s.regions = append(s.regions, r)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
+	return r, nil
+}
+
+// RegisterShared registers a fresh region of n bytes under an existing
+// rkey, extending that key's protection domain. PRISM applications use
+// this so that indirect operations can traverse from metadata to data to
+// temporary buffers under one key, as §3.1's protection rule requires.
+func (s *Space) RegisterShared(key RKey, n uint64) (*Region, error) {
+	if key == 0 || key >= s.nextKey {
+		return nil, fmt.Errorf("memory: rkey %d was never issued", key)
+	}
+	r, err := s.Register(n)
+	if err != nil {
+		return nil, err
+	}
+	r.Key = key
+	return r, nil
+}
+
+// find returns the region containing addr, or nil.
+func (s *Space) find(addr Addr) *Region {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > addr })
+	if i < len(s.regions) && addr >= s.regions[i].Base {
+		return s.regions[i]
+	}
+	return nil
+}
+
+// Check validates an access of n bytes at addr under key, returning the
+// owning region.
+func (s *Space) Check(key RKey, addr Addr, n uint64) (*Region, error) {
+	if addr == 0 {
+		return nil, ErrNullPointer
+	}
+	r := s.find(addr)
+	if r == nil {
+		return nil, ErrUnregistered
+	}
+	if r.Key != key {
+		return nil, fmt.Errorf("%w (addr %#x)", ErrBadRKey, addr)
+	}
+	if !r.Contains(addr, n) {
+		return nil, fmt.Errorf("%w ([%#x,+%d) in [%#x,%#x))", ErrOutOfBounds, addr, n, r.Base, r.End())
+	}
+	return r, nil
+}
+
+// Read copies n bytes at addr (validated under key) into a fresh slice.
+func (s *Space) Read(key RKey, addr Addr, n uint64) ([]byte, error) {
+	r, err := s.Check(key, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - r.Base
+	out := make([]byte, n)
+	copy(out, r.data[off:off+Addr(n)])
+	return out, nil
+}
+
+// Write copies data to addr, validated under key.
+func (s *Space) Write(key RKey, addr Addr, data []byte) error {
+	r, err := s.Check(key, addr, uint64(len(data)))
+	if err != nil {
+		return err
+	}
+	copy(r.data[addr-r.Base:], data)
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit word.
+func (s *Space) ReadU64(key RKey, addr Addr) (uint64, error) {
+	b, err := s.Read(key, addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (s *Space) WriteU64(key RKey, addr Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.Write(key, addr, b[:])
+}
+
+// BoundedPtr is the paper's <ptr, bound> struct (§3.1): a pointer plus the
+// number of valid bytes at its target, stored as two little-endian 64-bit
+// words.
+type BoundedPtr struct {
+	Ptr   Addr
+	Bound uint64
+}
+
+// BoundedPtrSize is the in-memory size of a BoundedPtr.
+const BoundedPtrSize = 16
+
+// ReadBoundedPtr loads a BoundedPtr from addr.
+func (s *Space) ReadBoundedPtr(key RKey, addr Addr) (BoundedPtr, error) {
+	b, err := s.Read(key, addr, BoundedPtrSize)
+	if err != nil {
+		return BoundedPtr{}, err
+	}
+	return BoundedPtr{
+		Ptr:   Addr(binary.LittleEndian.Uint64(b[0:8])),
+		Bound: binary.LittleEndian.Uint64(b[8:16]),
+	}, nil
+}
+
+// WriteBoundedPtr stores a BoundedPtr at addr.
+func (s *Space) WriteBoundedPtr(key RKey, addr Addr, p BoundedPtr) error {
+	var b [BoundedPtrSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], uint64(p.Ptr))
+	binary.LittleEndian.PutUint64(b[8:16], p.Bound)
+	return s.Write(key, addr, b[:])
+}
+
+// Bytes exposes the region's backing storage for server-local (CPU-side)
+// access, the way an application touches its own pinned memory.
+func (r *Region) Bytes() []byte { return r.data }
+
+// Slice returns the backing bytes for [addr, addr+n) without rkey
+// validation — server-local access only.
+func (r *Region) Slice(addr Addr, n uint64) []byte {
+	if !r.Contains(addr, n) {
+		panic(fmt.Sprintf("memory: local slice [%#x,+%d) outside region", addr, n))
+	}
+	off := addr - r.Base
+	return r.data[off : off+Addr(n)]
+}

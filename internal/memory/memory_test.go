@@ -1,0 +1,237 @@
+package memory
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterAndReadWrite(t *testing.T) {
+	s := NewSpace()
+	r, err := s.Register(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Base == 0 {
+		t.Fatal("region based at null")
+	}
+	data := []byte("hello prism")
+	if err := s.Write(r.Key, r.Base+16, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(r.Key, r.Base+16, uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+}
+
+func TestRKeyEnforced(t *testing.T) {
+	s := NewSpace()
+	r1, _ := s.Register(128)
+	r2, _ := s.Register(128)
+	if _, err := s.Read(r2.Key, r1.Base, 8); !errors.Is(err, ErrBadRKey) {
+		t.Fatalf("cross-rkey read: %v", err)
+	}
+	if err := s.Write(r1.Key, r2.Base, []byte{1}); !errors.Is(err, ErrBadRKey) {
+		t.Fatalf("cross-rkey write: %v", err)
+	}
+}
+
+func TestUnregisteredAccess(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(64)
+	if _, err := s.Read(r.Key, r.End()+0x10000, 8); !errors.Is(err, ErrUnregistered) {
+		t.Fatalf("unregistered read: %v", err)
+	}
+}
+
+func TestBoundaryCrossing(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(64)
+	if _, err := s.Read(r.Key, r.Base+60, 8); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("boundary read: %v", err)
+	}
+	// Exactly to the end is fine.
+	if _, err := s.Read(r.Key, r.Base+56, 8); err != nil {
+		t.Fatalf("read to end: %v", err)
+	}
+}
+
+func TestNullPointer(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(64)
+	if _, err := s.Read(r.Key, 0, 8); !errors.Is(err, ErrNullPointer) {
+		t.Fatalf("null read: %v", err)
+	}
+	_ = r
+}
+
+func TestZeroSizeRegistrationRejected(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Register(0); err == nil {
+		t.Fatal("zero-size registration accepted")
+	}
+}
+
+func TestU64Roundtrip(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(64)
+	if err := s.WriteU64(r.Key, r.Base+8, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadU64(r.Key, r.Base+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafe {
+		t.Fatalf("got %#x", v)
+	}
+}
+
+func TestBoundedPtrRoundtrip(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(64)
+	in := BoundedPtr{Ptr: 0x4242, Bound: 512}
+	if err := s.WriteBoundedPtr(r.Key, r.Base, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.ReadBoundedPtr(r.Key, r.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	s := NewSpace()
+	var regions []*Region
+	for i := 0; i < 50; i++ {
+		r, err := s.Register(uint64(1 + i*7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	for i, a := range regions {
+		for j, b := range regions {
+			if i == j {
+				continue
+			}
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestLocalSlice(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(64)
+	sl := r.Slice(r.Base+8, 4)
+	copy(sl, "abcd")
+	got, _ := s.Read(r.Key, r.Base+8, 4)
+	if string(got) != "abcd" {
+		t.Fatalf("local write not visible remotely: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range local slice did not panic")
+		}
+	}()
+	r.Slice(r.Base+60, 8)
+}
+
+// Property: any write followed by a read of the same range under the same
+// key returns the written bytes, regardless of offset/length.
+func TestQuickWriteReadRoundtrip(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(4096)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := uint64(off) % (4096 - uint64(len(data)%4096))
+		if o+uint64(len(data)) > 4096 {
+			return true
+		}
+		addr := r.Base + Addr(o)
+		if err := s.Write(r.Key, addr, data); err != nil {
+			return false
+		}
+		got, err := s.Read(r.Key, addr, uint64(len(data)))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reads never observe bytes outside the written range.
+func TestQuickReadIsolation(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Register(1024)
+	marker := bytes.Repeat([]byte{0xAA}, 1024)
+	if err := s.Write(r.Key, r.Base, marker); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, n uint8) bool {
+		o := uint64(off) % 1000
+		ln := uint64(n)%16 + 1
+		if o+ln > 1024 {
+			return true
+		}
+		got, err := s.Read(r.Key, r.Base+Addr(o), ln)
+		if err != nil {
+			return false
+		}
+		for _, b := range got {
+			if b != 0xAA {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterShared(t *testing.T) {
+	s := NewSpace()
+	r1, _ := s.Register(128)
+	r2, err := s.RegisterShared(r1.Key, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Key != r1.Key {
+		t.Fatal("shared registration did not share the key")
+	}
+	// Accesses to both regions succeed under the shared key.
+	if err := s.Write(r1.Key, r2.Base, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A never-issued key is rejected.
+	if _, err := s.RegisterShared(999, 64); err == nil {
+		t.Fatal("RegisterShared accepted a bogus key")
+	}
+	if _, err := s.RegisterShared(0, 64); err == nil {
+		t.Fatal("RegisterShared accepted key 0")
+	}
+}
+
+func TestSharedKeyStillIsolatesOthers(t *testing.T) {
+	s := NewSpace()
+	r1, _ := s.Register(64)
+	other, _ := s.Register(64)
+	shared, _ := s.RegisterShared(r1.Key, 64)
+	if _, err := s.Read(other.Key, shared.Base, 8); !errors.Is(err, ErrBadRKey) {
+		t.Fatalf("foreign key read of shared region: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultCalibrationInvariants(t *testing.T) {
+	p := Default()
+	// The software stack's per-request overhead bounds (§4.3: 2.5–2.8µs
+	// per single op).
+	for _, c := range []OpClass{OpRead, OpWrite, OpAllocate, OpCAS} {
+		total := p.SoftBaseOverhead + p.SoftExtraFor(c)
+		if total < 2400*time.Nanosecond || total > 2900*time.Nanosecond {
+			t.Fatalf("software overhead for class %d = %v, want 2.5-2.8µs", c, total)
+		}
+	}
+	// A minimal RPC = base + overhead + handler ≈ 5.6µs (§2.1, scaled to
+	// the §4.3 base).
+	rpc := p.RDMABaseRTT + p.RPCOverhead + p.RPCHandlerCPUTime
+	if rpc < 5400*time.Nanosecond || rpc > 5800*time.Nanosecond {
+		t.Fatalf("minimal RPC = %v, want ≈5.6µs", rpc)
+	}
+	// 16 dedicated cores clear line rate for single-op requests (§6.2):
+	// per-op CPU must stay under 16 cores / 7.6M op/s ≈ 2.1µs.
+	if perOp := p.SoftCPUBase + p.SoftCPUPerOp; perOp > 2*time.Microsecond {
+		t.Fatalf("per-op CPU %v too slow for line rate", perOp)
+	}
+	// BlueField must be the slowest PRISM option for an indirect read:
+	// base + proc + 2 host accesses > base + soft overhead.
+	bf := p.BFProcOverhead + 2*p.BFHostAccess
+	sw := p.SoftBaseOverhead + p.SoftReadExtra
+	if bf <= sw {
+		t.Fatalf("BlueField indirect read overhead %v not above software %v", bf, sw)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	p := Default()
+	// 512B + 126B overhead at 40 Gb/s = 638*8/40e9 s = 127.6ns.
+	got := p.SerializationDelay(512)
+	if got < 125*time.Nanosecond || got > 130*time.Nanosecond {
+		t.Fatalf("512B serialization = %v, want ≈127ns", got)
+	}
+	// Monotone in size.
+	if p.SerializationDelay(1024) <= got {
+		t.Fatal("serialization not monotone in size")
+	}
+	// Zero-payload still pays frame overhead.
+	if p.SerializationDelay(0) == 0 {
+		t.Fatal("frame overhead not charged")
+	}
+}
+
+func TestWithNetworkDoesNotMutate(t *testing.T) {
+	p := Default()
+	q := p.WithNetwork(Datacenter)
+	if p.Network.Name == Datacenter.Name {
+		t.Fatal("WithNetwork mutated the receiver")
+	}
+	if q.Network.Name != Datacenter.Name {
+		t.Fatal("WithNetwork did not apply")
+	}
+}
+
+func TestNetworkProfileOrdering(t *testing.T) {
+	if !(Direct.OneWay < Rack.OneWay && Rack.OneWay < Cluster.OneWay && Cluster.OneWay < Datacenter.OneWay) {
+		t.Fatal("switch profiles out of order")
+	}
+	// Figure 2 quotes per-RTT latencies: 0.6µs, 3µs, 24µs.
+	if Rack.OneWay*2 != 600*time.Nanosecond {
+		t.Fatalf("rack RTT = %v", Rack.OneWay*2)
+	}
+	if Cluster.OneWay*2 != 3*time.Microsecond {
+		t.Fatalf("cluster RTT = %v", Cluster.OneWay*2)
+	}
+	if Datacenter.OneWay*2 != 24*time.Microsecond {
+		t.Fatalf("datacenter RTT = %v", Datacenter.OneWay*2)
+	}
+}
+
+func TestDeploymentStrings(t *testing.T) {
+	for d, want := range map[Deployment]string{
+		HardwareRDMA:           "RDMA",
+		SoftwarePRISM:          "PRISM SW",
+		ProjectedHardwarePRISM: "PRISM HW (proj.)",
+		BlueFieldPRISM:         "PRISM BlueField",
+	} {
+		if d.String() != want {
+			t.Fatalf("%d.String() = %q", d, d.String())
+		}
+	}
+	if Deployment(99).String() != "unknown" {
+		t.Fatal("unknown deployment stringer")
+	}
+}

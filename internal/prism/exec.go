@@ -1,0 +1,396 @@
+// Package prism implements the semantics of the PRISM primitives (§3,
+// Table 1): indirect reads and writes with bounded pointers, free-list
+// allocation, the enhanced masked/arithmetic compare-and-swap, and the
+// chaining rules (conditional execution and output redirection). The
+// Executor applies one operation to a server's memory; the transport layer
+// (package rdma) sequences chains, applies deployment cost models, and
+// moves bytes.
+//
+// Design notes kept from the paper:
+//   - Each primitive is atomic with respect to other primitives; a chain
+//     is NOT atomic as a whole — other clients' operations may interleave
+//     between its steps (§3.3, §3.5).
+//   - Dereferencing an indirect CAS argument is not guaranteed atomic with
+//     the CAS itself (§3.3).
+//   - Indirect operations reuse RDMA's protection model: both the pointer
+//     and its target must lie in regions registered under the same rkey
+//     (§3.1).
+//   - Enhanced CAS compares the masked operands as big-endian unsigned
+//     integers (network byte order, as Mellanox extended atomics do), so
+//     multi-field layouts put the most significant field first; the
+//     applications' tag|addr layouts rely on this.
+package prism
+
+import (
+	"bytes"
+	"errors"
+
+	"prism/internal/alloc"
+	"prism/internal/memory"
+	"prism/internal/model"
+	"prism/internal/wire"
+)
+
+// Executor applies PRISM operations to one server's memory.
+type Executor struct {
+	Space     *memory.Space
+	FreeLists map[uint32]*alloc.FreeList
+}
+
+// NewExecutor returns an executor over space with no free lists.
+func NewExecutor(space *memory.Space) *Executor {
+	return &Executor{Space: space, FreeLists: make(map[uint32]*alloc.FreeList)}
+}
+
+// OpMeta describes an executed op for deployment cost accounting.
+type OpMeta struct {
+	Class model.OpClass
+	// HostAccesses counts distinct host-memory accesses the op performed
+	// (pointer fetches, payload reads/writes, atomics). Drives the
+	// BlueField cost model.
+	HostAccesses int
+	// Indirections counts pointer dereferences beyond a direct access
+	// (target indirection, data indirection, redirects to host memory).
+	// Drives the projected-hardware PCIe cost model.
+	Indirections int
+	// PRISMOnly reports whether the op needs PRISM extensions (any flag,
+	// enhanced CAS features, or ALLOCATE) — i.e. a stock RDMA NIC would
+	// reject it.
+	PRISMOnly bool
+	// RedirectUsed reports that the op wrote its output to a redirect
+	// target (costed differently when temp buffers are in host memory).
+	RedirectUsed bool
+}
+
+// resolveTarget applies target indirection and bound clamping (§3.1),
+// returning the effective address and length.
+func (x *Executor) resolveTarget(op *wire.Op, length uint64, meta *OpMeta) (memory.Addr, uint64, error) {
+	addr := op.Target
+	switch {
+	case op.Flags.Has(wire.FlagBounded):
+		// Target is (or points to) a <ptr,bound> struct.
+		bp, err := x.Space.ReadBoundedPtr(op.RKey, addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		meta.HostAccesses++
+		meta.Indirections++
+		if bp.Ptr == 0 {
+			return 0, 0, memory.ErrNullPointer
+		}
+		if bp.Bound < length {
+			length = bp.Bound
+		}
+		return bp.Ptr, length, nil
+	case op.Flags.Has(wire.FlagTargetIndirect):
+		p, err := x.Space.ReadU64(op.RKey, addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		meta.HostAccesses++
+		meta.Indirections++
+		if p == 0 {
+			return 0, 0, memory.ErrNullPointer
+		}
+		return memory.Addr(p), length, nil
+	default:
+		return addr, length, nil
+	}
+}
+
+// resolveData applies data indirection: when set, the wire Data field is an
+// 8-byte little-endian server pointer and the true source bytes (of size
+// length) are loaded from it.
+func (x *Executor) resolveData(op *wire.Op, length uint64, meta *OpMeta) ([]byte, error) {
+	if !op.Flags.Has(wire.FlagDataIndirect) {
+		return op.Data, nil
+	}
+	if len(op.Data) != 8 {
+		return nil, errors.New("prism: indirect data argument must be an 8-byte pointer")
+	}
+	p := memory.Addr(leU64(op.Data))
+	src, err := x.Space.Read(op.RKey, p, length)
+	if err != nil {
+		return nil, err
+	}
+	meta.HostAccesses++
+	meta.Indirections++
+	return src, nil
+}
+
+// Exec applies op to the server's memory, returning the wire result and
+// cost metadata. Conditional-flag handling (skipping) is the transport's
+// job; Exec always executes.
+func (x *Executor) Exec(op *wire.Op) (wire.Result, OpMeta) {
+	var meta OpMeta
+	meta.PRISMOnly = op.Flags != 0
+	var res wire.Result
+	var err error
+	switch op.Code {
+	case wire.OpRead:
+		meta.Class = model.OpRead
+		res, err = x.execRead(op, &meta)
+	case wire.OpWrite:
+		meta.Class = model.OpWrite
+		res, err = x.execWrite(op, &meta)
+	case wire.OpCAS:
+		meta.Class = model.OpCAS
+		res, err = x.execCAS(op, &meta)
+	case wire.OpClassicCAS:
+		meta.Class = model.OpCAS
+		res, err = x.execClassicCAS(op, &meta)
+	case wire.OpFetchAdd:
+		meta.Class = model.OpCAS
+		res, err = x.execFetchAdd(op, &meta)
+	case wire.OpAllocate:
+		meta.Class = model.OpAllocate
+		meta.PRISMOnly = true
+		res, err = x.execAllocate(op, &meta)
+	default:
+		return wire.Result{Status: wire.StatusUnsupported}, meta
+	}
+	if err != nil {
+		if errors.Is(err, alloc.ErrEmpty) {
+			return wire.Result{Status: wire.StatusRNR}, meta
+		}
+		return wire.Result{Status: wire.StatusNAKAccess}, meta
+	}
+	return res, meta
+}
+
+func (x *Executor) execRead(op *wire.Op, meta *OpMeta) (wire.Result, error) {
+	addr, length, err := x.resolveTarget(op, op.Len, meta)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	data, err := x.Space.Read(op.RKey, addr, length)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	meta.HostAccesses++
+	if op.Flags.Has(wire.FlagRedirect) {
+		if err := x.Space.Write(op.RKey, op.RedirectTo, data); err != nil {
+			return wire.Result{}, err
+		}
+		meta.HostAccesses++
+		meta.RedirectUsed = true
+		return wire.Result{Status: wire.StatusOK}, nil
+	}
+	return wire.Result{Status: wire.StatusOK, Data: data}, nil
+}
+
+func (x *Executor) execWrite(op *wire.Op, meta *OpMeta) (wire.Result, error) {
+	length := uint64(len(op.Data))
+	if op.Flags.Has(wire.FlagDataIndirect) {
+		length = op.Len
+	}
+	addr, length, err := x.resolveTarget(op, length, meta)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	src, err := x.resolveData(op, length, meta)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	if uint64(len(src)) > length {
+		src = src[:length]
+	}
+	if err := x.Space.Write(op.RKey, addr, src); err != nil {
+		return wire.Result{}, err
+	}
+	meta.HostAccesses++
+	return wire.Result{Status: wire.StatusOK}, nil
+}
+
+func (x *Executor) execAllocate(op *wire.Op, meta *OpMeta) (wire.Result, error) {
+	fl, ok := x.FreeLists[op.FreeList]
+	if !ok {
+		return wire.Result{}, errors.New("prism: no such free list")
+	}
+	if uint64(len(op.Data)) > fl.BufSize {
+		return wire.Result{}, errors.New("prism: data exceeds free-list buffer size")
+	}
+	buf, err := fl.Pop()
+	if err != nil {
+		return wire.Result{}, err // alloc.ErrEmpty -> RNR
+	}
+	if err := x.Space.Write(fl.Key, buf, op.Data); err != nil {
+		// Registration bug server-side; put the buffer back.
+		fl.Post(buf)
+		return wire.Result{}, err
+	}
+	meta.HostAccesses++
+	if op.Flags.Has(wire.FlagRedirect) {
+		if err := x.Space.WriteU64(op.RKey, op.RedirectTo, uint64(buf)); err != nil {
+			fl.Post(buf)
+			return wire.Result{}, err
+		}
+		meta.HostAccesses++
+		meta.RedirectUsed = true
+		return wire.Result{Status: wire.StatusOK, Addr: buf}, nil
+	}
+	return wire.Result{Status: wire.StatusOK, Addr: buf}, nil
+}
+
+func (x *Executor) execCAS(op *wire.Op, meta *OpMeta) (wire.Result, error) {
+	width := uint64(len(op.CompareMask))
+	if width == 0 {
+		width = uint64(len(op.Data))
+	}
+	if width == 0 || width > wire.MaxCASBytes {
+		return wire.Result{}, errors.New("prism: bad CAS width")
+	}
+	if len(op.SwapMask) != 0 && uint64(len(op.SwapMask)) != width {
+		return wire.Result{}, errors.New("prism: mask widths differ")
+	}
+	// Classic-RDMA subset detection: 8-byte, equality, full-or-absent
+	// masks, no flags. Anything else needs PRISM.
+	if op.Mode != wire.CASEq || width != 8 || !maskFull(op.CompareMask) || !maskFull(op.SwapMask) {
+		meta.PRISMOnly = true
+	}
+
+	addr, _, err := x.resolveTarget(op, width, meta)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	data, err := x.resolveData(op, width, meta)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	if uint64(len(data)) != width {
+		return wire.Result{}, errors.New("prism: CAS data width mismatch")
+	}
+	cur, err := x.Space.Read(op.RKey, addr, width)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	meta.HostAccesses++ // the atomic read-modify-write
+
+	prev := make([]byte, width)
+	copy(prev, cur)
+
+	ok := compareMasked(op.Mode, cur, data, op.CompareMask)
+	if !ok {
+		return wire.Result{Status: wire.StatusCASFailed, Data: prev}, nil
+	}
+	next := swapMasked(cur, data, op.SwapMask)
+	if err := x.Space.Write(op.RKey, addr, next); err != nil {
+		return wire.Result{}, err
+	}
+	return wire.Result{Status: wire.StatusOK, Data: prev}, nil
+}
+
+// execClassicCAS is the legacy RDMA atomic: 8 bytes, separate expect and
+// desired operands carried as Data = expect(8)|desired(8), little-endian
+// (the legacy verb predates the extended-atomics byte-order conventions).
+func (x *Executor) execClassicCAS(op *wire.Op, meta *OpMeta) (wire.Result, error) {
+	if len(op.Data) != 16 {
+		return wire.Result{}, errors.New("prism: classic CAS needs expect|desired operands")
+	}
+	addr, _, err := x.resolveTarget(op, 8, meta)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	cur, err := x.Space.ReadU64(op.RKey, addr)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	meta.HostAccesses++
+	var prev [8]byte
+	putLEU64(prev[:], cur)
+	if cur != leU64(op.Data[:8]) {
+		return wire.Result{Status: wire.StatusCASFailed, Data: prev[:]}, nil
+	}
+	if err := x.Space.WriteU64(op.RKey, addr, leU64(op.Data[8:])); err != nil {
+		return wire.Result{}, err
+	}
+	return wire.Result{Status: wire.StatusOK, Data: prev[:]}, nil
+}
+
+func (x *Executor) execFetchAdd(op *wire.Op, meta *OpMeta) (wire.Result, error) {
+	if len(op.Data) != 8 {
+		return wire.Result{}, errors.New("prism: FETCH_ADD needs an 8-byte addend")
+	}
+	addr, _, err := x.resolveTarget(op, 8, meta)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	cur, err := x.Space.ReadU64(op.RKey, addr)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	meta.HostAccesses++
+	if err := x.Space.WriteU64(op.RKey, addr, cur+leU64(op.Data)); err != nil {
+		return wire.Result{}, err
+	}
+	var prev [8]byte
+	putLEU64(prev[:], cur)
+	return wire.Result{Status: wire.StatusOK, Data: prev[:]}, nil
+}
+
+// compareMasked evaluates (cur & mask) mode (data & mask), treating the
+// masked byte strings as big-endian unsigned integers. A nil mask means
+// all bits.
+func compareMasked(mode wire.CASMode, cur, data, mask []byte) bool {
+	c := bytes.Compare(applyMask(data, mask), applyMask(cur, mask))
+	// c compares data vs cur: the CAS semantics compare the supplied data
+	// against the current value — CASGt succeeds when data > *target.
+	switch mode {
+	case wire.CASEq:
+		return c == 0
+	case wire.CASGt:
+		return c > 0
+	case wire.CASLt:
+		return c < 0
+	default:
+		return false
+	}
+}
+
+// swapMasked returns (cur & ~mask) | (data & mask). A nil mask means all
+// bits (full swap).
+func swapMasked(cur, data, mask []byte) []byte {
+	out := make([]byte, len(cur))
+	for i := range out {
+		m := byte(0xFF)
+		if mask != nil {
+			m = mask[i]
+		}
+		out[i] = cur[i]&^m | data[i]&m
+	}
+	return out
+}
+
+func applyMask(b, mask []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	if mask != nil {
+		for i := range out {
+			out[i] &= mask[i]
+		}
+	}
+	return out
+}
+
+func maskFull(mask []byte) bool {
+	for _, b := range mask {
+		if b != 0xFF {
+			return false
+		}
+	}
+	return true
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putLEU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,187 @@
+package rdma
+
+import (
+	"fmt"
+
+	"prism/internal/fabric"
+	"prism/internal/memory"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+// Client is a client machine's NIC endpoint. Many connections (queue
+// pairs) to different servers can share one client NIC, and many
+// closed-loop client processes can share one machine — as in the paper's
+// testbed, where up to 11 client machines drive one server.
+type Client struct {
+	e     *sim.Engine
+	net   *fabric.Network
+	node  *fabric.Node
+	conns map[connKey]*Conn
+}
+
+type connKey struct {
+	node *fabric.Node // the server's NIC
+	id   uint64
+}
+
+// NewClient attaches a client NIC to the network.
+func NewClient(net *fabric.Network, name string) *Client {
+	c := &Client{
+		e:     net.Engine(),
+		net:   net,
+		node:  net.NewNode(name),
+		conns: make(map[connKey]*Conn),
+	}
+	c.node.SetHandler(c.onMessage)
+	return c
+}
+
+// Node returns the client's fabric node.
+func (c *Client) Node() *fabric.Node { return c.node }
+
+// Conn is a reliable connection (queue pair) to one server. Not safe for
+// use by multiple simulation processes at once; give each closed-loop
+// client its own Conn, as real applications give each thread its own QP.
+type Conn struct {
+	client *Client
+	srv    *Server
+	id     uint64
+	seq    uint64
+
+	// TempAddr/TempKey locate this connection's temporary buffer on the
+	// server, the redirect target for chains (§3.4).
+	TempAddr memory.Addr
+	TempKey  memory.RKey
+
+	pending map[uint64]*pendingReq
+	// queue holds requests awaiting a send-window slot. The window is the
+	// server's replay-ring depth: a request is only on the wire while its
+	// response can still be replayed, so a retransmitted duplicate can
+	// never re-execute (re-execution of a chain could clobber the shared
+	// temp buffer under a live chain).
+	queue []*pendingReq
+
+	// Retransmissions counts timer-driven resends (loss recovery).
+	Retransmissions int64
+}
+
+type pendingReq struct {
+	req   *wire.Request
+	fut   *sim.Future[[]wire.Result]
+	timer *sim.Timer
+}
+
+// Connect opens a queue pair from the client to the server. Connection
+// setup is control-plane work (CPU + kernel registration on the server
+// side); its cost is not modeled, as the paper's experiments pre-establish
+// all connections.
+func (c *Client) Connect(srv *Server) *Conn {
+	id, temp, tempKey := srv.connect(c.node)
+	conn := &Conn{
+		client:   c,
+		srv:      srv,
+		id:       id,
+		TempAddr: temp,
+		TempKey:  tempKey,
+		pending:  make(map[uint64]*pendingReq),
+	}
+	c.conns[connKey{node: srv.node, id: id}] = conn
+	return conn
+}
+
+// Server returns the remote end of the connection.
+func (c *Conn) Server() *Server { return c.srv }
+
+// IssueAsync transmits a chain of ops and returns a future for the
+// per-op results. Requests beyond the send window queue locally until a
+// slot frees (flow control, as real RC queue pairs bound outstanding
+// work requests).
+func (c *Conn) IssueAsync(ops []wire.Op) *sim.Future[[]wire.Result] {
+	if len(ops) == 0 {
+		panic("rdma: empty request")
+	}
+	req := &wire.Request{Conn: c.id, Seq: c.seq, Ops: ops}
+	c.seq++
+	fut := sim.NewFuture[[]wire.Result](c.client.e)
+	pr := &pendingReq{req: req, fut: fut}
+	c.queue = append(c.queue, pr)
+	c.drainQueue()
+	return fut
+}
+
+// drainQueue transmits queued requests while the window allows. The
+// window is strict on the sequence range — request N is only on the wire
+// when N-replayDepth has been acknowledged — so (a) the server's replay
+// ring always covers every in-flight request and (b) per-connection
+// resources indexed by seq mod window (temp-buffer slots) are never
+// shared by two live requests.
+func (c *Conn) drainQueue() {
+	for len(c.queue) > 0 {
+		pr := c.queue[0]
+		if len(c.pending) > 0 {
+			min := ^uint64(0)
+			for s := range c.pending {
+				if s < min {
+					min = s
+				}
+			}
+			if pr.req.Seq >= min+replayDepth {
+				return
+			}
+		}
+		c.queue = c.queue[1:]
+		c.pending[pr.req.Seq] = pr
+		c.transmit(pr.req)
+		if c.client.net.Params().LossRate > 0 {
+			c.armRetransmit(pr)
+		}
+	}
+}
+
+func (c *Conn) transmit(req *wire.Request) {
+	c.client.net.Send(fabric.Message{
+		From:    c.client.node,
+		To:      c.srv.node,
+		Size:    wire.RequestWireSize(req),
+		Payload: req,
+	})
+}
+
+func (c *Conn) armRetransmit(pr *pendingReq) {
+	pr.timer = c.client.e.Schedule(c.client.net.Params().RetransmitTimeout, func() {
+		if pr.fut.Done() {
+			return
+		}
+		c.Retransmissions++
+		c.transmit(pr.req)
+		c.armRetransmit(pr)
+	})
+}
+
+// Issue transmits ops and blocks the process until the response arrives.
+func (c *Conn) Issue(p *sim.Proc, ops ...wire.Op) []wire.Result {
+	return c.IssueAsync(ops).Wait(p)
+}
+
+// onMessage completes pending requests as responses arrive.
+func (c *Client) onMessage(m fabric.Message) {
+	resp, ok := m.Payload.(*wire.Response)
+	if !ok {
+		panic(fmt.Sprintf("rdma: client %s received %T", c.node.Name(), m.Payload))
+	}
+	conn, ok := c.conns[connKey{node: m.From, id: resp.Conn}]
+	if !ok {
+		panic(fmt.Sprintf("rdma: response for unknown connection %d from %s", resp.Conn, m.From.Name()))
+	}
+	pr, ok := conn.pending[resp.Seq]
+	if !ok {
+		return // duplicate response (original + replayed retransmission)
+	}
+	delete(conn.pending, resp.Seq)
+	if pr.timer != nil {
+		pr.timer.Stop()
+	}
+	conn.drainQueue() // a window slot may have freed
+	pr.fut.Complete(resp.Results)
+}

@@ -1,0 +1,501 @@
+// Package rdma is the NIC transport: it carries verb requests from client
+// queue pairs to server NICs over the fabric, executes them (via the prism
+// executor), and models the latency/occupancy of the four deployment
+// options the paper evaluates (§4.3). It also provides the reliability
+// layer real RDMA NICs implement over lossy Ethernet: per-connection
+// sequence numbers, retransmission, and duplicate suppression with
+// response replay.
+package rdma
+
+import (
+	"fmt"
+	"time"
+
+	"prism/internal/alloc"
+	"prism/internal/fabric"
+	"prism/internal/memory"
+	"prism/internal/model"
+	"prism/internal/prism"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+// ConnTempSize is the per-connection temporary buffer used as the redirect
+// target in chains. §4.2 argues 32 B per connection suffices for the
+// paper's applications; we provision 256 B (eight 32 B chain slots) so a
+// transaction that installs several keys on one shard can run its commit
+// chains concurrently, each against its own slot — still far below the
+// ~375 B of existing per-connection QP state the paper compares against.
+const ConnTempSize = 256
+
+// OnNICMemoryBytes is the user-accessible on-NIC memory region of the
+// projected hardware NIC (256 KB on the paper's ConnectX-5, §4.2).
+// Connections beyond OnNICMemoryBytes/ConnTempSize get host-resident temp
+// buffers, whose redirects cost an extra PCIe round trip — the
+// connection-scaling concern §4.2 analyzes.
+const OnNICMemoryBytes = 256 << 10
+
+// TempSlotSize is the stride applications use to carve ConnTempSize into
+// independent chain slots.
+const TempSlotSize = 32
+
+// defaultRecvCredits is the receive-queue depth posted at startup —
+// deep enough that well-behaved applications never see RNR.
+const defaultRecvCredits = 4096
+
+// RPCHandler processes a two-sided request on the server CPU. It returns
+// the reply payload and any extra CPU time the handler consumed beyond the
+// base dispatch cost (charged to the RPC core pool).
+type RPCHandler func(payload []byte) (reply []byte, extraCPU time.Duration)
+
+// Server is one machine's NIC endpoint plus the server-side state of the
+// deployments: memory, free lists, dedicated PRISM cores, and RPC cores.
+type Server struct {
+	e      *sim.Engine
+	net    *fabric.Network
+	p      model.Params
+	node   *fabric.Node
+	deploy model.Deployment
+
+	space *memory.Space
+	exec  *prism.Executor
+
+	prismCores *sim.MultiResource // SoftwarePRISM dedicated cores
+	rpcCores   *sim.MultiResource // application cores serving RPCs
+
+	quiescer *alloc.Quiescer
+	handler  RPCHandler
+	tracer   Tracer
+
+	// recvCredits models the SEND/RECEIVE receive queue: each two-sided
+	// request consumes a posted receive buffer for its lifetime; when none
+	// are available the NIC answers Receiver-Not-Ready, RDMA's standard
+	// flow control (§4.2 mentions the same mechanism for chain buffering).
+	recvCredits int
+
+	conns    map[uint64]*serverConn
+	nextConn uint64
+
+	tempKey    memory.RKey
+	tempRegion *memory.Region
+	tempUsed   uint64
+
+	// baseProc is the fixed NIC+PCIe pipeline latency charged at the
+	// server so that a small hardware verb on a direct link completes in
+	// RDMABaseRTT (the paper's 2.5 µs baseline).
+	baseProc time.Duration
+
+	// Stats
+	RequestsServed int64
+	OpsExecuted    int64
+}
+
+type serverConn struct {
+	id       uint64
+	client   *fabric.Node
+	lastOK   bool
+	tempAddr memory.Addr
+	// tempOnNIC records whether this connection's temp buffer fits the
+	// on-NIC memory region (false beyond OnNICMemoryBytes of temps).
+	tempOnNIC bool
+	// Reliability layer: replay ring answers duplicates whose response is
+	// still cached; the served ring remembers which sequence numbers have
+	// begun execution so a stale duplicate (response already delivered and
+	// evicted) is dropped rather than re-executed — re-executing a chain
+	// could clobber the connection temp buffer under a live chain.
+	replaySeq  [replayDepth]uint64
+	replayResp [replayDepth]*wire.Response
+	servedSeq  [servedDepth]uint64
+	// RC queue pairs execute work requests in order, one at a time:
+	// requests arriving while one is being served queue behind it. This
+	// is what makes the conditional flag's "previous operations from the
+	// same client" semantics (§3.4) well defined across chains.
+	busy    bool
+	backlog []*wire.Request
+}
+
+// replayDepth bounds both the response cache and the client send window;
+// servedDepth only needs to exceed it by the longest plausible duplicate
+// delay, measured in requests.
+const (
+	replayDepth = 8
+	servedDepth = 64
+)
+
+func (sc *serverConn) markServed(seq uint64) {
+	sc.servedSeq[seq%servedDepth] = seq
+}
+
+func (sc *serverConn) wasServed(seq uint64) bool {
+	return sc.servedSeq[seq%servedDepth] == seq
+}
+
+// NewServer attaches a server NIC with the given deployment model to the
+// network.
+func NewServer(net *fabric.Network, name string, deploy model.Deployment) *Server {
+	e := net.Engine()
+	p := net.Params()
+	s := &Server{
+		e:      e,
+		net:    net,
+		p:      p,
+		node:   net.NewNode(name),
+		deploy: deploy,
+		space:  memory.NewSpace(),
+		conns:  make(map[uint64]*serverConn),
+	}
+	s.exec = prism.NewExecutor(s.space)
+	s.quiescer = alloc.NewQuiescer()
+	if deploy == model.SoftwarePRISM {
+		s.prismCores = sim.NewMultiResource(e, p.SoftCores)
+	}
+	s.rpcCores = sim.NewMultiResource(e, p.RPCCores)
+	s.recvCredits = defaultRecvCredits
+	// Serialization of a canonical small request+response is charged by
+	// the fabric; subtract it so small-op direct-link RTT ≈ RDMABaseRTT.
+	s.baseProc = p.RDMABaseRTT - 4*p.SerializationDelay(64)
+	if s.baseProc < 0 {
+		s.baseProc = 0
+	}
+	s.node.SetHandler(s.onMessage)
+	return s
+}
+
+// Space exposes the server's memory for registration and CPU-side access.
+func (s *Server) Space() *memory.Space { return s.space }
+
+// Node returns the server's fabric node (for byte counters in tests).
+func (s *Server) Node() *fabric.Node { return s.node }
+
+// Deployment returns the server's data-path model.
+func (s *Server) Deployment() model.Deployment { return s.deploy }
+
+// Engine returns the simulation engine.
+func (s *Server) Engine() *sim.Engine { return s.e }
+
+// AddFreeList registers a free list with the NIC for ALLOCATE.
+func (s *Server) AddFreeList(fl *alloc.FreeList) {
+	if _, dup := s.exec.FreeLists[fl.ID]; dup {
+		panic(fmt.Sprintf("rdma: duplicate free list id %d", fl.ID))
+	}
+	s.exec.FreeLists[fl.ID] = fl
+}
+
+// FreeList returns a registered free list.
+func (s *Server) FreeList(id uint32) *alloc.FreeList { return s.exec.FreeLists[id] }
+
+// RecycleBuffer returns a client-released buffer to its free list once all
+// in-flight NIC operations drain (§3.2's reuse rule). Typically invoked
+// from an RPC handler fed by the application's reclamation protocol.
+func (s *Server) RecycleBuffer(freeList uint32, addr memory.Addr) {
+	fl, ok := s.exec.FreeLists[freeList]
+	if !ok {
+		panic(fmt.Sprintf("rdma: recycle to unknown free list %d", freeList))
+	}
+	fl.Recycle(addr)
+	fl.FlushWhenQuiet(s.quiescer)
+}
+
+// Quiesce runs fn once every NIC operation currently in flight has
+// completed (immediately when idle). Server applications use it for
+// reclamation decisions that must not race in-flight chains (§3.2).
+func (s *Server) Quiesce(fn func()) { s.quiescer.AfterQuiesce(fn) }
+
+// SetRPCHandler installs the two-sided dispatch target.
+func (s *Server) SetRPCHandler(h RPCHandler) { s.handler = h }
+
+// SetConnTempKey selects the protection domain in which per-connection
+// temporary buffers are allocated, so chains can traverse from application
+// metadata to the temp buffer under one rkey. Must be called before the
+// first Connect.
+func (s *Server) SetConnTempKey(key memory.RKey) {
+	if s.tempRegion != nil {
+		panic("rdma: SetConnTempKey after connections exist")
+	}
+	s.tempKey = key
+}
+
+// TempKey returns the rkey protecting connection temp buffers.
+func (s *Server) TempKey() memory.RKey { return s.tempKey }
+
+func (s *Server) allocConnTemp() memory.Addr {
+	const regionBufs = 1024
+	if s.tempRegion == nil || s.tempUsed+ConnTempSize > s.tempRegion.Len {
+		var r *memory.Region
+		var err error
+		if s.tempKey != 0 {
+			r, err = s.space.RegisterShared(s.tempKey, ConnTempSize*regionBufs)
+		} else {
+			r, err = s.space.Register(ConnTempSize * regionBufs)
+			if err == nil {
+				s.tempKey = r.Key
+			}
+		}
+		if err != nil {
+			panic(fmt.Sprintf("rdma: temp region registration failed: %v", err))
+		}
+		s.tempRegion = r
+		s.tempUsed = 0
+	}
+	addr := s.tempRegion.Base + memory.Addr(s.tempUsed)
+	s.tempUsed += ConnTempSize
+	return addr
+}
+
+// connect registers a new queue pair from the given client node.
+func (s *Server) connect(client *fabric.Node) (id uint64, temp memory.Addr, tempKey memory.RKey) {
+	id = s.nextConn
+	s.nextConn++
+	sc := &serverConn{id: id, client: client, lastOK: true, tempAddr: s.allocConnTemp()}
+	sc.tempOnNIC = id < OnNICMemoryBytes/ConnTempSize
+	for i := range sc.replaySeq {
+		sc.replaySeq[i] = ^uint64(0)
+	}
+	for i := range sc.servedSeq {
+		sc.servedSeq[i] = ^uint64(0)
+	}
+	s.conns[id] = sc
+	return id, sc.tempAddr, s.tempKey
+}
+
+// onMessage handles an arriving request.
+func (s *Server) onMessage(m fabric.Message) {
+	req, ok := m.Payload.(*wire.Request)
+	if !ok {
+		panic(fmt.Sprintf("rdma: server %s received %T", s.node.Name(), m.Payload))
+	}
+	sc, ok := s.conns[req.Conn]
+	if !ok {
+		panic(fmt.Sprintf("rdma: request on unknown connection %d", req.Conn))
+	}
+	// Duplicate (retransmitted) request: replay the cached response, or —
+	// if it has already been served and evicted from the cache (meaning
+	// the client has long since seen the response and moved its window) —
+	// drop it rather than re-execute.
+	for i, seq := range sc.replaySeq {
+		if seq == req.Seq {
+			s.respond(sc, sc.replayResp[i])
+			return
+		}
+	}
+	if sc.wasServed(req.Seq) {
+		return
+	}
+	sc.markServed(req.Seq)
+	if sc.busy {
+		sc.backlog = append(sc.backlog, req)
+		return
+	}
+	s.startRequest(sc, req)
+}
+
+// startRequest begins executing one request on the connection.
+func (s *Server) startRequest(sc *serverConn, req *wire.Request) {
+	sc.busy = true
+	if len(req.Ops) == 1 && req.Ops[0].Code == wire.OpSend {
+		s.serveRPC(sc, req)
+		return
+	}
+	s.serveVerbs(sc, req)
+}
+
+// supports reports whether the deployment can execute the request at all.
+// Stock RDMA NICs take exactly one classic verb per request.
+func (s *Server) supports(req *wire.Request) bool {
+	if s.deploy != model.HardwareRDMA {
+		return true
+	}
+	if len(req.Ops) != 1 {
+		return false
+	}
+	op := &req.Ops[0]
+	if op.Flags != 0 {
+		return false
+	}
+	switch op.Code {
+	case wire.OpRead, wire.OpWrite, wire.OpClassicCAS, wire.OpFetchAdd:
+		return true
+	case wire.OpCAS:
+		// Only the classic 8-byte equality subset.
+		full := func(m []byte) bool {
+			for _, b := range m {
+				if b != 0xFF {
+					return false
+				}
+			}
+			return true
+		}
+		return op.Mode == wire.CASEq && len(op.Data) == 8 &&
+			(op.CompareMask == nil || (len(op.CompareMask) == 8 && full(op.CompareMask))) &&
+			(op.SwapMask == nil || (len(op.SwapMask) == 8 && full(op.SwapMask)))
+	default:
+		return false
+	}
+}
+
+// serveVerbs runs a (possibly chained) one-sided request.
+func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
+	s.RequestsServed++
+	if !s.supports(req) {
+		resp := &wire.Response{Seq: req.Seq, Results: make([]wire.Result, len(req.Ops))}
+		for i := range resp.Results {
+			resp.Results[i] = wire.Result{Status: wire.StatusUnsupported}
+		}
+		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
+		return
+	}
+
+	opTok := s.quiescer.OpStart()
+	results := make([]wire.Result, len(req.Ops))
+
+	// Fixed per-request costs and core-pool queueing by deployment.
+	preDelay := s.baseProc / 2
+	var requestOverhead time.Duration
+	switch s.deploy {
+	case model.SoftwarePRISM:
+		cpu := s.p.SoftCPUBase + time.Duration(len(req.Ops))*s.p.SoftCPUPerOp
+		done := s.prismCores.Submit(cpu, nil)
+		queueWait := done.Sub(s.e.Now()) - cpu
+		requestOverhead = s.p.SoftBaseOverhead + queueWait
+	case model.BlueFieldPRISM:
+		requestOverhead = s.p.BFProcOverhead
+	}
+
+	// interOp spaces chain steps so concurrent chains interleave, as on a
+	// real NIC where each op is a separate pipeline traversal.
+	const interOp = 100 * time.Nanosecond
+
+	var runOp func(i int)
+	runOp = func(i int) {
+		if i == len(req.Ops) {
+			s.quiescer.OpEnd(opTok)
+			s.e.Schedule(s.baseProc-preDelay, func() {
+				s.finish(sc, &wire.Response{Seq: req.Seq, Results: results})
+			})
+			return
+		}
+		op := &req.Ops[i]
+		if op.Flags.Has(wire.FlagConditional) && !sc.lastOK {
+			results[i] = wire.Result{Status: wire.StatusNotExecuted}
+			if s.tracer != nil {
+				s.tracer(TraceEvent{
+					At: s.e.Now(), Conn: sc.id, Seq: req.Seq, OpIdx: i,
+					Code: op.Code, Flags: op.Flags, Status: wire.StatusNotExecuted,
+				})
+			}
+			runOp(i + 1)
+			return
+		}
+		res, meta := s.exec.Exec(op)
+		s.OpsExecuted++
+		sc.lastOK = res.Status.OK()
+		results[i] = res
+		if s.tracer != nil {
+			s.tracer(TraceEvent{
+				At: s.e.Now(), Conn: sc.id, Seq: req.Seq, OpIdx: i,
+				Code: op.Code, Flags: op.Flags, Status: res.Status,
+			})
+		}
+		delay := s.opExtra(sc, op, meta)
+		if i+1 < len(req.Ops) {
+			delay += interOp
+		}
+		s.e.Schedule(delay, func() { runOp(i + 1) })
+	}
+	s.e.Schedule(preDelay+requestOverhead, func() { runOp(0) })
+}
+
+// opExtra is the per-op latency the deployment adds beyond the base verb
+// pipeline.
+func (s *Server) opExtra(sc *serverConn, op *wire.Op, meta prism.OpMeta) time.Duration {
+	switch s.deploy {
+	case model.SoftwarePRISM:
+		return s.p.SoftExtraFor(meta.Class)
+	case model.ProjectedHardwarePRISM:
+		// One extra PCIe round trip per level of indirection (§4.3), plus
+		// small fixed costs for the new datapath functions.
+		d := time.Duration(meta.Indirections) * s.p.PCIeRTT
+		if meta.RedirectUsed && (s.p.RedirectToHostMem || !sc.tempOnNIC) {
+			// §4.2: redirects should target on-NIC memory; a host-memory
+			// temp buffer — forced either by configuration or by exceeding
+			// the 256 KB on-NIC region — costs an extra PCIe round trip
+			// per redirect.
+			d += s.p.PCIeRTT
+		}
+		if op.Code == wire.OpAllocate {
+			d += 200 * time.Nanosecond // free-list pop
+		}
+		if op.Code == wire.OpCAS && meta.PRISMOnly {
+			d += 300 * time.Nanosecond // wide/masked/arithmetic atomic
+		}
+		return d
+	case model.BlueFieldPRISM:
+		// Every host-memory access crosses the internal switch (~3 µs).
+		return time.Duration(meta.HostAccesses) * s.p.BFHostAccess
+	default:
+		return 0
+	}
+}
+
+// SetRecvCredits overrides the receive-queue depth (testing flow control
+// or modeling constrained receivers).
+func (s *Server) SetRecvCredits(n int) { s.recvCredits = n }
+
+// serveRPC dispatches a two-sided request to the application handler.
+func (s *Server) serveRPC(sc *serverConn, req *wire.Request) {
+	s.RequestsServed++
+	if s.handler == nil {
+		resp := &wire.Response{Seq: req.Seq, Results: []wire.Result{{Status: wire.StatusUnsupported}}}
+		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
+		return
+	}
+	if s.recvCredits <= 0 {
+		// No posted receive buffer: Receiver Not Ready.
+		resp := &wire.Response{Seq: req.Seq, Results: []wire.Result{{Status: wire.StatusRNR}}}
+		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
+		return
+	}
+	s.recvCredits--
+	payload := req.Ops[0].Data
+	// Reserve an application core; the handler's memory effects apply when
+	// the core picks the request up.
+	start := s.rpcCores.Submit(s.p.RPCHandlerCPUTime, nil)
+	dispatchWait := start.Sub(s.e.Now()) - s.p.RPCHandlerCPUTime
+	s.e.Schedule(dispatchWait, func() {
+		reply, extraCPU := s.handler(payload)
+		if extraCPU > 0 {
+			s.rpcCores.Submit(extraCPU, nil)
+		}
+		total := s.baseProc + s.p.RPCOverhead + s.p.RPCHandlerCPUTime + extraCPU
+		resp := &wire.Response{Seq: req.Seq, Results: []wire.Result{{Status: wire.StatusOK, Data: reply}}}
+		s.e.Schedule(total, func() {
+			s.recvCredits++ // the app reposts the consumed receive buffer
+			s.finish(sc, resp)
+		})
+	})
+}
+
+// finish caches the response for replay, transmits it, and starts the
+// next queued request on the connection.
+func (s *Server) finish(sc *serverConn, resp *wire.Response) {
+	resp.Conn = sc.id
+	slot := int(resp.Seq % replayDepth)
+	sc.replaySeq[slot] = resp.Seq
+	sc.replayResp[slot] = resp
+	s.respond(sc, resp)
+	sc.busy = false
+	if len(sc.backlog) > 0 {
+		next := sc.backlog[0]
+		sc.backlog = sc.backlog[1:]
+		s.startRequest(sc, next)
+	}
+}
+
+func (s *Server) respond(sc *serverConn, resp *wire.Response) {
+	s.net.Send(fabric.Message{
+		From:    s.node,
+		To:      sc.client,
+		Size:    wire.ResponseWireSize(resp),
+		Payload: resp,
+	})
+}

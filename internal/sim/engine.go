@@ -1,0 +1,256 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock in nanoseconds and an event heap.
+// Work is expressed either as plain callback events (Schedule/At) or as
+// blocking processes (Go), which are goroutines that run one at a time
+// under a strict handoff discipline: at any moment, at most one goroutine
+// — the engine loop or exactly one process — is executing. This makes all
+// simulation state single-threaded (no data races, fully deterministic)
+// while letting protocol code be written in a natural blocking style
+// (Sleep, Future.Wait, Resource.Acquire).
+//
+// Determinism: events at the same virtual time fire in the order they were
+// scheduled (FIFO tie-break by sequence number), and the engine's RNG is
+// seeded explicitly. Two runs with the same seed produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual instant, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration aliases time.Duration for readability at call sites.
+type Duration = time.Duration
+
+const (
+	// Never is a sentinel Time later than any reachable instant.
+	Never Time = 1<<63 - 1
+)
+
+// Add returns t shifted by d, saturating at Never.
+func (t Time) Add(d Duration) Time {
+	s := t + Time(d)
+	if s < t && d > 0 {
+		return Never
+	}
+	return s
+}
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the instant as a duration from time zero.
+func (t Time) String() string { return Duration(t).String() }
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	heap int // index in the heap, -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.heap = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heap = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use
+// from outside; all interaction must happen from engine-run events and
+// processes, or from the single goroutine that calls Run.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// handoff plumbing
+	yield   chan struct{} // processes signal the engine when they park or exit
+	running bool
+
+	procs   int // live processes (for leak diagnostics)
+	stopped bool
+}
+
+// NewEngine returns an engine with its virtual clock at zero and an RNG
+// seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic RNG. It must only be used from
+// simulation context (events and processes).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after d has elapsed on the virtual clock. A negative d
+// is treated as zero. The returned Timer can cancel the event.
+func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at virtual instant t (or now, if t is in the past).
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{e: e, ev: ev}
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	e  *Engine
+	ev *event
+}
+
+// Stop cancels the event if it has not fired. It reports whether the event
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t.ev.heap < 0 {
+		return false
+	}
+	heap.Remove(&t.e.events, t.ev.heap)
+	return true
+}
+
+// Stop halts the run loop after the current event completes. Pending events
+// are left unfired.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the heap is empty or Stop is called. It
+// panics if called re-entrantly.
+func (e *Engine) Run() { e.RunUntil(Never) }
+
+// RunUntil processes events with timestamps <= deadline. The clock is left
+// at the deadline if it is reached (and any events remain), or at the time
+// of the last event otherwise.
+func (e *Engine) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			e.now = deadline
+			return
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < deadline && deadline != Never {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs reports the number of processes that have started but not
+// finished (parked processes included). Useful for leak detection in tests.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// ---------------------------------------------------------------------------
+// Processes
+
+// Proc is a blocking simulation process. Its methods must only be called
+// from the process's own goroutine.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Go starts fn as a new process. fn begins executing at the current
+// virtual time but only after the current event completes (it is scheduled
+// like any other event).
+func (e *Engine) Go(name string, fn func(p *Proc)) {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	go func() {
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.dead = true
+		e.procs--
+		e.yield <- struct{}{} // return control to the engine loop
+	}()
+	e.Schedule(0, func() { p.step() })
+}
+
+// step transfers control to the process until it parks or exits.
+func (p *Proc) step() {
+	if p.dead {
+		panic(fmt.Sprintf("sim: resuming dead proc %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.e.yield
+}
+
+// park returns control to the engine; the process resumes when something
+// calls step (via a scheduled event or a future completion).
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.e.Schedule(d, func() { p.step() })
+	p.park()
+}
+
+// Yield suspends the process until all other events scheduled for the
+// current instant have run.
+func (p *Proc) Yield() { p.Sleep(0) }

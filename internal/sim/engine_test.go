@@ -1,0 +1,456 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Microsecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Microsecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Microsecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != Time(30*time.Microsecond) {
+		t.Fatalf("clock = %v, want 30µs", e.Now())
+	}
+}
+
+func TestScheduleFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(time.Microsecond, func() { got = append(got, 1) })
+	e.Schedule(3*time.Microsecond, func() { got = append(got, 2) })
+	e.RunUntil(Time(2 * time.Microsecond))
+	if len(got) != 1 {
+		t.Fatalf("RunUntil executed %v", got)
+	}
+	if e.Now() != Time(2*time.Microsecond) {
+		t.Fatalf("clock = %v, want 2µs", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("remaining event did not fire: %v", got)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, func() {
+			n++
+			if n == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ran %d events after Stop, want 2", n)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Microsecond)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != Time(42*time.Microsecond) {
+		t.Fatalf("woke at %v, want 42µs", wake)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("leaked %d procs", e.LiveProcs())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	var trace []string
+	mk := func(name string, d time.Duration) {
+		e.Go(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(d)
+				trace = append(trace, name)
+			}
+		})
+	}
+	mk("a", 10*time.Microsecond)
+	mk("b", 15*time.Microsecond)
+	e.Run()
+	// a wakes at 10, 20, 30; b wakes at 15, 30, 45. At the t=30 tie, b's
+	// wakeup was scheduled (at t=15) before a's (at t=20), so b runs first.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestFutureWait(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFuture[int](e)
+	var got int
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		got = f.Wait(p)
+		at = p.Now()
+	})
+	e.Schedule(7*time.Microsecond, func() { f.Complete(99) })
+	e.Run()
+	if got != 99 || at != Time(7*time.Microsecond) {
+		t.Fatalf("got %d at %v", got, at)
+	}
+}
+
+func TestFutureWaitAlreadyComplete(t *testing.T) {
+	e := NewEngine(1)
+	f := CompletedFuture(e, "x")
+	var got string
+	e.Go("waiter", func(p *Proc) { got = f.Wait(p) })
+	e.Run()
+	if got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFuture[int](e)
+	f.Complete(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Complete did not panic")
+		}
+	}()
+	f.Complete(2)
+}
+
+func TestWaitQuorum(t *testing.T) {
+	e := NewEngine(1)
+	fs := make([]*Future[int], 5)
+	for i := range fs {
+		fs[i] = NewFuture[int](e)
+	}
+	var got []int
+	var at Time
+	e.Go("q", func(p *Proc) {
+		got = WaitQuorum(p, 3, fs)
+		at = p.Now()
+	})
+	// complete in scrambled order: 2@1µs, 4@2µs, 0@3µs, rest later
+	e.Schedule(1*time.Microsecond, func() { fs[2].Complete(20) })
+	e.Schedule(2*time.Microsecond, func() { fs[4].Complete(40) })
+	e.Schedule(3*time.Microsecond, func() { fs[0].Complete(0) })
+	e.Schedule(9*time.Microsecond, func() { fs[1].Complete(10) })
+	e.Schedule(9*time.Microsecond, func() { fs[3].Complete(30) })
+	e.Run()
+	if at != Time(3*time.Microsecond) {
+		t.Fatalf("quorum reached at %v, want 3µs", at)
+	}
+	if len(got) != 3 || got[0] != 20 || got[1] != 40 || got[2] != 0 {
+		t.Fatalf("quorum values %v", got)
+	}
+}
+
+func TestWaitQuorumAlreadySatisfied(t *testing.T) {
+	e := NewEngine(1)
+	fs := []*Future[int]{CompletedFuture(e, 1), CompletedFuture(e, 2), NewFuture[int](e)}
+	var got []int
+	e.Go("q", func(p *Proc) { got = WaitQuorum(p, 2, fs) })
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEngine(1)
+	fs := make([]*Future[int], 3)
+	for i := range fs {
+		fs[i] = NewFuture[int](e)
+		i := i
+		e.Schedule(time.Duration(3-i)*time.Microsecond, func() { fs[i].Complete(i * 10) })
+	}
+	var got []int
+	e.Go("all", func(p *Proc) { got = WaitAll(p, fs) })
+	e.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e, 3)
+	var at Time
+	e.Go("w", func(p *Proc) {
+		wg.Wait(p)
+		at = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, wg.Done)
+	}
+	e.Run()
+	if at != Time(3*time.Microsecond) {
+		t.Fatalf("woke at %v", at)
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		r.Submit(10*time.Microsecond, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	want := []Time{Time(10 * time.Microsecond), Time(20 * time.Microsecond), Time(30 * time.Microsecond)}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+	if r.BusyTime() != 30*time.Microsecond {
+		t.Fatalf("busy %v", r.BusyTime())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e)
+	var second Time
+	r.Submit(5*time.Microsecond, nil)
+	e.Schedule(100*time.Microsecond, func() {
+		r.Submit(5*time.Microsecond, func() { second = e.Now() })
+	})
+	e.Run()
+	if second != Time(105*time.Microsecond) {
+		t.Fatalf("second completion %v, want 105µs (no queueing after idle)", second)
+	}
+}
+
+func TestMultiResourceParallelism(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMultiResource(e, 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		m.Submit(10*time.Microsecond, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	// 2 servers: first two finish at 10µs, next two at 20µs.
+	want := []Time{Time(10 * time.Microsecond), Time(10 * time.Microsecond), Time(20 * time.Microsecond), Time(20 * time.Microsecond)}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceAcquireBlocks(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e)
+	var order []string
+	e.Go("a", func(p *Proc) {
+		r.Acquire(p, 10*time.Microsecond)
+		order = append(order, "a")
+	})
+	e.Go("b", func(p *Proc) {
+		r.Acquire(p, 10*time.Microsecond)
+		order = append(order, "b")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != Time(20*time.Microsecond) {
+		t.Fatalf("finished at %v, want 20µs (serialized)", e.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		var samples []Time
+		for i := 0; i < 10; i++ {
+			e.Go("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(time.Duration(e.Rand().Intn(1000)) * time.Nanosecond)
+					samples = append(samples, p.Now())
+				}
+			})
+		}
+		e.Run()
+		return samples
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if Never.Add(time.Hour) != Never {
+		t.Fatal("Time.Add overflowed past Never")
+	}
+}
+
+func TestAtPastTimeClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*time.Microsecond, func() {
+		fired := false
+		e.At(Time(2*time.Microsecond), func() { fired = true })
+		_ = fired
+	})
+	// Must not panic or run events out of order; the past event fires at
+	// the current instant.
+	var order []int
+	e.Schedule(10*time.Microsecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Microsecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestProcYieldRunsSameInstantEvents(t *testing.T) {
+	e := NewEngine(1)
+	var trace []string
+	e.Go("p", func(p *Proc) {
+		trace = append(trace, "before")
+		e.Schedule(0, func() { trace = append(trace, "event") })
+		p.Yield()
+		trace = append(trace, "after")
+	})
+	e.Run()
+	want := []string{"before", "event", "after"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestFutureOnCompleteOrder(t *testing.T) {
+	e := NewEngine(1)
+	f := NewFuture[int](e)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		f.OnComplete(func(int) { order = append(order, i) })
+	}
+	f.Complete(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("waiters not FIFO: %v", order)
+		}
+	}
+}
+
+func TestResourceQueueDelay(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e)
+	if r.QueueDelay() != 0 {
+		t.Fatal("idle resource reports backlog")
+	}
+	r.Submit(10*time.Microsecond, func() {})
+	r.Submit(10*time.Microsecond, func() {})
+	if got := r.QueueDelay(); got != 20*time.Microsecond {
+		t.Fatalf("QueueDelay = %v, want 20µs", got)
+	}
+	e.Run() // clock advances past both completions
+	if r.QueueDelay() != 0 {
+		t.Fatal("drained resource reports backlog")
+	}
+}
+
+func TestMultiResourceAcquire(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMultiResource(e, 2)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			m.Acquire(p, 10*time.Microsecond)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	// Two run in parallel, third queues: completions at 10, 10, 20.
+	if len(done) != 3 || done[0] != Time(10*time.Microsecond) || done[2] != Time(20*time.Microsecond) {
+		t.Fatalf("completions %v", done)
+	}
+}
+
+func TestWaitQuorumZero(t *testing.T) {
+	e := NewEngine(1)
+	fs := []*Future[int]{NewFuture[int](e)}
+	var got []int
+	e.Go("q", func(p *Proc) { got = WaitQuorum(p, 0, fs) })
+	e.Run()
+	if len(got) != 0 {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}

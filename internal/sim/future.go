@@ -1,0 +1,153 @@
+package sim
+
+// Future is a one-shot value produced at some virtual instant. Processes
+// block on it with Wait; callback code chains on it with OnComplete.
+// A Future must be completed at most once.
+type Future[T any] struct {
+	e       *Engine
+	done    bool
+	val     T
+	waiters []func(T)
+}
+
+// NewFuture returns an incomplete future bound to e.
+func NewFuture[T any](e *Engine) *Future[T] {
+	return &Future[T]{e: e}
+}
+
+// CompletedFuture returns a future that is already resolved to v.
+func CompletedFuture[T any](e *Engine, v T) *Future[T] {
+	return &Future[T]{e: e, done: true, val: v}
+}
+
+// Complete resolves the future with v, waking all waiters (in FIFO order)
+// at the current virtual instant.
+func (f *Future[T]) Complete(v T) {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	f.val = v
+	ws := f.waiters
+	f.waiters = nil
+	for _, w := range ws {
+		w(v)
+	}
+}
+
+// Done reports whether the future has been completed.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the completed value; it panics if the future is pending.
+func (f *Future[T]) Value() T {
+	if !f.done {
+		panic("sim: Value on pending Future")
+	}
+	return f.val
+}
+
+// OnComplete registers fn to run when the future completes (immediately,
+// within Complete's event). If the future is already complete, fn runs now.
+func (f *Future[T]) OnComplete(fn func(T)) {
+	if f.done {
+		fn(f.val)
+		return
+	}
+	f.waiters = append(f.waiters, fn)
+}
+
+// Wait parks the process until the future completes and returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	if f.done {
+		return f.val
+	}
+	f.OnComplete(func(T) { p.step() })
+	p.park()
+	return f.val
+}
+
+// WaitQuorum parks the process until at least k of the given futures have
+// completed, then returns the completed values in completion order.
+// Remaining futures keep running; their values are discarded here.
+func WaitQuorum[T any](p *Proc, k int, fs []*Future[T]) []T {
+	if k > len(fs) {
+		panic("sim: WaitQuorum k exceeds future count")
+	}
+	got := make([]T, 0, k)
+	if k == 0 {
+		return got
+	}
+	parked := false
+	for _, f := range fs {
+		f.OnComplete(func(v T) {
+			if len(got) >= k {
+				return // quorum already satisfied
+			}
+			got = append(got, v)
+			if len(got) == k && parked {
+				p.step()
+			}
+		})
+		if len(got) >= k {
+			break
+		}
+	}
+	if len(got) < k {
+		parked = true
+		p.park()
+	}
+	return got
+}
+
+// WaitAll parks the process until every future completes and returns the
+// values in the order of fs.
+func WaitAll[T any](p *Proc, fs []*Future[T]) []T {
+	for _, f := range fs {
+		f.Wait(p)
+	}
+	out := make([]T, len(fs))
+	for i, f := range fs {
+		out[i] = f.val
+	}
+	return out
+}
+
+// Signal is a Future[struct{}] convenience for pure-event notification.
+type Signal = Future[struct{}]
+
+// NewSignal returns an unfired signal.
+func NewSignal(e *Engine) *Signal { return NewFuture[struct{}](e) }
+
+// Fire completes the signal.
+func Fire(s *Signal) { s.Complete(struct{}{}) }
+
+// WaitGroup counts down to zero and then wakes waiters. Unlike sync's, it
+// is virtual-time and single-threaded.
+type WaitGroup struct {
+	e     *Engine
+	count int
+	sig   *Signal
+}
+
+// NewWaitGroup returns a WaitGroup expecting n completions.
+func NewWaitGroup(e *Engine, n int) *WaitGroup {
+	wg := &WaitGroup{e: e, count: n, sig: NewSignal(e)}
+	if n == 0 {
+		Fire(wg.sig)
+	}
+	return wg
+}
+
+// Done decrements the counter; at zero, waiters wake.
+func (wg *WaitGroup) Done() {
+	if wg.count <= 0 {
+		panic("sim: WaitGroup.Done below zero")
+	}
+	wg.count--
+	if wg.count == 0 {
+		Fire(wg.sig)
+	}
+}
+
+// Wait parks until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) { wg.sig.Wait(p) }

@@ -1,0 +1,97 @@
+// Package stats provides the latency/throughput summaries the benchmark
+// harness reports: streaming histograms with percentile queries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder accumulates operation latencies.
+type LatencyRecorder struct {
+	samples []time.Duration
+	sum     time.Duration
+	sorted  bool
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.sum += d
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Mean returns the average latency (0 if empty).
+func (r *LatencyRecorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(len(r.samples))
+}
+
+// Percentile returns the q-th percentile (0 < q <= 100) by nearest-rank.
+func (r *LatencyRecorder) Percentile(q float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	rank := int(math.Ceil(q / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(r.samples) {
+		rank = len(r.samples)
+	}
+	return r.samples[rank-1]
+}
+
+// Median is Percentile(50).
+func (r *LatencyRecorder) Median() time.Duration { return r.Percentile(50) }
+
+// P99 is Percentile(99).
+func (r *LatencyRecorder) P99() time.Duration { return r.Percentile(99) }
+
+// Max returns the largest sample.
+func (r *LatencyRecorder) Max() time.Duration { return r.Percentile(100) }
+
+// Reset discards all samples.
+func (r *LatencyRecorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sum = 0
+	r.sorted = false
+}
+
+// Summary is a point on a throughput-latency curve.
+type Summary struct {
+	Clients    int
+	Throughput float64 // operations per second
+	Mean       time.Duration
+	Median     time.Duration
+	P99        time.Duration
+	Aborts     int64 // protocol-level retries/aborts, if applicable
+	Errors     int64 // clients that stopped on an operation error
+}
+
+// String formats the summary as one table row.
+func (s Summary) String() string {
+	row := fmt.Sprintf("clients=%4d  tput=%10.0f op/s  mean=%8.2fµs  p50=%8.2fµs  p99=%8.2fµs",
+		s.Clients, s.Throughput,
+		float64(s.Mean)/1e3, float64(s.Median)/1e3, float64(s.P99)/1e3)
+	if s.Errors > 0 {
+		row += fmt.Sprintf("  ERRORS=%d", s.Errors)
+	}
+	return row
+}

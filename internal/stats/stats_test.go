@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Mean() != 0 || r.Median() != 0 || r.P99() != 0 || r.Count() != 0 {
+		t.Fatal("empty recorder returned nonzero stats")
+	}
+}
+
+func TestMean(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, d := range []time.Duration{10, 20, 30} {
+		r.Record(d * time.Microsecond)
+	}
+	if r.Mean() != 20*time.Microsecond {
+		t.Fatalf("mean %v", r.Mean())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := r.Median(); got != 50*time.Microsecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.P99(); got != 99*time.Microsecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := r.Max(); got != 100*time.Microsecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := r.Percentile(1); got != 1*time.Microsecond {
+		t.Fatalf("p1 = %v", got)
+	}
+}
+
+func TestRecordAfterPercentileQuery(t *testing.T) {
+	// Interleaving Record and Percentile must not corrupt results.
+	r := NewLatencyRecorder()
+	r.Record(5 * time.Microsecond)
+	_ = r.Median()
+	r.Record(1 * time.Microsecond)
+	if got := r.Percentile(100); got != 5*time.Microsecond {
+		t.Fatalf("max after interleaved record = %v", got)
+	}
+	if got := r.Percentile(1); got != 1*time.Microsecond {
+		t.Fatalf("min after interleaved record = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(time.Second)
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// Property: percentiles are monotone in q and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewLatencyRecorder()
+		min := time.Duration(1<<62 - 1)
+		max := time.Duration(0)
+		for _, v := range raw {
+			d := time.Duration(v) * time.Nanosecond
+			r.Record(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			p := r.Percentile(q)
+			if p < prev || p < min || p > max {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Clients: 8, Throughput: 1e6, Mean: 10 * time.Microsecond, Median: 9 * time.Microsecond, P99: 30 * time.Microsecond}
+	str := s.String()
+	if str == "" {
+		t.Fatal("empty summary string")
+	}
+}

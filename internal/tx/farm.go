@@ -1,0 +1,472 @@
+package tx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"prism/internal/memory"
+	"prism/internal/prism"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+// FaRM [10] (§8.1): objects live in a hash table reachable through an
+// index of pointers; clients read with one-sided READs (two per access,
+// index then object, as in Pilaf) and commit with a three-phase protocol —
+// LOCK (RPC), VALIDATE (one-sided version re-reads), UPDATE+UNLOCK (RPC).
+//
+// Object layout (fixed-size, in-place updates under the lock):
+//
+//	[ lock (8, LE: holder id or 0) | version (8, BE) | klen | key | value ]
+//
+// Index slot: [ ptr (8, LE) ].
+
+const farmHdr = 16 // lock + version
+
+// FaRM RPC opcodes.
+const (
+	rpcFarmLock byte = iota + 10
+	rpcFarmUpdate
+	rpcFarmUnlock
+)
+
+// FarmMeta describes one FaRM server to clients.
+type FarmMeta struct {
+	Key       memory.RKey
+	IndexBase memory.Addr
+	NSlots    int64
+	MaxValue  int
+}
+
+func (m *FarmMeta) indexAddr(idx int64) memory.Addr {
+	return m.IndexBase + memory.Addr(idx*8)
+}
+
+func (m *FarmMeta) objSize() uint64 {
+	return uint64(farmHdr + 8 + 8 + m.MaxValue)
+}
+
+// FarmServer owns the index, the object heap, and the commit RPC handlers.
+type FarmServer struct {
+	rs   *rdma.Server
+	meta FarmMeta
+	objs *memory.Region
+
+	// Stats
+	LockFailures int64
+}
+
+// NewFarmServer provisions the index and object heap.
+func NewFarmServer(rs *rdma.Server, opts ShardOptions) (*FarmServer, error) {
+	space := rs.Space()
+	idx, err := space.Register(uint64(opts.NSlots) * 8)
+	if err != nil {
+		return nil, fmt.Errorf("tx: farm index: %w", err)
+	}
+	meta := FarmMeta{Key: idx.Key, IndexBase: idx.Base, NSlots: opts.NSlots, MaxValue: opts.MaxValue}
+	objs, err := space.RegisterShared(idx.Key, meta.objSize()*uint64(opts.NSlots))
+	if err != nil {
+		return nil, fmt.Errorf("tx: farm heap: %w", err)
+	}
+	s := &FarmServer{rs: rs, meta: meta, objs: objs}
+	rs.SetRPCHandler(s.handleRPC)
+	return s, nil
+}
+
+// Meta returns the control-plane description.
+func (s *FarmServer) Meta() FarmMeta { return s.meta }
+
+// NIC returns the transport server.
+func (s *FarmServer) NIC() *rdma.Server { return s.rs }
+
+// Load installs key=value at InitialVersion.
+func (s *FarmServer) Load(key int64, value []byte) error {
+	if len(value) > s.meta.MaxValue {
+		return fmt.Errorf("tx: value too large")
+	}
+	idx := ((key % s.meta.NSlots) + s.meta.NSlots) % s.meta.NSlots
+	objAddr := s.objs.Base + memory.Addr(uint64(idx)*s.meta.objSize())
+	img := make([]byte, s.meta.objSize())
+	prism.PutBE64(img, 8, uint64(InitialVersion))
+	binary.LittleEndian.PutUint64(img[farmHdr:], 8)
+	binary.BigEndian.PutUint64(img[farmHdr+8:], uint64(key))
+	copy(img[farmHdr+16:], value)
+	space := s.rs.Space()
+	if err := space.Write(s.meta.Key, objAddr, img); err != nil {
+		return err
+	}
+	return space.WriteU64(s.meta.Key, s.meta.indexAddr(idx), uint64(objAddr))
+}
+
+// objAddrFor resolves a key's object (server CPU side).
+func (s *FarmServer) objAddrFor(key int64) (memory.Addr, error) {
+	idx := ((key % s.meta.NSlots) + s.meta.NSlots) % s.meta.NSlots
+	ptr, err := s.rs.Space().ReadU64(s.meta.Key, s.meta.indexAddr(idx))
+	if err != nil {
+		return 0, err
+	}
+	if ptr == 0 {
+		return 0, ErrNotFound
+	}
+	return memory.Addr(ptr), nil
+}
+
+// handleRPC serves the FaRM commit protocol's CPU phases.
+//
+// LOCK payload:   [op][holder(8)] then per key [key(8) version(8)]
+// UPDATE payload: [op][holder(8)] then per key [key(8) version(8) vlen(4) value]
+// UNLOCK payload: [op][holder(8)] then per key [key(8)]
+func (s *FarmServer) handleRPC(payload []byte) ([]byte, time.Duration) {
+	if len(payload) < 9 {
+		return []byte{1}, 0
+	}
+	op := payload[0]
+	holder := binary.LittleEndian.Uint64(payload[1:9])
+	rest := payload[9:]
+	space := s.rs.Space()
+	switch op {
+	case rpcFarmLock:
+		// Lock every key or none: on conflict, roll back acquired locks.
+		var acquired []memory.Addr
+		n := 0
+		for len(rest) >= 16 {
+			key := int64(binary.BigEndian.Uint64(rest[:8]))
+			version := binary.BigEndian.Uint64(rest[8:16])
+			rest = rest[16:]
+			n++
+			addr, err := s.objAddrFor(key)
+			if err != nil {
+				break
+			}
+			raw, _ := space.Read(s.meta.Key, addr, farmHdr)
+			lock := binary.LittleEndian.Uint64(raw[:8])
+			ver := prism.BE64(raw, 8)
+			if lock != 0 || ver != version {
+				s.LockFailures++
+				for _, a := range acquired {
+					space.WriteU64(s.meta.Key, a, 0)
+				}
+				return []byte{1}, time.Duration(n) * 400 * time.Nanosecond
+			}
+			space.WriteU64(s.meta.Key, addr, holder)
+			acquired = append(acquired, addr)
+		}
+		return []byte{0}, time.Duration(n) * 400 * time.Nanosecond
+	case rpcFarmUpdate:
+		n := 0
+		for len(rest) >= 20 {
+			key := int64(binary.BigEndian.Uint64(rest[:8]))
+			version := binary.BigEndian.Uint64(rest[8:16])
+			vlen := binary.LittleEndian.Uint32(rest[16:20])
+			if len(rest) < 20+int(vlen) {
+				return []byte{1}, 0
+			}
+			value := rest[20 : 20+vlen]
+			rest = rest[20+vlen:]
+			n++
+			addr, err := s.objAddrFor(key)
+			if err != nil {
+				return []byte{1}, 0
+			}
+			raw, _ := space.Read(s.meta.Key, addr, farmHdr)
+			if binary.LittleEndian.Uint64(raw[:8]) != holder {
+				return []byte{1}, 0 // not our lock: protocol bug
+			}
+			// Write value, bump version, release the lock.
+			img := make([]byte, s.meta.objSize())
+			prism.PutBE64(img, 8, version)
+			binary.LittleEndian.PutUint64(img[farmHdr:], 8)
+			binary.BigEndian.PutUint64(img[farmHdr+8:], uint64(key))
+			copy(img[farmHdr+16:], value)
+			if err := space.Write(s.meta.Key, addr, img); err != nil {
+				return []byte{1}, 0
+			}
+		}
+		return []byte{0}, time.Duration(n) * 800 * time.Nanosecond
+	case rpcFarmUnlock:
+		n := 0
+		for len(rest) >= 8 {
+			key := int64(binary.BigEndian.Uint64(rest[:8]))
+			rest = rest[8:]
+			n++
+			addr, err := s.objAddrFor(key)
+			if err != nil {
+				continue
+			}
+			raw, _ := space.Read(s.meta.Key, addr, 8)
+			if binary.LittleEndian.Uint64(raw) == holder {
+				space.WriteU64(s.meta.Key, addr, 0)
+			}
+		}
+		return []byte{0}, time.Duration(n) * 100 * time.Nanosecond
+	default:
+		return []byte{1}, 0
+	}
+}
+
+// FarmClient coordinates FaRM transactions.
+type FarmClient struct {
+	id    uint16
+	conns []*rdma.Conn
+	metas []FarmMeta
+	clock uint64
+
+	// Stats
+	Commits int64
+	Aborts  int64
+}
+
+// NewFarmClient builds a client over the given servers.
+func NewFarmClient(id uint16, conns []*rdma.Conn, metas []FarmMeta) *FarmClient {
+	if len(conns) != len(metas) || len(conns) == 0 {
+		panic("tx: farm connections and metadata must match")
+	}
+	if id == 0 {
+		panic("tx: client id 0 reserved")
+	}
+	return &FarmClient{id: id, conns: conns, metas: metas}
+}
+
+func (c *FarmClient) shardOf(key int64) int {
+	return int(((key % int64(len(c.conns))) + int64(len(c.conns))) % int64(len(c.conns)))
+}
+
+// FarmTx is one FaRM transaction.
+type FarmTx struct {
+	c      *FarmClient
+	reads  map[int64]farmRead
+	writes map[int64][]byte
+	order  []int64
+	doomed bool
+}
+
+type farmRead struct {
+	version Timestamp
+	addr    memory.Addr
+	shard   int
+}
+
+// Begin starts a transaction.
+func (c *FarmClient) Begin() *FarmTx {
+	return &FarmTx{c: c, reads: make(map[int64]farmRead), writes: make(map[int64][]byte)}
+}
+
+// Read fetches a key with FaRM's two one-sided READs (index, object).
+func (t *FarmTx) Read(p *sim.Proc, key int64) ([]byte, error) {
+	if v, ok := t.writes[key]; ok {
+		return v, nil
+	}
+	c := t.c
+	sh := c.shardOf(key)
+	m := &c.metas[sh]
+	idx := ((key % m.NSlots) + m.NSlots) % m.NSlots
+	res := c.conns[sh].Issue(p, prism.Read(m.Key, m.indexAddr(idx), 8))
+	if res[0].Status != wire.StatusOK {
+		return nil, fmt.Errorf("tx: farm index read %v", res[0].Status)
+	}
+	ptr := memory.Addr(binary.LittleEndian.Uint64(res[0].Data))
+	if ptr == 0 {
+		return nil, ErrNotFound
+	}
+	res = c.conns[sh].Issue(p, prism.Read(m.Key, ptr, m.objSize()))
+	if res[0].Status != wire.StatusOK {
+		return nil, fmt.Errorf("tx: farm object read %v", res[0].Status)
+	}
+	obj := res[0].Data
+	version := Timestamp(prism.BE64(obj, 8))
+	k := int64(binary.BigEndian.Uint64(obj[farmHdr+8:]))
+	if k != key {
+		return nil, fmt.Errorf("tx: farm slot collision (key %d vs %d)", k, key)
+	}
+	if prev, ok := t.reads[key]; ok && prev.version != version {
+		t.doomed = true
+	}
+	t.reads[key] = farmRead{version: version, addr: ptr, shard: sh}
+	return append([]byte(nil), obj[farmHdr+16:]...), nil
+}
+
+// Write buffers a write. FaRM requires the object to have been read first
+// (to know its version for locking); Read-before-Write is the natural
+// pattern for YCSB-T RMW transactions.
+func (t *FarmTx) Write(key int64, value []byte) {
+	if _, seen := t.writes[key]; !seen {
+		t.order = append(t.order, key)
+	}
+	t.writes[key] = append([]byte(nil), value...)
+}
+
+// Commit runs FaRM's three phases. Returns the commit version (a fresh
+// timestamp) or ErrAborted.
+func (t *FarmTx) Commit(p *sim.Proc) (Timestamp, error) {
+	c := t.c
+	c.clock++
+	ts := MakeTimestamp(c.clock, c.id)
+	if t.doomed {
+		c.Aborts++
+		return 0, ErrAborted
+	}
+	for _, key := range t.order {
+		if _, ok := t.reads[key]; !ok {
+			return 0, fmt.Errorf("tx: farm write of unread key %d", key)
+		}
+	}
+
+	// --- Phase 1: LOCK write-set objects, grouped per shard.
+	lockPayloads := make(map[int][]byte)
+	for _, key := range t.order {
+		r := t.reads[key]
+		pl, ok := lockPayloads[r.shard]
+		if !ok {
+			pl = make([]byte, 9)
+			pl[0] = rpcFarmLock
+			binary.LittleEndian.PutUint64(pl[1:9], uint64(c.id))
+		}
+		var rec [16]byte
+		binary.BigEndian.PutUint64(rec[:8], uint64(key))
+		binary.BigEndian.PutUint64(rec[8:], uint64(r.version))
+		lockPayloads[r.shard] = append(pl, rec[:]...)
+	}
+	if len(lockPayloads) > 0 {
+		var futs []*sim.Future[[]wire.Result]
+		var shards []int
+		for sh, pl := range lockPayloads {
+			futs = append(futs, c.conns[sh].IssueAsync([]wire.Op{prism.Send(pl)}))
+			shards = append(shards, sh)
+		}
+		res := sim.WaitAll(p, futs)
+		failed := false
+		var lockedShards []int
+		for i, r := range res {
+			if r[0].Status == wire.StatusOK && len(r[0].Data) == 1 && r[0].Data[0] == 0 {
+				lockedShards = append(lockedShards, shards[i])
+			} else {
+				failed = true
+			}
+		}
+		if failed {
+			t.unlock(p, lockedShards)
+			c.Aborts++
+			return 0, ErrAborted
+		}
+	}
+
+	// --- Phase 2: VALIDATE the read set with one-sided READs (§8.1:
+	// "they reread all objects in the read set"). Keys we hold locks on
+	// revalidate trivially (our own lock, unchanged version) but still pay
+	// the read, as in FaRM.
+	type valRead struct {
+		key int64
+		r   farmRead
+	}
+	var vals []valRead
+	for key, r := range t.reads {
+		vals = append(vals, valRead{key, r})
+	}
+	if len(vals) > 0 {
+		futs := make([]*sim.Future[[]wire.Result], len(vals))
+		for i, v := range vals {
+			m := &c.metas[v.r.shard]
+			futs[i] = c.conns[v.r.shard].IssueAsync([]wire.Op{
+				prism.Read(m.Key, v.r.addr, farmHdr),
+			})
+		}
+		res := sim.WaitAll(p, futs)
+		for i, r := range res {
+			if r[0].Status != wire.StatusOK {
+				t.unlockAll(p)
+				c.Aborts++
+				return 0, ErrAborted
+			}
+			lock := binary.LittleEndian.Uint64(r[0].Data[:8])
+			ver := Timestamp(prism.BE64(r[0].Data, 8))
+			// A lock we hold ourselves (write-set key) validates fine.
+			if (lock != 0 && lock != uint64(c.id)) || ver != vals[i].r.version {
+				t.unlockAll(p)
+				c.Aborts++
+				return 0, ErrAborted
+			}
+		}
+	}
+
+	// --- Phase 3: UPDATE + UNLOCK.
+	updPayloads := make(map[int][]byte)
+	for _, key := range t.order {
+		value := t.writes[key]
+		sh := c.shardOf(key)
+		pl, ok := updPayloads[sh]
+		if !ok {
+			pl = make([]byte, 9)
+			pl[0] = rpcFarmUpdate
+			binary.LittleEndian.PutUint64(pl[1:9], uint64(c.id))
+		}
+		rec := make([]byte, 20+len(value))
+		binary.BigEndian.PutUint64(rec[:8], uint64(key))
+		binary.BigEndian.PutUint64(rec[8:16], uint64(ts))
+		binary.LittleEndian.PutUint32(rec[16:20], uint32(len(value)))
+		copy(rec[20:], value)
+		updPayloads[sh] = append(pl, rec...)
+	}
+	if len(updPayloads) > 0 {
+		var futs []*sim.Future[[]wire.Result]
+		for sh, pl := range updPayloads {
+			futs = append(futs, c.conns[sh].IssueAsync([]wire.Op{prism.Send(pl)}))
+		}
+		res := sim.WaitAll(p, futs)
+		for _, r := range res {
+			if r[0].Status != wire.StatusOK || len(r[0].Data) != 1 || r[0].Data[0] != 0 {
+				return 0, fmt.Errorf("tx: farm update failed")
+			}
+		}
+	}
+	c.Commits++
+	return ts, nil
+}
+
+// unlock releases write-set locks at the given shards.
+func (t *FarmTx) unlock(p *sim.Proc, shards []int) {
+	c := t.c
+	payloads := make(map[int][]byte)
+	for _, key := range t.order {
+		sh := c.shardOf(key)
+		found := false
+		for _, s := range shards {
+			if s == sh {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		pl, ok := payloads[sh]
+		if !ok {
+			pl = make([]byte, 9)
+			pl[0] = rpcFarmUnlock
+			binary.LittleEndian.PutUint64(pl[1:9], uint64(c.id))
+		}
+		var rec [8]byte
+		binary.BigEndian.PutUint64(rec[:], uint64(key))
+		payloads[sh] = append(pl, rec[:]...)
+	}
+	var futs []*sim.Future[[]wire.Result]
+	for sh, pl := range payloads {
+		futs = append(futs, c.conns[sh].IssueAsync([]wire.Op{prism.Send(pl)}))
+	}
+	if len(futs) > 0 {
+		sim.WaitAll(p, futs)
+	}
+}
+
+func (t *FarmTx) unlockAll(p *sim.Proc) {
+	shardSet := make(map[int]bool)
+	for _, key := range t.order {
+		shardSet[t.c.shardOf(key)] = true
+	}
+	shards := make([]int, 0, len(shardSet))
+	for sh := range shardSet {
+		shards = append(shards, sh)
+	}
+	t.unlock(p, shards)
+}

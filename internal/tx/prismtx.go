@@ -1,0 +1,504 @@
+package tx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"prism/internal/alloc"
+	"prism/internal/memory"
+	"prism/internal/prism"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/wire"
+)
+
+const rpcFree byte = 1
+
+// ShardOptions sizes a PRISM-TX shard.
+type ShardOptions struct {
+	NSlots       int64
+	MaxValue     int
+	ExtraBuffers int
+}
+
+// Shard is one PRISM-TX storage server. All transaction processing —
+// execution reads, validation, commit — runs as one-sided PRISM
+// operations; the host CPU only recycles buffers.
+type Shard struct {
+	rs   *rdma.Server
+	meta Meta
+}
+
+// NewShard provisions the metadata array and version-buffer free list.
+func NewShard(rs *rdma.Server, opts ShardOptions) (*Shard, error) {
+	space := rs.Space()
+	metaRegion, err := space.Register(uint64(opts.NSlots) * metaSize)
+	if err != nil {
+		return nil, fmt.Errorf("tx: metadata region: %w", err)
+	}
+	meta := Meta{
+		Key:      metaRegion.Key,
+		MetaBase: metaRegion.Base,
+		NSlots:   opts.NSlots,
+		MaxValue: opts.MaxValue,
+		FreeList: 1,
+	}
+	bs := bufSize(opts.MaxValue)
+	total := uint64(opts.NSlots) + uint64(opts.ExtraBuffers)
+	bufRegion, err := space.RegisterShared(metaRegion.Key, bs*total)
+	if err != nil {
+		return nil, fmt.Errorf("tx: buffer region: %w", err)
+	}
+	fl := alloc.NewFreeList(meta.FreeList, bs, metaRegion.Key)
+	for i := uint64(0); i < total; i++ {
+		fl.Post(bufRegion.Base + memory.Addr(i*bs))
+	}
+	rs.AddFreeList(fl)
+	rs.SetConnTempKey(metaRegion.Key)
+	s := &Shard{rs: rs, meta: meta}
+	rs.SetRPCHandler(s.handleRPC)
+	return s, nil
+}
+
+// Meta returns the control-plane description.
+func (s *Shard) Meta() Meta { return s.meta }
+
+// NIC returns the transport server.
+func (s *Shard) NIC() *rdma.Server { return s.rs }
+
+func (s *Shard) handleRPC(payload []byte) ([]byte, time.Duration) {
+	if len(payload) == 0 || payload[0] != rpcFree {
+		return nil, 0
+	}
+	rest := payload[1:]
+	n := 0
+	for len(rest) >= 8 {
+		addr := memory.Addr(binary.LittleEndian.Uint64(rest))
+		s.rs.RecycleBuffer(s.meta.FreeList, addr)
+		rest = rest[8:]
+		n++
+	}
+	return []byte{0}, time.Duration(n) * 100 * time.Nanosecond
+}
+
+// Load installs key=value at InitialVersion (bulk loading). Keys map to
+// slots collisionlessly (slot = key mod NSlots); the YCSB-T keyspace is
+// preloaded, as in the paper's evaluation.
+func (s *Shard) Load(key int64, value []byte) error {
+	if len(value) > s.meta.MaxValue {
+		return fmt.Errorf("tx: value too large")
+	}
+	fl := s.rs.FreeList(s.meta.FreeList)
+	buf, err := fl.Pop()
+	if err != nil {
+		return fmt.Errorf("tx: load out of buffers: %w", err)
+	}
+	space := s.rs.Space()
+	img := encodeVersion(InitialVersion, key, value)
+	if err := space.Write(s.meta.Key, buf, img); err != nil {
+		return err
+	}
+	idx := ((key % s.meta.NSlots) + s.meta.NSlots) % s.meta.NSlots
+	entry := make([]byte, metaSize)
+	prism.PutBE64(entry, offPW, uint64(InitialVersion))
+	prism.PutBE64(entry, offPR, uint64(InitialVersion))
+	prism.PutBE64(entry, offC, uint64(InitialVersion))
+	prism.PutLE64(entry, offAddr, uint64(buf))
+	prism.PutLE64(entry, offBound, uint64(len(img)))
+	return space.Write(s.meta.Key, s.meta.slotAddr(idx), entry)
+}
+
+// Client coordinates PRISM-TX transactions over a set of shards (one
+// connection each). Keys map to shards by modulo.
+type Client struct {
+	id     uint16
+	conns  []*rdma.Conn
+	metas  []Meta
+	clock  uint64
+	frees  [][]byte
+	engine *sim.Engine
+	// ctrl, when set, carries reclamation RPCs on dedicated control
+	// connections (one per shard).
+	ctrl []*rdma.Conn
+
+	// FreeBatch is the reclamation batch size per shard.
+	FreeBatch int
+
+	// Stats
+	Commits int64
+	Aborts  int64
+}
+
+// NewClient builds a transaction client over the given shards.
+func NewClient(id uint16, conns []*rdma.Conn, metas []Meta, e *sim.Engine) *Client {
+	if len(conns) != len(metas) || len(conns) == 0 {
+		panic("tx: shard connections and metadata must match")
+	}
+	if id == 0 {
+		panic("tx: client id 0 is reserved for preloaded versions")
+	}
+	return &Client{
+		id:        id,
+		conns:     conns,
+		metas:     metas,
+		frees:     make([][]byte, len(conns)),
+		engine:    e,
+		FreeBatch: 16,
+	}
+}
+
+func (c *Client) shardOf(key int64) int {
+	return int(((key % int64(len(c.conns))) + int64(len(c.conns))) % int64(len(c.conns)))
+}
+
+func (c *Client) slotOf(key int64, shard int) memory.Addr {
+	m := &c.metas[shard]
+	idx := ((key % m.NSlots) + m.NSlots) % m.NSlots
+	return m.slotAddr(idx)
+}
+
+// Tx is one transaction: buffered reads and writes awaiting commit.
+type Tx struct {
+	c      *Client
+	reads  map[int64]Timestamp // key -> RC observed
+	writes map[int64][]byte
+	order  []int64 // write keys in first-write order
+	doomed bool    // repeated reads disagreed; must abort
+}
+
+// valKey is one key undergoing prepare-phase validation.
+type valKey struct {
+	key     int64
+	isWrite bool
+	rc      Timestamp
+	hasRead bool
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() *Tx {
+	return &Tx{c: c, reads: make(map[int64]Timestamp), writes: make(map[int64][]byte)}
+}
+
+// Read returns key's committed value as of execution time (§8.2 execution
+// phase): one round trip chaining a direct READ of the metadata C with an
+// indirect bounded READ of the version buffer. RC is the larger of the
+// metadata C and the buffer's embedded timestamp:
+//
+//   - normally they agree (the commit CAS installs both atomically);
+//   - after an aborted writer bumped C (§8.2's abort rule), the metadata C
+//     exceeds the buffer timestamp; the bump acts as a committed no-op
+//     write, so the current value is correct *at the bumped version* —
+//     taking the max is what lets readers revalidate against the raised
+//     PW instead of aborting forever;
+//   - if a commit lands between the two reads of the chain, the buffer
+//     timestamp exceeds the C we read, and the buffer's (ts, value) pair
+//     is self-consistent.
+//
+// Reads see the transaction's own buffered writes first.
+func (t *Tx) Read(p *sim.Proc, key int64) ([]byte, error) {
+	if v, ok := t.writes[key]; ok {
+		return v, nil
+	}
+	c := t.c
+	sh := c.shardOf(key)
+	m := &c.metas[sh]
+	slot := c.slotOf(key, sh)
+	res := c.conns[sh].Issue(p,
+		prism.Read(m.Key, slot+offC, 8),
+		prism.ReadBounded(m.Key, slot+offAddr, bufSize(m.MaxValue)),
+	)
+	if res[1].Status == wire.StatusNAKAccess {
+		return nil, ErrNotFound
+	}
+	if res[0].Status != wire.StatusOK || res[1].Status != wire.StatusOK {
+		return nil, fmt.Errorf("tx: read statuses %v %v", res[0].Status, res[1].Status)
+	}
+	metaC := Timestamp(prism.BE64(res[0].Data, 0))
+	bufTS, k, value, err := decodeVersion(res[1].Data)
+	if err != nil {
+		return nil, err
+	}
+	if k != key {
+		return nil, fmt.Errorf("tx: slot collision: read key %d, want %d (size the table collisionlessly)", k, key)
+	}
+	rc := bufTS
+	if metaC > rc {
+		rc = metaC
+	}
+	if prev, ok := t.reads[key]; ok && prev != rc {
+		// The key changed between two of our own reads: the transaction
+		// has returned inconsistent values to the application and must
+		// abort at commit.
+		t.doomed = true
+	}
+	t.reads[key] = rc
+	return value, nil
+}
+
+// ReadVersion returns the version this transaction observed for key (zero
+// if the key was not read) — used by correctness oracles in tests.
+func (t *Tx) ReadVersion(key int64) Timestamp { return t.reads[key] }
+
+// Write buffers a write (§8.2: writes are local until commit).
+func (t *Tx) Write(key int64, value []byte) {
+	if _, seen := t.writes[key]; !seen {
+		t.order = append(t.order, key)
+	}
+	t.writes[key] = append([]byte(nil), value...)
+}
+
+// chooseTS picks the commit timestamp: greater than every RC read and the
+// client's logical clock (§8.2 prepare phase, as in Meerkat).
+func (t *Tx) chooseTS() Timestamp {
+	clock := t.c.clock + 1
+	for _, rc := range t.reads {
+		if rc.Clock() >= clock {
+			clock = rc.Clock() + 1
+		}
+	}
+	t.c.clock = clock
+	return MakeTimestamp(clock, t.c.id)
+}
+
+// Commit runs the prepare (validation) and commit phases. On validation
+// failure it returns ErrAborted; the transaction's effects are discarded
+// (except conservative PW/PR advances, which are safe).
+//
+// Returns the commit timestamp on success.
+func (t *Tx) Commit(p *sim.Proc) (Timestamp, error) {
+	c := t.c
+	ts := t.chooseTS()
+	if t.doomed {
+		c.Aborts++
+		return 0, ErrAborted
+	}
+
+	// --- Prepare phase: one chain per key, all shards in parallel.
+	var keys []valKey
+	for _, k := range t.order {
+		rc, hasRead := t.reads[k]
+		keys = append(keys, valKey{key: k, isWrite: true, rc: rc, hasRead: hasRead})
+	}
+	for k, rc := range t.reads {
+		if _, isWrite := t.writes[k]; !isWrite {
+			keys = append(keys, valKey{key: k, rc: rc, hasRead: true})
+		}
+	}
+
+	futs := make([]*sim.Future[[]wire.Result], len(keys))
+	for i, vk := range keys {
+		sh := c.shardOf(vk.key)
+		slot := c.slotOf(vk.key, sh)
+		m := &c.metas[sh]
+		var ops []wire.Op
+		if vk.hasRead {
+			// Read validation (§8.2): single CAS checking RC|TS > PW|PR
+			// over the 16-byte (PW,PR) pair, swapping PR only.
+			data := make([]byte, 16)
+			prism.PutBE64(data, 0, uint64(vk.rc))
+			prism.PutBE64(data, 8, uint64(ts))
+			ops = append(ops, prism.CAS(m.Key, slot+offPW, wire.CASGt, data,
+				prism.FullMask(16), prism.FieldMask(16, 8, 8)))
+		}
+		if vk.isWrite {
+			// Write validation: CAS TS > PW swapping PW; the returned
+			// pair carries PR for the client-side TS > PR check. For RMW
+			// keys the op is CONDITIONAL on the read validation (§8.2:
+			// "if all read validation checks succeed, the client moves on
+			// to validate the writes") — skipping it when the read check
+			// failed keeps PW from being raised by a transaction that is
+			// doomed anyway, which is what keeps contended keys live.
+			data := make([]byte, 16)
+			prism.PutBE64(data, 0, uint64(ts))
+			op := prism.CAS(m.Key, slot+offPW, wire.CASGt, data,
+				prism.FieldMask(16, 0, 8), prism.FieldMask(16, 0, 8))
+			if vk.hasRead {
+				op = prism.Conditional(op)
+			}
+			ops = append(ops, op)
+		}
+		futs[i] = c.conns[sh].IssueAsync(ops)
+	}
+	results := sim.WaitAll(p, futs)
+
+	ok := true
+	for i, vk := range keys {
+		res := results[i]
+		ri := 0
+		if vk.hasRead {
+			switch res[ri].Status {
+			case wire.StatusOK:
+				// validated and PR advanced
+			case wire.StatusCASFailed:
+				// Distinguish (§8.2): if the stored PW still equals RC the
+				// read is valid (PR was already >= TS); otherwise a
+				// concurrent writer prepared and we must abort. For an
+				// RMW key even the benign case aborts: PR >= TS means a
+				// later reader prepared, so our write cannot commit.
+				pw := Timestamp(prism.BE64(res[ri].Data, 0))
+				if pw != vk.rc || vk.isWrite {
+					ok = false
+				}
+			default:
+				return 0, fmt.Errorf("tx: read validation status %v", res[ri].Status)
+			}
+			ri++
+		}
+		if vk.isWrite {
+			switch res[ri].Status {
+			case wire.StatusOK:
+				// TS > PW held and PW advanced; now check TS against PR
+				// using the returned old pair. Equality is allowed:
+				// timestamps are globally unique, so PR == TS can only be
+				// this transaction's own read validation on an RMW key.
+				// (The paper states TS > PR; with the RMW key present in
+				// both sets, the self-read exemption is required for any
+				// read-modify-write to commit.)
+				pr := Timestamp(prism.BE64(res[ri].Data, 8))
+				if ts < pr {
+					ok = false // a prepared reader would miss our write
+				}
+			case wire.StatusCASFailed:
+				ok = false // a more recent writer prepared first
+			case wire.StatusNotExecuted:
+				ok = false // read validation failed; write check skipped
+			default:
+				return 0, fmt.Errorf("tx: write validation status %v", res[ri].Status)
+			}
+		}
+	}
+
+	if !ok {
+		t.abort(p, ts, keys, results)
+		c.Aborts++
+		return 0, ErrAborted
+	}
+
+	// --- Commit phase: install writes with the ALLOCATE/WRITE/CAS chain.
+	// Concurrent chains on one connection each use a distinct slot of the
+	// connection's temporary buffer (the redirect target); when a
+	// transaction writes more keys on one shard than there are slots, the
+	// installs proceed in waves.
+	if len(t.writes) > 0 {
+		const slotsPerConn = rdma.ConnTempSize / rdma.TempSlotSize
+		remaining := t.order
+		for len(remaining) > 0 {
+			wfuts := make([]*sim.Future[[]wire.Result], 0, len(remaining))
+			shards := make([]int, 0, len(remaining))
+			slotInUse := make(map[int]int) // shard -> temp slots taken this wave
+			var deferred []int64
+			for _, key := range remaining {
+				sh := c.shardOf(key)
+				slotIdx := slotInUse[sh]
+				if slotIdx >= slotsPerConn {
+					deferred = append(deferred, key)
+					continue
+				}
+				slotInUse[sh] = slotIdx + 1
+				value := t.writes[key]
+				m := &c.metas[sh]
+				conn := c.conns[sh]
+				slot := c.slotOf(key, sh)
+				img := encodeVersion(ts, key, value)
+
+				tmp := conn.TempAddr + memory.Addr(slotIdx*rdma.TempSlotSize)
+				pre := make([]byte, 24) // [C | addr(redirected) | bound]
+				prism.PutBE64(pre, 0, uint64(ts))
+				prism.PutLE64(pre, 16, uint64(len(img)))
+				wfuts = append(wfuts, conn.IssueAsync([]wire.Op{
+					prism.Write(conn.TempKey, tmp, pre),
+					prism.Conditional(prism.RedirectTo(prism.Allocate(m.FreeList, img), conn.TempKey, tmp+8)),
+					prism.Conditional(prism.CASIndirectData(m.Key, slot+offC, wire.CASGt, tmp,
+						prism.FieldMask(24, 0, 8), prism.FullMask(24))),
+				}))
+				shards = append(shards, sh)
+			}
+			wres := sim.WaitAll(p, wfuts)
+			for i, res := range wres {
+				switch res[2].Status {
+				case wire.StatusOK:
+					old := prism.LE64(res[2].Data, 8)
+					if old != 0 {
+						c.retire(shards[i], memory.Addr(old))
+					}
+				case wire.StatusCASFailed:
+					// A transaction with a later timestamp already installed
+					// a newer version of this key: our write is subsumed in
+					// the serial order (Thomas write rule). Retire our
+					// orphaned buffer.
+					if res[1].Status == wire.StatusOK {
+						c.retire(shards[i], res[1].Addr)
+					}
+				default:
+					return 0, fmt.Errorf("tx: commit install status %v", res[2].Status)
+				}
+			}
+			remaining = deferred
+		}
+		c.maybeFlushFrees()
+	}
+	c.Commits++
+	return ts, nil
+}
+
+// abort leaves PW/PR as is (the paper: conservative timestamps are always
+// safe) but bumps C for keys whose write check succeeded, unblocking
+// future readers (§8.2).
+func (t *Tx) abort(p *sim.Proc, ts Timestamp, keys []valKey, results [][]wire.Result) {
+	c := t.c
+	var futs []*sim.Future[[]wire.Result]
+	for i, vk := range keys {
+		if !vk.isWrite {
+			continue
+		}
+		ri := 0
+		if vk.hasRead {
+			ri = 1
+		}
+		if results[i][ri].Status != wire.StatusOK {
+			continue // write check did not succeed; nothing to unblock
+		}
+		sh := c.shardOf(vk.key)
+		m := &c.metas[sh]
+		slot := c.slotOf(vk.key, sh)
+		data := make([]byte, 24)
+		prism.PutBE64(data, 0, uint64(ts))
+		futs = append(futs, c.conns[sh].IssueAsync([]wire.Op{
+			prism.CAS(m.Key, slot+offC, wire.CASGt, data,
+				prism.FieldMask(24, 0, 8), prism.FieldMask(24, 0, 8)),
+		}))
+	}
+	if len(futs) > 0 {
+		sim.WaitAll(p, futs)
+	}
+}
+
+func (c *Client) retire(shard int, addr memory.Addr) {
+	var rec [8]byte
+	binary.LittleEndian.PutUint64(rec[:], uint64(addr))
+	c.frees[shard] = append(c.frees[shard], rec[:]...)
+}
+
+// UseControlConns routes reclamation RPCs over dedicated connections (one
+// per shard, same order as the data connections).
+func (c *Client) UseControlConns(ctrl []*rdma.Conn) {
+	if len(ctrl) != len(c.conns) {
+		panic("tx: control connections must match shards")
+	}
+	c.ctrl = ctrl
+}
+
+func (c *Client) maybeFlushFrees() {
+	for i, pending := range c.frees {
+		if len(pending)/8 >= c.FreeBatch {
+			payload := append([]byte{rpcFree}, pending...)
+			c.frees[i] = nil
+			conn := c.conns[i]
+			if c.ctrl != nil {
+				conn = c.ctrl[i]
+			}
+			conn.IssueAsync([]wire.Op{prism.Send(payload)})
+		}
+	}
+}

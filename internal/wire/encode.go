@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"prism/internal/memory"
+)
+
+// Decode errors.
+var (
+	ErrShortMessage = errors.New("wire: truncated message")
+	ErrBadMessage   = errors.New("wire: malformed message")
+)
+
+const maxInline = 1 << 20 // sanity cap on inline payload during decode
+
+func putU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func putU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func putBytes(b []byte, p []byte) []byte {
+	b = putU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.b) {
+		r.err = ErrShortMessage
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = ErrShortMessage
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.err = ErrShortMessage
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxInline || r.off+int(n) > len(r.b) {
+		r.err = ErrShortMessage
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// EncodeRequest serializes a request. The layout is fixed-width headers
+// plus length-prefixed byte strings; field order matches decode.
+func EncodeRequest(req *Request) []byte {
+	b := make([]byte, 0, 64+inlineLen(req))
+	b = putU64(b, req.Conn)
+	b = putU64(b, req.Seq)
+	b = putU32(b, uint32(len(req.Ops)))
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		b = append(b, byte(op.Code), byte(op.Flags), byte(op.Mode))
+		b = putU32(b, uint32(op.RKey))
+		b = putU64(b, uint64(op.Target))
+		b = putU64(b, op.Len)
+		b = putBytes(b, op.Data)
+		b = putBytes(b, op.CompareMask)
+		b = putBytes(b, op.SwapMask)
+		b = putU32(b, op.FreeList)
+		b = putU64(b, uint64(op.RedirectTo))
+	}
+	return b
+}
+
+func inlineLen(req *Request) int {
+	n := 0
+	for i := range req.Ops {
+		// per-op fixed bytes: code+flags+mode (3) + rkey (4) + target (8) +
+		// len (8) + three 4-byte length prefixes + freelist (4) + redirect (8)
+		n += len(req.Ops[i].Data) + len(req.Ops[i].CompareMask) + len(req.Ops[i].SwapMask) + 47
+	}
+	return n
+}
+
+// DecodeRequest parses a request encoded by EncodeRequest.
+func DecodeRequest(b []byte) (*Request, error) {
+	r := &reader{b: b}
+	req := &Request{Conn: r.u64(), Seq: r.u64()}
+	n := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("%w: chain of %d ops", ErrBadMessage, n)
+	}
+	req.Ops = make([]Op, n)
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		op.Code = OpCode(r.u8())
+		op.Flags = Flags(r.u8())
+		op.Mode = CASMode(r.u8())
+		op.RKey = memory.RKey(r.u32())
+		op.Target = memory.Addr(r.u64())
+		op.Len = r.u64()
+		op.Data = r.bytes()
+		op.CompareMask = r.bytes()
+		op.SwapMask = r.bytes()
+		op.FreeList = r.u32()
+		op.RedirectTo = memory.Addr(r.u64())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(b)-r.off)
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes a response.
+func EncodeResponse(resp *Response) []byte {
+	b := make([]byte, 0, 32)
+	b = putU64(b, resp.Conn)
+	b = putU64(b, resp.Seq)
+	b = putU32(b, uint32(len(resp.Results)))
+	for i := range resp.Results {
+		res := &resp.Results[i]
+		b = append(b, byte(res.Status))
+		b = putU64(b, uint64(res.Addr))
+		b = putBytes(b, res.Data)
+	}
+	return b
+}
+
+// DecodeResponse parses a response encoded by EncodeResponse.
+func DecodeResponse(b []byte) (*Response, error) {
+	r := &reader{b: b}
+	resp := &Response{Conn: r.u64(), Seq: r.u64()}
+	n := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("%w: %d results", ErrBadMessage, n)
+	}
+	resp.Results = make([]Result, n)
+	for i := range resp.Results {
+		res := &resp.Results[i]
+		res.Status = Status(r.u8())
+		res.Addr = memory.Addr(r.u64())
+		res.Data = r.bytes()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(b)-r.off)
+	}
+	return resp, nil
+}
+
+// RequestWireSize returns the encoded size of req without materializing the
+// encoding (used on hot paths for bandwidth accounting).
+func RequestWireSize(req *Request) int {
+	return 20 + inlineLen(req)
+}
+
+// ResponseWireSize returns the encoded size of resp.
+func ResponseWireSize(resp *Response) int {
+	n := 20
+	for i := range resp.Results {
+		n += 1 + 8 + 4 + len(resp.Results[i].Data)
+	}
+	return n
+}
