@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench
+
+all: check
+
+# The full gate: formatting, vet, build, tests, and the race detector over
+# the packages with cross-goroutine code (the parallel figure runner).
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bench ./internal/sim
+
+# Allocation microbenchmarks for the simulator hot path.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim ./internal/memory ./internal/bench

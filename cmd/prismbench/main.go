@@ -20,13 +20,37 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"prism/internal/bench"
 )
+
+// figRecord is one figure's wall-clock entry in the -json output.
+type figRecord struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Series      int     `json:"series"`
+	Points      int     `json:"points"`
+}
+
+// benchRecord is the perf record written by -json: enough to compare
+// serial vs parallel runs and to rerun the exact command.
+type benchRecord struct {
+	Command          string      `json:"command"`
+	Seed             int64       `json:"seed"`
+	Parallel         int         `json:"parallel"`
+	GOMAXPROCS       int         `json:"gomaxprocs"`
+	Keys             int64       `json:"keys"`
+	ValueSize        int         `json:"value_size"`
+	Figures          []figRecord `json:"figures"`
+	TotalWallSeconds float64     `json:"total_wall_seconds"`
+}
 
 func main() {
 	cfg := bench.DefaultConfig()
@@ -38,6 +62,8 @@ func main() {
 	seed := flag.Int64("seed", cfg.Seed, "simulation seed")
 	maxClients := flag.Int("max-clients", 0, "truncate the client ladder at this count (0 = full ladder)")
 	format := flag.String("format", "text", "output format: text or csv")
+	parallel := flag.Int("parallel", 1, "figure-point worker goroutines (0 = GOMAXPROCS; output is identical at any setting)")
+	jsonPath := flag.String("json", "", "write a wall-clock/throughput record to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prismbench [flags] {fig1|fig2|fig3|fig4|fig6|fig7|fig9|fig10|rpcvsrdma|all}\n")
 		flag.PrintDefaults()
@@ -49,6 +75,10 @@ func main() {
 	cfg.Measure = *measure
 	cfg.Warmup = *warmup
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
 	if *maxClients > 0 {
 		var ladder []int
 		for _, c := range cfg.ClientCounts {
@@ -82,6 +112,15 @@ func main() {
 	}
 	order := []string{"rpcvsrdma", "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "ext-shards", "ext-multikey"}
 
+	rec := benchRecord{
+		Command:    "prismbench " + strings.Join(os.Args[1:], " "),
+		Seed:       cfg.Seed,
+		Parallel:   cfg.Parallel,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Keys:       cfg.Keys,
+		ValueSize:  cfg.ValueSize,
+	}
+
 	run := func(name string) {
 		fn, ok := figures[name]
 		if !ok {
@@ -90,11 +129,20 @@ func main() {
 		}
 		start := time.Now()
 		fig := fn(cfg)
+		wall := time.Since(start).Seconds()
+		points := 0
+		for _, s := range fig.Series {
+			points += len(s.Points)
+		}
+		rec.Figures = append(rec.Figures, figRecord{
+			ID: fig.ID, WallSeconds: wall, Series: len(fig.Series), Points: points,
+		})
+		rec.TotalWallSeconds += wall
 		if *format == "csv" {
 			fig.FprintCSV(os.Stdout)
 		} else {
 			fig.Fprint(os.Stdout)
-			fmt.Printf("   [generated in %.1fs]\n\n", time.Since(start).Seconds())
+			fmt.Printf("   [generated in %.1fs]\n\n", wall)
 		}
 	}
 
@@ -102,7 +150,19 @@ func main() {
 		for _, name := range order {
 			run(name)
 		}
-		return
+	} else {
+		run(flag.Arg(0))
 	}
-	run(flag.Arg(0))
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prismbench: encoding record: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "prismbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"prism/internal/abd"
 	"prism/internal/alloc"
@@ -27,29 +28,33 @@ func AblationABDWriteback(cfg Config) *Figure {
 		Title:  "PRISM-RS GET: always write back (paper) vs skip-if-agreed",
 		XLabel: "variant", YLabel: "mean GET latency (µs)",
 	}
-	for _, skip := range []bool{false, true} {
-		e, mkClient := buildPRISMRS(cfg, cfg.Seed, 0)
-		d := newLoadDriver(e, cfg)
-		const clients = 16
-		for i := 0; i < clients; i++ {
-			st := mkClient(i).(*abd.Client)
-			st.SkipWriteBackIfAgreed = skip
-			gen := workload.NewGenerator(workload.Mix{
-				Keys: cfg.Keys, ReadFrac: 1.0, ValueSize: cfg.ValueSize,
-			}, cfg.Seed*7000+int64(i))
-			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
-				_, key := gen.Next()
-				_, err := st.Get(p, key)
-				return 0, err
-			})
-		}
-		pt := d.run(clients)
-		name := "always write back (paper)"
-		if skip {
-			name = "skip write-back when tags agree"
-		}
+	variants := []bool{false, true}
+	names := []string{"always write back (paper)", "skip write-back when tags agree"}
+	jobs := make([]func() Point, 0, len(variants))
+	for vi, skip := range variants {
+		jobs = append(jobs, func() Point {
+			seed := PointSeed(cfg.Seed, fig.ID, names[vi], "clients=16")
+			e, mkClient := buildPRISMRS(cfg, seed, 0)
+			d := newLoadDriver(e, cfg)
+			const clients = 16
+			for i := 0; i < clients; i++ {
+				st := mkClient(i).(*abd.Client)
+				st.SkipWriteBackIfAgreed = skip
+				gen := workload.NewGenerator(workload.Mix{
+					Keys: cfg.Keys, ReadFrac: 1.0, ValueSize: cfg.ValueSize,
+				}, clientSeed(seed, i))
+				d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+					_, key := gen.Next()
+					_, err := st.Get(p, key)
+					return 0, err
+				})
+			}
+			return d.run(clients)
+		})
+	}
+	for vi, pt := range runJobs(cfg.Parallel, jobs) {
 		fig.Series = append(fig.Series, Series{
-			Name:   name,
+			Name:   names[vi],
 			Points: []Point{pt},
 			Labels: []string{fmt.Sprintf("mean=%.2fµs p99=%.2fµs", float64(pt.Mean)/1e3, float64(pt.P99)/1e3)},
 		})
@@ -70,30 +75,34 @@ func AblationKVSlotCache(cfg Config) *Figure {
 	// A read-modify-write loop over a small working set, so the cache has
 	// hits (each client revisits its keys many times).
 	cfg.Keys = 16
-	for _, cache := range []bool{false, true} {
-		e, mkClient := buildPRISMKV(cfg, cfg.Seed)
-		d := newLoadDriver(e, cfg)
-		const clients = 16
-		for i := 0; i < clients; i++ {
-			st := mkClient(i).(*kv.Client)
-			st.SlotCache = cache
-			gen := workload.NewGenerator(workload.Mix{
-				Keys: cfg.Keys, ReadFrac: 0, ValueSize: cfg.ValueSize,
-			}, cfg.Seed*8000+int64(i))
-			ver := 0
-			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
-				_, key := gen.Next()
-				ver++
-				return 0, st.Put(p, key, gen.Value(key, ver))
-			})
-		}
-		pt := d.run(clients)
-		name := "probe + chain (2 RTs)"
-		if cache {
-			name = "cached slot + chain (1 RT)"
-		}
+	variants := []bool{false, true}
+	names := []string{"probe + chain (2 RTs)", "cached slot + chain (1 RT)"}
+	jobs := make([]func() Point, 0, len(variants))
+	for vi, cache := range variants {
+		jobs = append(jobs, func() Point {
+			seed := PointSeed(cfg.Seed, fig.ID, names[vi], "clients=16")
+			e, mkClient := buildPRISMKV(cfg, seed)
+			d := newLoadDriver(e, cfg)
+			const clients = 16
+			for i := 0; i < clients; i++ {
+				st := mkClient(i).(*kv.Client)
+				st.SlotCache = cache
+				gen := workload.NewGenerator(workload.Mix{
+					Keys: cfg.Keys, ReadFrac: 0, ValueSize: cfg.ValueSize,
+				}, clientSeed(seed, i))
+				ver := 0
+				d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+					_, key := gen.Next()
+					ver++
+					return 0, st.Put(p, key, gen.Value(key, ver))
+				})
+			}
+			return d.run(clients)
+		})
+	}
+	for vi, pt := range runJobs(cfg.Parallel, jobs) {
 		fig.Series = append(fig.Series, Series{
-			Name:   name,
+			Name:   names[vi],
 			Points: []Point{pt},
 			Labels: []string{fmt.Sprintf("mean=%.2fµs", float64(pt.Mean)/1e3)},
 		})
@@ -111,29 +120,33 @@ func AblationRedirectTarget(cfg Config) *Figure {
 		Title:  "Chain redirect target on the projected NIC: on-NIC vs host memory",
 		XLabel: "variant", YLabel: "chain round trip (µs)",
 	}
-	for _, host := range []bool{false, true} {
-		p := model.Default().WithNetwork(model.Direct)
-		p.RedirectToHostMem = host
-		env := newMicroEnvWithParams(model.ProjectedHardwarePRISM, p, cfg.Seed)
-		var tag uint64 = 1
-		lat := env.measure(func(i int) []wire.Op {
-			tag++
-			tagBytes := make([]byte, 8)
-			prism.PutBE64(tagBytes, 0, tag)
-			tmp := env.conn.TempAddr
-			return []wire.Op{
-				prism.Write(env.conn.TempKey, tmp, tagBytes),
-				prism.Conditional(prism.RedirectTo(prism.Allocate(1, make([]byte, microValue)), env.conn.TempKey, tmp+8)),
-				prism.Conditional(prism.CASIndirectData(env.reg.Key, env.reg.Base+64, wire.CASGt, tmp,
-					prism.FieldMask(16, 0, 8), prism.FullMask(16))),
-			}
+	variants := []bool{false, true}
+	names := []string{"on-NIC temp storage (§4.2)", "host-memory temp storage"}
+	jobs := make([]func() time.Duration, 0, len(variants))
+	for vi, host := range variants {
+		jobs = append(jobs, func() time.Duration {
+			p := model.Default().WithNetwork(model.Direct)
+			p.RedirectToHostMem = host
+			env := newMicroEnvWithParams(model.ProjectedHardwarePRISM, p,
+				PointSeed(cfg.Seed, fig.ID, names[vi], "chain"))
+			var tag uint64 = 1
+			return env.measure(func(i int) []wire.Op {
+				tag++
+				tagBytes := make([]byte, 8)
+				prism.PutBE64(tagBytes, 0, tag)
+				tmp := env.conn.TempAddr
+				return []wire.Op{
+					prism.Write(env.conn.TempKey, tmp, tagBytes),
+					prism.Conditional(prism.RedirectTo(prism.Allocate(1, make([]byte, microValue)), env.conn.TempKey, tmp+8)),
+					prism.Conditional(prism.CASIndirectData(env.reg.Key, env.reg.Base+64, wire.CASGt, tmp,
+						prism.FieldMask(16, 0, 8), prism.FullMask(16))),
+				}
+			})
 		})
-		name := "on-NIC temp storage (§4.2)"
-		if host {
-			name = "host-memory temp storage"
-		}
+	}
+	for vi, lat := range runJobs(cfg.Parallel, jobs) {
 		fig.Series = append(fig.Series, Series{
-			Name:   name,
+			Name:   names[vi],
 			Points: []Point{{Clients: 1, Mean: lat, Median: lat, P99: lat}},
 			Labels: []string{fmt.Sprintf("chain RTT %.2fµs", float64(lat)/1e3)},
 		})

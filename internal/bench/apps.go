@@ -83,31 +83,38 @@ func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engi
 	}
 }
 
-// kvCurve sweeps the client ladder for one system and workload mix.
-func kvCurve(sys kvSystem, cfg Config, readFrac float64) Series {
-	s := Series{Name: sys.name}
-	for _, nClients := range cfg.ClientCounts {
-		e, mkClient := sys.build(cfg, cfg.Seed)
-		d := newLoadDriver(e, cfg)
-		for i := 0; i < nClients; i++ {
-			st := mkClient(i)
-			gen := workload.NewGenerator(workload.Mix{
-				Keys: cfg.Keys, ReadFrac: readFrac, ValueSize: cfg.ValueSize,
-			}, cfg.Seed*1000+int64(i))
-			ver := 0
-			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
-				kind, key := gen.Next()
-				if kind == workload.OpGet {
-					_, err := st.Get(p, key)
-					return 0, err
-				}
-				ver++
-				return 0, st.Put(p, key, gen.Value(key, ver))
-			})
-		}
-		s.Points = append(s.Points, d.run(nClients))
+// kvPoint runs one ladder point of a KV system: a self-contained
+// simulation whose every RNG derives from the point's identity.
+func kvPoint(sys kvSystem, cfg Config, figID string, readFrac float64, nClients int) Point {
+	seed := PointSeed(cfg.Seed, figID, sys.name, fmt.Sprintf("clients=%d", nClients))
+	e, mkClient := sys.build(cfg, seed)
+	d := newLoadDriver(e, cfg)
+	for i := 0; i < nClients; i++ {
+		st := mkClient(i)
+		gen := workload.NewGenerator(workload.Mix{
+			Keys: cfg.Keys, ReadFrac: readFrac, ValueSize: cfg.ValueSize,
+		}, clientSeed(seed, i))
+		ver := 0
+		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+			kind, key := gen.Next()
+			if kind == workload.OpGet {
+				_, err := st.Get(p, key)
+				return 0, err
+			}
+			ver++
+			return 0, st.Put(p, key, gen.Value(key, ver))
+		})
 	}
-	return s
+	return d.run(nClients)
+}
+
+// kvCurve sweeps the client ladder for one system and workload mix.
+func kvCurve(sys kvSystem, cfg Config, figID string, readFrac float64) Series {
+	jobs := make([]func() Point, 0, len(cfg.ClientCounts))
+	for _, nClients := range cfg.ClientCounts {
+		jobs = append(jobs, func() Point { return kvPoint(sys, cfg, figID, readFrac, nClients) })
+	}
+	return Series{Name: sys.name, Points: runJobs(cfg.Parallel, jobs)}
 }
 
 // Fig3 reproduces Figure 3: PRISM-KV vs Pilaf (hardware and software
@@ -128,8 +135,20 @@ func kvFigure(cfg Config, id, title string, readFrac float64) *Figure {
 		{"Pilaf (software RDMA)", buildPilaf(model.SoftwarePRISM)},
 		{"PRISM-KV", buildPRISMKV},
 	}
+	// One flat job list across all series, so the pool drains every point
+	// of the figure concurrently, then reassemble per series.
+	var jobs []func() Point
 	for _, sys := range systems {
-		fig.Series = append(fig.Series, kvCurve(sys, cfg, readFrac))
+		for _, nClients := range cfg.ClientCounts {
+			jobs = append(jobs, func() Point { return kvPoint(sys, cfg, id, readFrac, nClients) })
+		}
+	}
+	pts := runJobs(cfg.Parallel, jobs)
+	for si, sys := range systems {
+		fig.Series = append(fig.Series, Series{
+			Name:   sys.name,
+			Points: pts[si*len(cfg.ClientCounts) : (si+1)*len(cfg.ClientCounts)],
+		})
 	}
 	return fig
 }
@@ -221,30 +240,29 @@ func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta fl
 	}
 }
 
-func rsCurve(sys rsSystem, cfg Config, theta float64, clientCounts []int) Series {
-	s := Series{Name: sys.name}
-	for _, nClients := range clientCounts {
-		e, mkClient := sys.build(cfg, cfg.Seed, theta)
-		d := newLoadDriver(e, cfg)
-		for i := 0; i < nClients; i++ {
-			st := mkClient(i)
-			gen := workload.NewGenerator(workload.Mix{
-				Keys: cfg.Keys, ReadFrac: 0.5, ValueSize: cfg.ValueSize, Theta: theta,
-			}, cfg.Seed*2000+int64(i))
-			ver := 0
-			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
-				kind, key := gen.Next()
-				if kind == workload.OpGet {
-					_, err := st.Get(p, key)
-					return 0, err
-				}
-				ver++
-				return 0, st.Put(p, key, gen.Value(key, ver))
-			})
-		}
-		s.Points = append(s.Points, d.run(nClients))
+// rsPoint runs one contention/ladder point of a replicated-storage system.
+func rsPoint(sys rsSystem, cfg Config, figID string, theta float64, nClients int) Point {
+	seed := PointSeed(cfg.Seed, figID, sys.name,
+		fmt.Sprintf("theta=%.2f/clients=%d", theta, nClients))
+	e, mkClient := sys.build(cfg, seed, theta)
+	d := newLoadDriver(e, cfg)
+	for i := 0; i < nClients; i++ {
+		st := mkClient(i)
+		gen := workload.NewGenerator(workload.Mix{
+			Keys: cfg.Keys, ReadFrac: 0.5, ValueSize: cfg.ValueSize, Theta: theta,
+		}, clientSeed(seed, i))
+		ver := 0
+		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+			kind, key := gen.Next()
+			if kind == workload.OpGet {
+				_, err := st.Get(p, key)
+				return 0, err
+			}
+			ver++
+			return 0, st.Put(p, key, gen.Value(key, ver))
+		})
 	}
-	return s
+	return d.run(nClients)
 }
 
 // Fig6 reproduces Figure 6: PRISM-RS vs lock-based ABD, 50% writes,
@@ -259,8 +277,18 @@ func Fig6(cfg Config) *Figure {
 		{"ABDLOCK (software RDMA)", buildABDLOCK(model.SoftwarePRISM)},
 		{"PRISM-RS", buildPRISMRS},
 	}
+	var jobs []func() Point
 	for _, sys := range systems {
-		fig.Series = append(fig.Series, rsCurve(sys, cfg, 0, cfg.ClientCounts))
+		for _, nClients := range cfg.ClientCounts {
+			jobs = append(jobs, func() Point { return rsPoint(sys, cfg, "fig6", 0, nClients) })
+		}
+	}
+	pts := runJobs(cfg.Parallel, jobs)
+	for si, sys := range systems {
+		fig.Series = append(fig.Series, Series{
+			Name:   sys.name,
+			Points: pts[si*len(cfg.ClientCounts) : (si+1)*len(cfg.ClientCounts)],
+		})
 	}
 	return fig
 }
@@ -278,11 +306,17 @@ func Fig7(cfg Config) *Figure {
 		{"PRISM-RS", buildPRISMRS},
 	}
 	const clients = 100
+	var jobs []func() Point
 	for _, sys := range systems {
-		s := Series{Name: sys.name}
 		for _, theta := range thetas {
-			curve := rsCurve(rsSystem{sys.name, sys.build}, cfg, theta, []int{clients})
-			pt := curve.Points[0]
+			jobs = append(jobs, func() Point { return rsPoint(sys, cfg, "fig7", theta, clients) })
+		}
+	}
+	pts := runJobs(cfg.Parallel, jobs)
+	for si, sys := range systems {
+		s := Series{Name: sys.name}
+		for ti, theta := range thetas {
+			pt := pts[si*len(thetas)+ti]
 			s.Points = append(s.Points, pt)
 			s.Labels = append(s.Labels, fmt.Sprintf("zipf=%.2f  mean=%.2fµs  p99=%.2fµs",
 				theta, float64(pt.Mean)/1e3, float64(pt.P99)/1e3))
@@ -404,23 +438,22 @@ func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engin
 	}
 }
 
-func txCurve(sys txSystem, cfg Config, theta float64, clientCounts []int) Series {
-	s := Series{Name: sys.name}
-	for _, nClients := range clientCounts {
-		e, mkRunner := sys.build(cfg, cfg.Seed)
-		d := newLoadDriver(e, cfg)
-		for i := 0; i < nClients; i++ {
-			run := mkRunner(i)
-			gen := workload.NewTxGenerator(workload.TxMix{
-				Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1, Theta: theta,
-			}, cfg.Seed*3000+int64(i))
-			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
-				return run(p, gen)
-			})
-		}
-		s.Points = append(s.Points, d.run(nClients))
+// txPoint runs one contention/ladder point of a transactional system.
+func txPoint(sys txSystem, cfg Config, figID string, theta float64, nClients int) Point {
+	seed := PointSeed(cfg.Seed, figID, sys.name,
+		fmt.Sprintf("theta=%.2f/clients=%d", theta, nClients))
+	e, mkRunner := sys.build(cfg, seed)
+	d := newLoadDriver(e, cfg)
+	for i := 0; i < nClients; i++ {
+		run := mkRunner(i)
+		gen := workload.NewTxGenerator(workload.TxMix{
+			Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1, Theta: theta,
+		}, clientSeed(seed, i))
+		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+			return run(p, gen)
+		})
 	}
-	return s
+	return d.run(nClients)
 }
 
 // Fig9 reproduces Figure 9: PRISM-TX vs FaRM throughput-latency, YCSB-T
@@ -435,8 +468,18 @@ func Fig9(cfg Config) *Figure {
 		{"FaRM (software RDMA)", buildFaRM(model.SoftwarePRISM)},
 		{"PRISM-TX", buildPRISMTX},
 	}
+	var jobs []func() Point
 	for _, sys := range systems {
-		fig.Series = append(fig.Series, txCurve(sys, cfg, 0, cfg.ClientCounts))
+		for _, nClients := range cfg.ClientCounts {
+			jobs = append(jobs, func() Point { return txPoint(sys, cfg, "fig9", 0, nClients) })
+		}
+	}
+	pts := runJobs(cfg.Parallel, jobs)
+	for si, sys := range systems {
+		fig.Series = append(fig.Series, Series{
+			Name:   sys.name,
+			Points: pts[si*len(cfg.ClientCounts) : (si+1)*len(cfg.ClientCounts)],
+		})
 	}
 	return fig
 }
@@ -455,12 +498,23 @@ func Fig10(cfg Config) *Figure {
 		{"FaRM (software RDMA)", buildFaRM(model.SoftwarePRISM)},
 		{"PRISM-TX", buildPRISMTX},
 	}
+	// Flatten systems x thetas x ladder into one job list; the peak pick
+	// over each ladder happens after reassembly.
+	var jobs []func() Point
 	for _, sys := range systems {
-		s := Series{Name: sys.name}
 		for _, theta := range thetas {
-			curve := txCurve(sys, cfg, theta, ladder)
-			best := curve.Points[0]
-			for _, pt := range curve.Points[1:] {
+			for _, nClients := range ladder {
+				jobs = append(jobs, func() Point { return txPoint(sys, cfg, "fig10", theta, nClients) })
+			}
+		}
+	}
+	pts := runJobs(cfg.Parallel, jobs)
+	for si, sys := range systems {
+		s := Series{Name: sys.name}
+		for ti, theta := range thetas {
+			base := (si*len(thetas) + ti) * len(ladder)
+			best := pts[base]
+			for _, pt := range pts[base+1 : base+len(ladder)] {
 				if pt.Throughput > best.Throughput {
 					best = pt
 				}

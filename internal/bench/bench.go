@@ -13,9 +13,12 @@
 package bench
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"prism/internal/sim"
@@ -39,6 +42,11 @@ type Config struct {
 	// throughput points do not dominate wall-clock time.
 	MaxOps int64
 	Seed   int64
+	// Parallel is the worker count for the point runner: each figure point
+	// is an independent simulation, and up to Parallel of them execute
+	// concurrently. <= 1 runs points serially in declaration order. Output
+	// is byte-identical either way (see PointSeed).
+	Parallel int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -52,7 +60,79 @@ func DefaultConfig() Config {
 		Measure:        4 * time.Millisecond,
 		MaxOps:         0,
 		Seed:           42,
+		Parallel:       1,
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Point runner
+//
+// Every figure point (one simulated cluster driven through one measurement
+// window) is a self-contained job: it builds its own engine, seeds every
+// RNG from PointSeed, and shares no state with other points. Jobs are
+// declared in figure order and executed by runJobs — serially or on a
+// worker pool — with results reassembled in declaration order, so the
+// rendered figure is byte-identical regardless of worker count or
+// scheduling.
+
+// PointSeed derives the deterministic seed for one figure point from the
+// run seed and the point's identity (figure ID, series name, and a point
+// key such as "clients=64" or "theta=0.80"). Because the seed depends only
+// on identity — never on execution order — serial and parallel runs
+// produce identical measurements.
+func PointSeed(base int64, figID, series, point string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(figID))
+	h.Write([]byte{0})
+	h.Write([]byte(series))
+	h.Write([]byte{0})
+	h.Write([]byte(point))
+	return int64(h.Sum64())
+}
+
+// clientSeed derives the workload-generator seed for client i of a point
+// (a SplitMix64 step, so per-client streams are decorrelated).
+func clientSeed(pointSeed int64, i int) int64 {
+	z := uint64(pointSeed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// runJobs executes jobs on up to workers goroutines and returns their
+// results in declaration order. workers <= 1 runs them serially on the
+// calling goroutine.
+func runJobs[T any](workers int, jobs []func() T) []T {
+	out := make([]T, len(jobs))
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, job := range jobs {
+			out[i] = job()
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }
 
 // Point is one measured point of a curve.

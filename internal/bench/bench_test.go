@@ -187,12 +187,88 @@ func TestAblationFreelistClasses(t *testing.T) {
 
 func TestDriverDeterminism(t *testing.T) {
 	run := func() []Point {
-		return kvCurve(kvSystem{"PRISM-KV", buildPRISMKV}, tiny(), 1.0).Points
+		return kvCurve(kvSystem{"PRISM-KV", buildPRISMKV}, tiny(), "fig3", 1.0).Points
 	}
 	a, b := run(), run()
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("point %d differs across identical runs:\n%v\n%v", i, a[i], b[i])
+		}
+	}
+}
+
+// render captures a figure's exact CSV bytes for identity comparisons.
+func render(fig *Figure) string {
+	var sb strings.Builder
+	fig.FprintCSV(&sb)
+	return sb.String()
+}
+
+// TestParallelMatchesSerial is the tentpole regression: running the point
+// pool with many workers must produce byte-identical output to the serial
+// run, for a ladder figure and for a contention figure with multi-level
+// point keys (Fig. 10 also exercises the peak-pick reassembly).
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, figure := range []struct {
+		name string
+		fn   func(Config) *Figure
+	}{
+		{"fig4", Fig4},
+		{"fig10", Fig10},
+	} {
+		t.Run(figure.name, func(t *testing.T) {
+			serial := tiny()
+			serial.Parallel = 1
+			parallel := tiny()
+			parallel.Parallel = 8
+			if a, b := render(figure.fn(serial)), render(figure.fn(parallel)); a != b {
+				t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestLadderRerunIdentical: the same seed must reproduce every point of a
+// multi-series figure exactly, run to run.
+func TestLadderRerunIdentical(t *testing.T) {
+	cfg := tiny()
+	cfg.Parallel = 4
+	if a, b := render(Fig6(cfg)), render(Fig6(cfg)); a != b {
+		t.Fatalf("identical seeds diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPointSeedIdentity(t *testing.T) {
+	a := PointSeed(42, "fig3", "PRISM-KV", "clients=64")
+	if b := PointSeed(42, "fig3", "PRISM-KV", "clients=64"); a != b {
+		t.Fatal("PointSeed not deterministic")
+	}
+	// Distinct identities get distinct seeds (field boundaries matter).
+	others := []int64{
+		PointSeed(43, "fig3", "PRISM-KV", "clients=64"),
+		PointSeed(42, "fig4", "PRISM-KV", "clients=64"),
+		PointSeed(42, "fig3", "Pilaf", "clients=64"),
+		PointSeed(42, "fig3", "PRISM-KV", "clients=6"),
+		PointSeed(42, "fig3", "PRISM-KV/clients=64", ""),
+	}
+	for i, o := range others {
+		if o == a {
+			t.Fatalf("identity %d collided with base seed", i)
+		}
+	}
+}
+
+func TestRunJobsOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		jobs := make([]func() int, 40)
+		for i := range jobs {
+			jobs[i] = func() int { return i * i }
+		}
+		got := runJobs(workers, jobs)
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*i)
+			}
 		}
 	}
 }

@@ -18,9 +18,9 @@ import (
 
 // buildTXCluster provisions n PRISM-TX shards and a client factory for
 // transactions of keysPerTx keys.
-func buildTXCluster(cfg Config, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner) {
+func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner) {
 	p := model.Default().WithNetwork(model.Rack)
-	e := sim.NewEngine(cfg.Seed)
+	e := sim.NewEngine(seed)
 	net := fabric.New(e, p)
 	shards := make([]*tx.Shard, nShards)
 	metas := make([]tx.Meta, nShards)
@@ -34,7 +34,7 @@ func buildTXCluster(cfg Config, nShards, keysPerTx int) (*sim.Engine, func(id in
 		shards[i] = s
 		metas[i] = s.Meta()
 	}
-	gen := workload.NewTxGenerator(workload.TxMix{Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx}, cfg.Seed)
+	gen := workload.NewTxGenerator(workload.TxMix{Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx}, seed)
 	for k := int64(0); k < cfg.Keys; k++ {
 		if err := shards[k%int64(nShards)].Load(k, gen.Value(k, 0)); err != nil {
 			panic(err)
@@ -91,26 +91,41 @@ func ExtShards(cfg Config) *Figure {
 		XLabel: "shards", YLabel: "throughput (txns/s)",
 	}
 	const clients = 256
+	shardCounts := []int{1, 2, 4}
+	jobs := make([]func() Point, 0, len(shardCounts))
+	for _, nShards := range shardCounts {
+		jobs = append(jobs, func() Point {
+			return txClusterPoint(cfg, "ext-shards", fmt.Sprintf("shards=%d", nShards),
+				nShards, 1, clients)
+		})
+	}
+	pts := runJobs(cfg.Parallel, jobs)
 	s := Series{Name: "PRISM-TX"}
-	for _, nShards := range []int{1, 2, 4} {
-		e, mkRunner := buildTXCluster(cfg, nShards, 1)
-		d := newLoadDriver(e, cfg)
-		for i := 0; i < clients; i++ {
-			run := mkRunner(i)
-			gen := workload.NewTxGenerator(workload.TxMix{
-				Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1,
-			}, cfg.Seed*4000+int64(i))
-			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
-				return run(p, gen)
-			})
-		}
-		pt := d.run(clients)
+	for i, nShards := range shardCounts {
+		pt := pts[i]
 		s.Points = append(s.Points, pt)
 		s.Labels = append(s.Labels, fmt.Sprintf("shards=%d  tput=%.0f txns/s  mean=%.2fµs",
 			nShards, pt.Throughput, float64(pt.Mean)/1e3))
 	}
 	fig.Series = append(fig.Series, s)
 	return fig
+}
+
+// txClusterPoint runs one multi-shard PRISM-TX measurement.
+func txClusterPoint(cfg Config, figID, pointKey string, nShards, keysPerTx, clients int) Point {
+	seed := PointSeed(cfg.Seed, figID, "PRISM-TX", pointKey)
+	e, mkRunner := buildTXCluster(cfg, seed, nShards, keysPerTx)
+	d := newLoadDriver(e, cfg)
+	for i := 0; i < clients; i++ {
+		run := mkRunner(i)
+		gen := workload.NewTxGenerator(workload.TxMix{
+			Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx,
+		}, clientSeed(seed, i))
+		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+			return run(p, gen)
+		})
+	}
+	return d.run(clients)
 }
 
 // ExtMultiKey measures PRISM-TX with multi-key transactions spanning two
@@ -123,20 +138,18 @@ func ExtMultiKey(cfg Config) *Figure {
 		XLabel: "keys per transaction", YLabel: "mean latency (µs)",
 	}
 	const clients = 32
+	keysPerTx := []int{1, 2, 4, 8}
+	jobs := make([]func() Point, 0, len(keysPerTx))
+	for _, kpt := range keysPerTx {
+		jobs = append(jobs, func() Point {
+			return txClusterPoint(cfg, "ext-multikey", fmt.Sprintf("keys=%d", kpt),
+				2, kpt, clients)
+		})
+	}
+	pts := runJobs(cfg.Parallel, jobs)
 	s := Series{Name: "PRISM-TX"}
-	for _, kpt := range []int{1, 2, 4, 8} {
-		e, mkRunner := buildTXCluster(cfg, 2, kpt)
-		d := newLoadDriver(e, cfg)
-		for i := 0; i < clients; i++ {
-			run := mkRunner(i)
-			gen := workload.NewTxGenerator(workload.TxMix{
-				Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: kpt,
-			}, cfg.Seed*5000+int64(i))
-			d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
-				return run(p, gen)
-			})
-		}
-		pt := d.run(clients)
+	for i, kpt := range keysPerTx {
+		pt := pts[i]
 		s.Points = append(s.Points, pt)
 		s.Labels = append(s.Labels, fmt.Sprintf("keys/txn=%d  mean=%.2fµs  tput=%.0f txns/s  aborts=%d",
 			kpt, float64(pt.Mean)/1e3, pt.Throughput, pt.Aborts))

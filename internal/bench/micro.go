@@ -65,13 +65,28 @@ func Fig1(cfg Config) *Figure {
 		XLabel: "operation",
 		YLabel: "latency (µs)",
 	}
+	type cell struct {
+		lat       time.Duration
+		supported bool
+	}
+	var jobs []func() cell
 	for _, d := range deployments {
+		for opIdx, opName := range opNames {
+			jobs = append(jobs, func() cell {
+				seed := PointSeed(cfg.Seed, "fig1", d.String(), opName)
+				env := newMicroEnvPrepared(d, model.Direct, seed)
+				lat, supported := env.runOp(opIdx)
+				return cell{lat, supported}
+			})
+		}
+	}
+	cells := runJobs(cfg.Parallel, jobs)
+	for di, d := range deployments {
 		s := Series{Name: d.String()}
 		for opIdx, opName := range opNames {
-			env := newMicroEnvPrepared(d, model.Direct, cfg.Seed)
-			lat, supported := env.runOp(opIdx)
-			label := opName
-			if !supported {
+			c := cells[di*len(opNames)+opIdx]
+			lat, label := c.lat, opName
+			if !c.supported {
 				lat = 0 // not expressible on a stock RDMA NIC
 				label = opName + " (unsupported)"
 			}
@@ -180,24 +195,31 @@ func Fig2(cfg Config) *Figure {
 		{"PRISM BlueField", model.BlueFieldPRISM, false},
 		{"PRISM HW (proj)", model.ProjectedHardwarePRISM, false},
 	}
+	var jobs []func() time.Duration
 	for _, v := range variants {
-		s := Series{Name: v.name}
 		for _, prof := range profiles {
-			env := newMicroEnvPrepared(v.deploy, prof, cfg.Seed)
-			var lat time.Duration
-			if v.twoRTT {
-				// Pointer read, then data read: two dependent round trips.
-				lat = env.measure(func(i int) []wire.Op {
-					return []wire.Op{prism.Read(env.reg.Key, env.reg.Base, 8)}
-				})
-				lat += env.measure(func(i int) []wire.Op {
-					return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
-				})
-			} else {
-				lat = env.measure(func(i int) []wire.Op {
+			jobs = append(jobs, func() time.Duration {
+				seed := PointSeed(cfg.Seed, "fig2", v.name, prof.Name)
+				env := newMicroEnvPrepared(v.deploy, prof, seed)
+				if v.twoRTT {
+					// Pointer read, then data read: two dependent round trips.
+					return env.measure(func(i int) []wire.Op {
+						return []wire.Op{prism.Read(env.reg.Key, env.reg.Base, 8)}
+					}) + env.measure(func(i int) []wire.Op {
+						return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
+					})
+				}
+				return env.measure(func(i int) []wire.Op {
 					return []wire.Op{prism.ReadIndirect(env.reg.Key, env.reg.Base, microValue)}
 				})
-			}
+			})
+		}
+	}
+	lats := runJobs(cfg.Parallel, jobs)
+	for vi, v := range variants {
+		s := Series{Name: v.name}
+		for pi, prof := range profiles {
+			lat := lats[vi*len(profiles)+pi]
 			s.Points = append(s.Points, Point{Clients: 1, Mean: lat, Median: lat, P99: lat})
 			s.Labels = append(s.Labels, prof.Name)
 		}
@@ -219,36 +241,47 @@ func RPCvsRDMA(cfg Config) *Figure {
 		XLabel: "mechanism",
 		YLabel: "latency (µs)",
 	}
-	p := model.Default().WithNetwork(model.Direct)
-	p.RDMABaseRTT = 3200 * time.Nanosecond // §2.1's 40 GbE testbed
-	env := newMicroEnvWithParams(model.HardwareRDMA, p, cfg.Seed)
-	env.srv.SetRPCHandler(func(payload []byte) ([]byte, time.Duration) {
-		// KV-style GET handler: return the 512 B object.
-		return make([]byte, microValue), 0
-	})
-	oneRead := env.measure(func(i int) []wire.Op {
-		return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
-	})
-	rpc := env.measure(func(i int) []wire.Op {
-		return []wire.Op{prism.Send([]byte{1})}
-	})
-	twoReads := env.measure(func(i int) []wire.Op {
-		return []wire.Op{prism.Read(env.reg.Key, env.reg.Base, 8)}
-	}) + env.measure(func(i int) []wire.Op {
-		return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
-	})
-	for _, row := range []struct {
-		name string
-		lat  time.Duration
-	}{
-		{"one-sided READ", oneRead},
-		{"two-sided RPC", rpc},
-		{"2x one-sided READs", twoReads},
-	} {
+	newEnv := func(name string) *microEnv {
+		p := model.Default().WithNetwork(model.Direct)
+		p.RDMABaseRTT = 3200 * time.Nanosecond // §2.1's 40 GbE testbed
+		env := newMicroEnvWithParams(model.HardwareRDMA, p,
+			PointSeed(cfg.Seed, "rpcvsrdma", name, "512B"))
+		env.srv.SetRPCHandler(func(payload []byte) ([]byte, time.Duration) {
+			// KV-style GET handler: return the 512 B object.
+			return make([]byte, microValue), 0
+		})
+		return env
+	}
+	names := []string{"one-sided READ", "two-sided RPC", "2x one-sided READs"}
+	jobs := []func() time.Duration{
+		func() time.Duration {
+			env := newEnv(names[0])
+			return env.measure(func(i int) []wire.Op {
+				return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
+			})
+		},
+		func() time.Duration {
+			env := newEnv(names[1])
+			return env.measure(func(i int) []wire.Op {
+				return []wire.Op{prism.Send([]byte{1})}
+			})
+		},
+		func() time.Duration {
+			env := newEnv(names[2])
+			return env.measure(func(i int) []wire.Op {
+				return []wire.Op{prism.Read(env.reg.Key, env.reg.Base, 8)}
+			}) + env.measure(func(i int) []wire.Op {
+				return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
+			})
+		},
+	}
+	lats := runJobs(cfg.Parallel, jobs)
+	for i, name := range names {
+		lat := lats[i]
 		fig.Series = append(fig.Series, Series{
-			Name:   row.name,
-			Points: []Point{{Clients: 1, Mean: row.lat, Median: row.lat, P99: row.lat}},
-			Labels: []string{row.name},
+			Name:   name,
+			Points: []Point{{Clients: 1, Mean: lat, Median: lat, P99: lat}},
+			Labels: []string{name},
 		})
 	}
 	return fig

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"testing"
+
+	"prism/internal/sim"
+)
+
+// BenchmarkSimulatedGET measures one full PRISM-KV GET round trip through
+// the simulator — client encode, fabric delivery, NIC chain execution
+// (indirect read through the slot), response decode — the inner loop of
+// every figure point.
+func BenchmarkSimulatedGET(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Keys = 1024
+	e, mkClient := buildPRISMKV(cfg, 42)
+	st := mkClient(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Get(p, int64(i)%cfg.Keys); err != nil {
+				panic(err)
+			}
+		}
+	})
+	e.Run()
+}

@@ -57,6 +57,66 @@ type Network struct {
 	e     *sim.Engine
 	p     model.Params
 	nodes []*Node
+	free  *flight // recycled in-flight message carriers
+}
+
+// flight carries one message through its delivery hops (tx serialization →
+// switch propagation → rx serialization → handler). The hop callbacks are
+// bound to the flight once, when it is first allocated, so a recycled
+// flight moves a message end to end without allocating.
+type flight struct {
+	net  *Network
+	m    Message
+	ser  sim.Duration
+	next *flight
+
+	afterTx  func()
+	atSwitch func()
+	deliver  func()
+}
+
+func (n *Network) newFlight(m Message, ser sim.Duration) *flight {
+	f := n.free
+	if f != nil {
+		n.free = f.next
+		f.next = nil
+	} else {
+		f = &flight{net: n}
+		f.afterTx = f.runAfterTx
+		f.atSwitch = f.runAtSwitch
+		f.deliver = f.runDeliver
+	}
+	f.m = m
+	f.ser = ser
+	return f
+}
+
+func (n *Network) recycle(f *flight) {
+	f.m = Message{} // drop payload references
+	f.next = n.free
+	n.free = f
+}
+
+func (f *flight) runAfterTx() {
+	n := f.net
+	if n.p.LossRate > 0 && n.e.Rand().Float64() < n.p.LossRate {
+		f.m.To.MsgsDropped++
+		n.recycle(f)
+		return
+	}
+	n.e.Schedule(n.p.Network.OneWay, f.atSwitch)
+}
+
+func (f *flight) runAtSwitch() {
+	// Receive-side serialization: the destination port is the contention
+	// point when many senders target one server.
+	f.m.To.rx.Submit(f.ser, f.deliver)
+}
+
+func (f *flight) runDeliver() {
+	m := f.m
+	f.net.recycle(f) // before the handler, so reentrant sends can reuse it
+	f.net.deliver(m)
 }
 
 // New returns an empty network using p's latency/bandwidth parameters.
@@ -90,24 +150,17 @@ func (n *Network) Send(m Message) {
 		panic("fabric: Send with nil endpoint")
 	}
 	if m.From == m.To {
-		// Loopback: skip the wire, deliver after a negligible delay.
-		n.e.Schedule(0, func() { n.deliver(m) })
+		// Loopback: skip the wire, deliver after a negligible delay. Still
+		// account the send so same-node traffic shows up in byte counters.
+		m.From.BytesSent += int64(m.Size)
+		m.From.MsgsSent++
+		n.e.Schedule(0, n.newFlight(m, 0).deliver)
 		return
 	}
 	ser := n.p.SerializationDelay(m.Size)
 	m.From.BytesSent += int64(m.Size)
 	m.From.MsgsSent++
-	m.From.tx.Submit(ser, func() {
-		if n.p.LossRate > 0 && n.e.Rand().Float64() < n.p.LossRate {
-			m.To.MsgsDropped++
-			return
-		}
-		n.e.Schedule(n.p.Network.OneWay, func() {
-			// Receive-side serialization: the destination port is the
-			// contention point when many senders target one server.
-			m.To.rx.Submit(ser, func() { n.deliver(m) })
-		})
-	})
+	m.From.tx.Submit(ser, n.newFlight(m, ser).afterTx)
 }
 
 func (n *Network) deliver(m Message) {

@@ -88,6 +88,13 @@ func TestLoopback(t *testing.T) {
 	if e.Now() != 0 {
 		t.Fatalf("loopback took %v", e.Now())
 	}
+	// Same-node traffic must be visible to the byte counters.
+	if a.BytesSent != 64 || a.MsgsSent != 1 {
+		t.Fatalf("loopback sender counters: %d bytes, %d msgs", a.BytesSent, a.MsgsSent)
+	}
+	if a.BytesReceived != 64 || a.MsgsReceived != 1 {
+		t.Fatalf("loopback receiver counters: %d bytes, %d msgs", a.BytesReceived, a.MsgsReceived)
+	}
 }
 
 func TestLossDropsMessages(t *testing.T) {

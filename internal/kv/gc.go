@@ -62,7 +62,7 @@ func (s *Server) leakedBuffers() map[uint32][]memory.Addr {
 	space := s.rs.Space()
 	referenced := make(map[memory.Addr]bool, s.meta.NSlots)
 	for i := int64(0); i < s.meta.NSlots; i++ {
-		slot, err := space.Read(s.meta.Key, s.meta.slotAddr(i), slotSize)
+		slot, err := space.Peek(s.meta.Key, s.meta.slotAddr(i), slotSize)
 		if err != nil {
 			continue
 		}

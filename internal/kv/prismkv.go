@@ -161,9 +161,10 @@ func (s *Server) Load(key int64, value []byte) error {
 		prism.PutLE64(out, 16, uint64(len(entry)))
 		return space.Write(s.meta.Key, addr, out)
 	}
-	// slotState reports whether the slot is free or already holds key.
+	// slotState reports whether the slot is free or already holds key. The
+	// peeked bytes are parsed on the spot, never retained.
 	slotState := func(addr memory.Addr) (free, same bool, err error) {
-		slot, err := space.Read(s.meta.Key, addr, slotSize)
+		slot, err := space.Peek(s.meta.Key, addr, slotSize)
 		if err != nil {
 			return false, false, err
 		}
@@ -171,7 +172,7 @@ func (s *Server) Load(key int64, value []byte) error {
 		if ptr == 0 {
 			return true, false, nil
 		}
-		existing, err := space.Read(s.meta.Key, memory.Addr(ptr), entryHeader+8)
+		existing, err := space.Peek(s.meta.Key, memory.Addr(ptr), entryHeader+8)
 		if err != nil {
 			return false, false, err
 		}

@@ -1,0 +1,51 @@
+package memory
+
+import "testing"
+
+func benchSpace(b *testing.B) (*Space, RKey, Addr) {
+	b.Helper()
+	s := NewSpace()
+	r, err := s.Register(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, r.Key, r.Base
+}
+
+// BenchmarkRead is the copying path: one allocation per call.
+func BenchmarkRead(b *testing.B) {
+	s, key, base := benchSpace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(key, base+Addr(i%4096), 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeek is the zero-copy path used when the caller does not retain
+// the bytes past the current simulation event.
+func BenchmarkPeek(b *testing.B) {
+	s, key, base := benchSpace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Peek(key, base+Addr(i%4096), 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadInto copies into a caller-owned buffer: no allocation.
+func BenchmarkReadInto(b *testing.B) {
+	s, key, base := benchSpace(b)
+	dst := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReadInto(dst, key, base+Addr(i%4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Space struct {
 	regions []*Region // sorted by Base
 	nextKey RKey
 	brk     Addr // bump pointer for Register allocations
+	// last caches the most recently hit region. Verb streams have strong
+	// region locality (a store's hash table or value heap), so most lookups
+	// skip the binary search.
+	last *Region
 }
 
 // NewSpace returns an empty memory space. Address 0 is never allocated so
@@ -98,8 +102,12 @@ func (s *Space) RegisterShared(key RKey, n uint64) (*Region, error) {
 
 // find returns the region containing addr, or nil.
 func (s *Space) find(addr Addr) *Region {
+	if r := s.last; r != nil && addr >= r.Base && addr < r.End() {
+		return r
+	}
 	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > addr })
 	if i < len(s.regions) && addr >= s.regions[i].Base {
+		s.last = s.regions[i]
 		return s.regions[i]
 	}
 	return nil
@@ -126,14 +134,38 @@ func (s *Space) Check(key RKey, addr Addr, n uint64) (*Region, error) {
 
 // Read copies n bytes at addr (validated under key) into a fresh slice.
 func (s *Space) Read(key RKey, addr Addr, n uint64) ([]byte, error) {
+	b, err := s.Peek(key, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// Peek returns a zero-copy view of the n bytes at addr, validated under
+// key. The slice aliases the region's backing storage: callers must not
+// retain it past the current operation or across a Write that could
+// overlap it — use Read when the bytes outlive the access (e.g. they ride
+// a response message).
+func (s *Space) Peek(key RKey, addr Addr, n uint64) ([]byte, error) {
 	r, err := s.Check(key, addr, n)
 	if err != nil {
 		return nil, err
 	}
 	off := addr - r.Base
-	out := make([]byte, n)
-	copy(out, r.data[off:off+Addr(n)])
-	return out, nil
+	return r.data[off : off+Addr(n) : off+Addr(n)], nil
+}
+
+// ReadInto copies len(dst) bytes at addr into dst, validated under key —
+// Read without the allocation, for callers that reuse a buffer.
+func (s *Space) ReadInto(dst []byte, key RKey, addr Addr) error {
+	b, err := s.Peek(key, addr, uint64(len(dst)))
+	if err != nil {
+		return err
+	}
+	copy(dst, b)
+	return nil
 }
 
 // Write copies data to addr, validated under key.
@@ -148,7 +180,7 @@ func (s *Space) Write(key RKey, addr Addr, data []byte) error {
 
 // ReadU64 reads a little-endian 64-bit word.
 func (s *Space) ReadU64(key RKey, addr Addr) (uint64, error) {
-	b, err := s.Read(key, addr, 8)
+	b, err := s.Peek(key, addr, 8)
 	if err != nil {
 		return 0, err
 	}
@@ -175,7 +207,7 @@ const BoundedPtrSize = 16
 
 // ReadBoundedPtr loads a BoundedPtr from addr.
 func (s *Space) ReadBoundedPtr(key RKey, addr Addr) (BoundedPtr, error) {
-	b, err := s.Read(key, addr, BoundedPtrSize)
+	b, err := s.Peek(key, addr, BoundedPtrSize)
 	if err != nil {
 		return BoundedPtr{}, err
 	}

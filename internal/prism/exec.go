@@ -22,7 +22,6 @@
 package prism
 
 import (
-	"bytes"
 	"errors"
 
 	"prism/internal/alloc"
@@ -109,7 +108,9 @@ func (x *Executor) resolveData(op *wire.Op, length uint64, meta *OpMeta) ([]byte
 		return nil, errors.New("prism: indirect data argument must be an 8-byte pointer")
 	}
 	p := memory.Addr(leU64(op.Data))
-	src, err := x.Space.Read(op.RKey, p, length)
+	// Zero-copy: the source bytes are consumed within this op (written or
+	// compared immediately), never retained.
+	src, err := x.Space.Peek(op.RKey, p, length)
 	if err != nil {
 		return nil, err
 	}
@@ -163,12 +164,15 @@ func (x *Executor) execRead(op *wire.Op, meta *OpMeta) (wire.Result, error) {
 	if err != nil {
 		return wire.Result{}, err
 	}
-	data, err := x.Space.Read(op.RKey, addr, length)
-	if err != nil {
-		return wire.Result{}, err
-	}
-	meta.HostAccesses++
 	if op.Flags.Has(wire.FlagRedirect) {
+		// Redirected reads copy region-to-region on the spot; the bytes are
+		// not retained, so a zero-copy view suffices (copy is memmove-safe
+		// even for overlapping source and target).
+		data, err := x.Space.Peek(op.RKey, addr, length)
+		if err != nil {
+			return wire.Result{}, err
+		}
+		meta.HostAccesses++
 		if err := x.Space.Write(op.RKey, op.RedirectTo, data); err != nil {
 			return wire.Result{}, err
 		}
@@ -176,6 +180,13 @@ func (x *Executor) execRead(op *wire.Op, meta *OpMeta) (wire.Result, error) {
 		meta.RedirectUsed = true
 		return wire.Result{Status: wire.StatusOK}, nil
 	}
+	// The result rides the response message until delivery, so it must be a
+	// stable copy, not a view.
+	data, err := x.Space.Read(op.RKey, addr, length)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	meta.HostAccesses++
 	return wire.Result{Status: wire.StatusOK, Data: data}, nil
 }
 
@@ -260,12 +271,14 @@ func (x *Executor) execCAS(op *wire.Op, meta *OpMeta) (wire.Result, error) {
 	if uint64(len(data)) != width {
 		return wire.Result{}, errors.New("prism: CAS data width mismatch")
 	}
-	cur, err := x.Space.Read(op.RKey, addr, width)
+	cur, err := x.Space.Peek(op.RKey, addr, width)
 	if err != nil {
 		return wire.Result{}, err
 	}
 	meta.HostAccesses++ // the atomic read-modify-write
 
+	// prev is retained (it rides the response), so it must be a copy taken
+	// before the swap mutates the cell cur aliases.
 	prev := make([]byte, width)
 	copy(prev, cur)
 
@@ -273,7 +286,9 @@ func (x *Executor) execCAS(op *wire.Op, meta *OpMeta) (wire.Result, error) {
 	if !ok {
 		return wire.Result{Status: wire.StatusCASFailed, Data: prev}, nil
 	}
-	next := swapMasked(cur, data, op.SwapMask)
+	var nb [wire.MaxCASBytes]byte
+	next := nb[:width]
+	swapMaskedInto(next, cur, data, op.SwapMask)
 	if err := x.Space.Write(op.RKey, addr, next); err != nil {
 		return wire.Result{}, err
 	}
@@ -330,11 +345,26 @@ func (x *Executor) execFetchAdd(op *wire.Op, meta *OpMeta) (wire.Result, error) 
 
 // compareMasked evaluates (cur & mask) mode (data & mask), treating the
 // masked byte strings as big-endian unsigned integers. A nil mask means
-// all bits.
+// all bits. It compares masked bytes in place, without allocating.
 func compareMasked(mode wire.CASMode, cur, data, mask []byte) bool {
-	c := bytes.Compare(applyMask(data, mask), applyMask(cur, mask))
 	// c compares data vs cur: the CAS semantics compare the supplied data
 	// against the current value — CASGt succeeds when data > *target.
+	c := 0
+	for i := range data {
+		m := byte(0xFF)
+		if mask != nil {
+			m = mask[i]
+		}
+		d, u := data[i]&m, cur[i]&m
+		if d != u {
+			if d > u {
+				c = 1
+			} else {
+				c = -1
+			}
+			break
+		}
+	}
 	switch mode {
 	case wire.CASEq:
 		return c == 0
@@ -347,10 +377,9 @@ func compareMasked(mode wire.CASMode, cur, data, mask []byte) bool {
 	}
 }
 
-// swapMasked returns (cur & ~mask) | (data & mask). A nil mask means all
-// bits (full swap).
-func swapMasked(cur, data, mask []byte) []byte {
-	out := make([]byte, len(cur))
+// swapMaskedInto writes (cur & ~mask) | (data & mask) to out. A nil mask
+// means all bits (full swap).
+func swapMaskedInto(out, cur, data, mask []byte) {
 	for i := range out {
 		m := byte(0xFF)
 		if mask != nil {
@@ -358,18 +387,6 @@ func swapMasked(cur, data, mask []byte) []byte {
 		}
 		out[i] = cur[i]&^m | data[i]&m
 	}
-	return out
-}
-
-func applyMask(b, mask []byte) []byte {
-	out := make([]byte, len(b))
-	copy(out, b)
-	if mask != nil {
-		for i := range out {
-			out[i] &= mask[i]
-		}
-	}
-	return out
 }
 
 func maskFull(mask []byte) bool {

@@ -69,7 +69,7 @@ type Conn struct {
 type pendingReq struct {
 	req   *wire.Request
 	fut   *sim.Future[[]wire.Result]
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 // Connect opens a queue pair from the client to the server. Connection
@@ -179,9 +179,7 @@ func (c *Client) onMessage(m fabric.Message) {
 		return // duplicate response (original + replayed retransmission)
 	}
 	delete(conn.pending, resp.Seq)
-	if pr.timer != nil {
-		pr.timer.Stop()
-	}
+	pr.timer.Stop()
 	conn.drainQueue() // a window slot may have freed
 	pr.fut.Complete(resp.Results)
 }

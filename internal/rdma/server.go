@@ -486,7 +486,11 @@ func (s *Server) finish(sc *serverConn, resp *wire.Response) {
 	sc.busy = false
 	if len(sc.backlog) > 0 {
 		next := sc.backlog[0]
+		sc.backlog[0] = nil // release the popped request for GC
 		sc.backlog = sc.backlog[1:]
+		if len(sc.backlog) == 0 {
+			sc.backlog = nil // let the drained array go too
+		}
 		s.startRequest(sc, next)
 	}
 }

@@ -52,6 +52,10 @@ type event struct {
 	seq  uint64
 	fn   func()
 	heap int // index in the heap, -1 when popped/cancelled
+	// gen counts recycles of this event object. Timers snapshot it so a
+	// stale handle to a fired-and-reused event cannot cancel its successor.
+	gen  uint32
+	next *event // free-list link while recycled
 }
 
 type eventHeap []*event
@@ -92,6 +96,11 @@ type Engine struct {
 	seq    uint64
 	rng    *rand.Rand
 
+	// free is a free list of fired/cancelled event objects, reused by At
+	// so steady-state scheduling does not allocate. Its length is bounded
+	// by the maximum number of simultaneously pending events.
+	free *event
+
 	// handoff plumbing
 	yield   chan struct{} // processes signal the engine when they park or exit
 	running bool
@@ -118,7 +127,7 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Schedule runs fn after d has elapsed on the virtual clock. A negative d
 // is treated as zero. The returned Timer can cancel the event.
-func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+func (e *Engine) Schedule(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -126,29 +135,54 @@ func (e *Engine) Schedule(d Duration, fn func()) *Timer {
 }
 
 // At runs fn at virtual instant t (or now, if t is in the past).
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{e: e, ev: ev}
+	return Timer{e: e, ev: ev, gen: ev.gen}
 }
 
-// Timer is a handle to a scheduled event.
+// alloc takes an event object off the free list, or makes a fresh one.
+func (e *Engine) alloc() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a fired or cancelled event to the free list. Bumping gen
+// invalidates any outstanding Timer for the old incarnation.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
+}
+
+// Timer is a handle to a scheduled event. The zero Timer is valid and
+// behaves as an already-fired event.
 type Timer struct {
-	e  *Engine
-	ev *event
+	e   *Engine
+	ev  *event
+	gen uint32
 }
 
 // Stop cancels the event if it has not fired. It reports whether the event
 // was still pending.
-func (t *Timer) Stop() bool {
-	if t.ev.heap < 0 {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.heap < 0 {
 		return false
 	}
 	heap.Remove(&t.e.events, t.ev.heap)
+	t.e.recycle(t.ev)
 	return true
 }
 
@@ -178,7 +212,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 		heap.Pop(&e.events)
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		e.recycle(next) // before fn: events scheduled inside fn reuse it
+		fn()
 	}
 	if e.now < deadline && deadline != Never {
 		e.now = deadline

@@ -5,15 +5,33 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 	"time"
 )
 
-// LatencyRecorder accumulates operation latencies.
+// Histogram geometry: 64 sub-buckets per power of two of nanoseconds
+// (HDR-histogram style). Values below subBuckets ns land in exact 1 ns
+// buckets; above that, bucket width is value/64, so percentile queries
+// carry at most ~1.6% relative error regardless of sample count. The
+// whole recorder is a fixed ~29 KB regardless of how many samples it
+// absorbs — paper-scale runs no longer hold millions of samples.
+const (
+	subBucketBits = 6
+	subBuckets    = 1 << subBucketBits // 64
+	// numBuckets covers durations up to 2^63-1 ns (~292 years).
+	numBuckets = (63 - subBucketBits + 1) * subBuckets
+)
+
+// LatencyRecorder accumulates operation latencies in a bounded
+// log-bucketed streaming histogram. Mean, Count, and Max are exact;
+// other percentiles are bucket-resolution approximations clamped to the
+// observed [min, max].
 type LatencyRecorder struct {
-	samples []time.Duration
-	sum     time.Duration
-	sorted  bool
+	counts [numBuckets]uint32
+	count  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
 }
 
 // NewLatencyRecorder returns an empty recorder.
@@ -21,41 +39,87 @@ func NewLatencyRecorder() *LatencyRecorder {
 	return &LatencyRecorder{}
 }
 
+// bucketIndex maps a duration (clamped to >= 0) to its bucket.
+func bucketIndex(d time.Duration) int {
+	v := uint64(d)
+	if d < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	k := bits.Len64(v) - 1 // 2^k <= v < 2^(k+1), k >= subBucketBits
+	shift := uint(k - subBucketBits)
+	sub := int(v>>shift) - subBuckets // 0..subBuckets-1
+	return (k-subBucketBits+1)*subBuckets + sub
+}
+
+// bucketCeil returns the largest duration mapping to bucket idx.
+func bucketCeil(idx int) time.Duration {
+	g := idx >> subBucketBits
+	sub := uint64(idx & (subBuckets - 1))
+	if g == 0 {
+		return time.Duration(sub)
+	}
+	shift := uint(g - 1)
+	return time.Duration(((subBuckets+sub+1)<<shift)-1) & math.MaxInt64
+}
+
 // Record adds one sample.
 func (r *LatencyRecorder) Record(d time.Duration) {
-	r.samples = append(r.samples, d)
+	if d < 0 {
+		d = 0
+	}
+	r.counts[bucketIndex(d)]++
 	r.sum += d
-	r.sorted = false
+	if r.count == 0 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.count++
 }
 
 // Count returns the number of samples.
-func (r *LatencyRecorder) Count() int { return len(r.samples) }
+func (r *LatencyRecorder) Count() int { return int(r.count) }
 
-// Mean returns the average latency (0 if empty).
+// Mean returns the average latency (0 if empty). Exact.
 func (r *LatencyRecorder) Mean() time.Duration {
-	if len(r.samples) == 0 {
+	if r.count == 0 {
 		return 0
 	}
-	return r.sum / time.Duration(len(r.samples))
+	return r.sum / time.Duration(r.count)
 }
 
-// Percentile returns the q-th percentile (0 < q <= 100) by nearest-rank.
+// Percentile returns the q-th percentile (0 < q <= 100) by nearest-rank
+// over the histogram buckets, clamped to the observed [min, max].
 func (r *LatencyRecorder) Percentile(q float64) time.Duration {
-	if len(r.samples) == 0 {
+	if r.count == 0 {
 		return 0
 	}
-	if !r.sorted {
-		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
-		r.sorted = true
-	}
-	rank := int(math.Ceil(q / 100 * float64(len(r.samples))))
+	rank := int64(math.Ceil(q / 100 * float64(r.count)))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(r.samples) {
-		rank = len(r.samples)
+	if rank > r.count {
+		rank = r.count
 	}
-	return r.samples[rank-1]
+	var cum int64
+	for idx := bucketIndex(r.min); idx < numBuckets; idx++ {
+		cum += int64(r.counts[idx])
+		if cum >= rank {
+			v := bucketCeil(idx)
+			if v < r.min {
+				v = r.min
+			}
+			if v > r.max {
+				v = r.max
+			}
+			return v
+		}
+	}
+	return r.max
 }
 
 // Median is Percentile(50).
@@ -64,14 +128,18 @@ func (r *LatencyRecorder) Median() time.Duration { return r.Percentile(50) }
 // P99 is Percentile(99).
 func (r *LatencyRecorder) P99() time.Duration { return r.Percentile(99) }
 
-// Max returns the largest sample.
-func (r *LatencyRecorder) Max() time.Duration { return r.Percentile(100) }
+// Max returns the largest sample. Exact.
+func (r *LatencyRecorder) Max() time.Duration {
+	return r.max
+}
 
 // Reset discards all samples.
 func (r *LatencyRecorder) Reset() {
-	r.samples = r.samples[:0]
+	r.counts = [numBuckets]uint32{}
+	r.count = 0
 	r.sum = 0
-	r.sorted = false
+	r.min = 0
+	r.max = 0
 }
 
 // Summary is a point on a throughput-latency curve.

@@ -24,22 +24,38 @@ func TestMean(t *testing.T) {
 	}
 }
 
+// within asserts got is within the histogram's ~1.6% bucket resolution of
+// want.
+func within(t *testing.T, name string, got, want time.Duration) {
+	t.Helper()
+	lo := want - want/32
+	hi := want + want/32
+	if got < lo || got > hi {
+		t.Fatalf("%s = %v, want %v ±3%%", name, got, want)
+	}
+}
+
 func TestPercentiles(t *testing.T) {
 	r := NewLatencyRecorder()
 	for i := 1; i <= 100; i++ {
 		r.Record(time.Duration(i) * time.Microsecond)
 	}
-	if got := r.Median(); got != 50*time.Microsecond {
-		t.Fatalf("p50 = %v", got)
-	}
-	if got := r.P99(); got != 99*time.Microsecond {
-		t.Fatalf("p99 = %v", got)
-	}
+	within(t, "p50", r.Median(), 50*time.Microsecond)
+	within(t, "p99", r.P99(), 99*time.Microsecond)
 	if got := r.Max(); got != 100*time.Microsecond {
-		t.Fatalf("max = %v", got)
+		t.Fatalf("max = %v (exact)", got)
 	}
-	if got := r.Percentile(1); got != 1*time.Microsecond {
-		t.Fatalf("p1 = %v", got)
+	within(t, "p1", r.Percentile(1), 1*time.Microsecond)
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	// Durations below 64 ns land in 1 ns buckets: percentiles are exact.
+	r := NewLatencyRecorder()
+	for i := 1; i <= 50; i++ {
+		r.Record(time.Duration(i))
+	}
+	if got := r.Median(); got != 25 {
+		t.Fatalf("p50 = %v, want 25ns exactly", got)
 	}
 }
 
@@ -52,17 +68,31 @@ func TestRecordAfterPercentileQuery(t *testing.T) {
 	if got := r.Percentile(100); got != 5*time.Microsecond {
 		t.Fatalf("max after interleaved record = %v", got)
 	}
-	if got := r.Percentile(1); got != 1*time.Microsecond {
-		t.Fatalf("min after interleaved record = %v", got)
-	}
+	within(t, "p1 after interleaved record", r.Percentile(1), 1*time.Microsecond)
 }
 
 func TestReset(t *testing.T) {
 	r := NewLatencyRecorder()
 	r.Record(time.Second)
 	r.Reset()
-	if r.Count() != 0 || r.Mean() != 0 {
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 || r.Median() != 0 {
 		t.Fatal("reset did not clear")
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's ceiling must map back to the same bucket, and bucket
+	// ceilings must be strictly increasing.
+	prev := time.Duration(-1)
+	for idx := 0; idx < numBuckets; idx++ {
+		c := bucketCeil(idx)
+		if bucketIndex(c) != idx {
+			t.Fatalf("bucket %d: ceil %d maps to bucket %d", idx, c, bucketIndex(c))
+		}
+		if c <= prev {
+			t.Fatalf("bucket %d: ceil %v not above previous %v", idx, c, prev)
+		}
+		prev = c
 	}
 }
 
@@ -96,6 +126,42 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a percentile never under-reports its exact nearest-rank value
+// and overshoots by at most one bucket width (~1.6%).
+func TestQuickPercentileAccuracy(t *testing.T) {
+	f := func(raw []uint32, qi uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := float64(qi%100) + 1 // 1..100
+		r := NewLatencyRecorder()
+		sorted := make([]time.Duration, 0, len(raw))
+		for _, v := range raw {
+			d := time.Duration(v)
+			r.Record(d)
+			sorted = append(sorted, d)
+		}
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		rank := int(float64(len(sorted))*q/100 + 0.9999999)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		exact := sorted[rank-1]
+		got := r.Percentile(q)
+		return got >= exact && got <= exact+exact/32+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -140,7 +140,7 @@ func (s *FarmServer) handleRPC(payload []byte) ([]byte, time.Duration) {
 			if err != nil {
 				break
 			}
-			raw, _ := space.Read(s.meta.Key, addr, farmHdr)
+			raw, _ := space.Peek(s.meta.Key, addr, farmHdr)
 			lock := binary.LittleEndian.Uint64(raw[:8])
 			ver := prism.BE64(raw, 8)
 			if lock != 0 || ver != version {
@@ -170,7 +170,7 @@ func (s *FarmServer) handleRPC(payload []byte) ([]byte, time.Duration) {
 			if err != nil {
 				return []byte{1}, 0
 			}
-			raw, _ := space.Read(s.meta.Key, addr, farmHdr)
+			raw, _ := space.Peek(s.meta.Key, addr, farmHdr)
 			if binary.LittleEndian.Uint64(raw[:8]) != holder {
 				return []byte{1}, 0 // not our lock: protocol bug
 			}
@@ -195,7 +195,7 @@ func (s *FarmServer) handleRPC(payload []byte) ([]byte, time.Duration) {
 			if err != nil {
 				continue
 			}
-			raw, _ := space.Read(s.meta.Key, addr, 8)
+			raw, _ := space.Peek(s.meta.Key, addr, 8)
 			if binary.LittleEndian.Uint64(raw) == holder {
 				space.WriteU64(s.meta.Key, addr, 0)
 			}
