@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -64,6 +65,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	parallel := flag.Int("parallel", 1, "figure-point worker goroutines (0 = GOMAXPROCS; output is identical at any setting)")
 	jsonPath := flag.String("json", "", "write a wall-clock/throughput record to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prismbench [flags] {fig1|fig2|fig3|fig4|fig6|fig7|fig9|fig10|rpcvsrdma|all}\n")
 		flag.PrintDefaults()
@@ -95,6 +98,35 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prismbench: creating %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prismbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prismbench: creating %s: %v\n", path, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live setup-vs-measurement splits
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prismbench: writing heap profile: %v\n", err)
+			}
+		}()
 	}
 
 	figures := map[string]func(bench.Config) *bench.Figure{

@@ -46,6 +46,16 @@ func (f *FreeList) Post(addr memory.Addr) {
 	f.bufs = append(f.bufs, addr)
 }
 
+// Clone returns an independent copy of the list, for a server instantiated
+// from a forked memory space: buffer addresses are layout positions, so
+// they remain valid in any fork of the space they were carved from.
+func (f *FreeList) Clone() *FreeList {
+	nf := &FreeList{ID: f.ID, BufSize: f.BufSize, Key: f.Key}
+	nf.bufs = append([]memory.Addr(nil), f.bufs...)
+	nf.pending = append([]memory.Addr(nil), f.pending...)
+	return nf
+}
+
 // Pop removes and returns the head buffer.
 func (f *FreeList) Pop() (memory.Addr, error) {
 	if len(f.bufs) == 0 {

@@ -25,13 +25,30 @@ type kvSystem struct {
 	build func(cfg Config, seed int64) (e *sim.Engine, mkClient func(id int) kvStore)
 }
 
+// clientMachines provisions the standard client-machine fleet.
+func clientMachines(cfg Config, net *fabric.Network) []*rdma.Client {
+	machines := make([]*rdma.Client, cfg.ClientMachines)
+	for i := range machines {
+		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+	}
+	return machines
+}
+
 func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
-	p := model.Default().WithNetwork(model.Rack)
-	e := sim.NewEngine(seed)
-	net := fabric.New(e, p)
-	nic := rdma.NewServer(net, "server", model.SoftwarePRISM)
-	opts := kv.DefaultOptions(cfg.Keys, cfg.ValueSize)
-	srv, err := kv.NewServer(nic, opts)
+	tmpl := kvTemplate(cfg)
+	e, net, _ := buildNet(seed)
+	srv := kv.NewServerFromTemplate(net, "server", model.SoftwarePRISM, tmpl)
+	return e, kvClientFactory(cfg, net, srv)
+}
+
+// buildPRISMKVFresh is the pre-template construction path: build and load
+// the server directly on the measurement engine. Loading touches neither
+// the engine nor its RNG, so buildPRISMKV is bit-identical to it —
+// TestForkedClusterMatchesFresh holds the two against each other.
+func buildPRISMKVFresh(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
+	e, net, _ := buildNet(seed)
+	srv, err := kv.NewServer(rdma.NewServer(net, "server", model.SoftwarePRISM),
+		kv.DefaultOptions(cfg.Keys, cfg.ValueSize))
 	if err != nil {
 		panic(err)
 	}
@@ -41,11 +58,12 @@ func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
 			panic(err)
 		}
 	}
-	machines := make([]*rdma.Client, cfg.ClientMachines)
-	for i := range machines {
-		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
-	}
-	return e, func(id int) kvStore {
+	return e, kvClientFactory(cfg, net, srv)
+}
+
+func kvClientFactory(cfg Config, net *fabric.Network, srv *kv.Server) func(int) kvStore {
+	machines := clientMachines(cfg, net)
+	return func(id int) kvStore {
 		m := machines[id%len(machines)]
 		c := kv.NewClient(m.Connect(srv.NIC()), srv.Meta(), uint16(id+1))
 		c.CtrlConn = m.Connect(srv.NIC()) // reclamation rides a control QP
@@ -56,25 +74,10 @@ func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
 
 func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
 	return func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
-		p := model.Default().WithNetwork(model.Rack)
-		e := sim.NewEngine(seed)
-		net := fabric.New(e, p)
-		nic := rdma.NewServer(net, "server", deploy)
-		opts := kv.DefaultOptions(cfg.Keys, cfg.ValueSize)
-		srv, err := kv.NewPilafServer(nic, opts)
-		if err != nil {
-			panic(err)
-		}
-		gen := workload.NewGenerator(workload.Mix{Keys: cfg.Keys, ReadFrac: 1, ValueSize: cfg.ValueSize}, seed)
-		for k := int64(0); k < cfg.Keys; k++ {
-			if err := srv.Load(k, gen.Value(k, 0)); err != nil {
-				panic(err)
-			}
-		}
-		machines := make([]*rdma.Client, cfg.ClientMachines)
-		for i := range machines {
-			machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
-		}
+		tmpl := pilafTemplate(cfg)
+		e, net, p := buildNet(seed)
+		srv := kv.NewPilafServerFromTemplate(net, "server", deploy, tmpl)
+		machines := clientMachines(cfg, net)
 		crc := p.PilafCRCCost
 		return e, func(id int) kvStore {
 			m := machines[id%len(machines)]
@@ -166,9 +169,22 @@ type rsSystem struct {
 }
 
 func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
-	p := model.Default().WithNetwork(model.Rack)
-	e := sim.NewEngine(seed)
-	net := fabric.New(e, p)
+	// The three replicas of a group are identical after initialization, so
+	// one template serves all of them — each on its own COW fork.
+	tmpl := rsTemplate(cfg)
+	e, net, _ := buildNet(seed)
+	const nReplicas = 3
+	replicas := make([]*abd.Replica, nReplicas)
+	for i := range replicas {
+		replicas[i] = abd.NewReplicaFromTemplate(net, fmt.Sprintf("replica-%d", i), model.SoftwarePRISM, tmpl)
+	}
+	return e, rsClientFactory(cfg, net, replicas)
+}
+
+// buildPRISMRSFresh is the pre-template path, kept for the fork-vs-fresh
+// equivalence test (see buildPRISMKVFresh).
+func buildPRISMRSFresh(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
+	e, net, _ := buildNet(seed)
 	const nReplicas = 3
 	replicas := make([]*abd.Replica, nReplicas)
 	for i := range replicas {
@@ -184,20 +200,21 @@ func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blo
 		}
 		replicas[i] = r
 	}
-	machines := make([]*rdma.Client, cfg.ClientMachines)
-	for i := range machines {
-		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
-	}
-	return e, func(id int) blockStore {
+	return e, rsClientFactory(cfg, net, replicas)
+}
+
+func rsClientFactory(cfg Config, net *fabric.Network, replicas []*abd.Replica) func(int) blockStore {
+	machines := clientMachines(cfg, net)
+	return func(id int) blockStore {
 		m := machines[id%len(machines)]
-		conns := make([]*rdma.Conn, nReplicas)
-		metas := make([]abd.Meta, nReplicas)
+		conns := make([]*rdma.Conn, len(replicas))
+		metas := make([]abd.Meta, len(replicas))
 		for i, r := range replicas {
 			conns[i] = m.Connect(r.NIC())
 			metas[i] = r.Meta()
 		}
 		c := abd.NewClient(uint16(id+1), conns, metas)
-		ctrl := make([]*rdma.Conn, nReplicas)
+		ctrl := make([]*rdma.Conn, len(replicas))
 		for i, r := range replicas {
 			ctrl[i] = m.Connect(r.NIC())
 		}
@@ -209,23 +226,14 @@ func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blo
 
 func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore) {
 	return func(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
-		p := model.Default().WithNetwork(model.Rack)
-		e := sim.NewEngine(seed)
-		net := fabric.New(e, p)
+		tmpl := lockTemplate(cfg)
+		e, net, _ := buildNet(seed)
 		const nReplicas = 3
 		replicas := make([]*abd.LockReplica, nReplicas)
 		for i := range replicas {
-			nic := rdma.NewServer(net, fmt.Sprintf("replica-%d", i), deploy)
-			r, err := abd.NewLockReplica(nic, cfg.Keys, cfg.ValueSize)
-			if err != nil {
-				panic(err)
-			}
-			replicas[i] = r
+			replicas[i] = abd.NewLockReplicaFromTemplate(net, fmt.Sprintf("replica-%d", i), deploy, tmpl)
 		}
-		machines := make([]*rdma.Client, cfg.ClientMachines)
-		for i := range machines {
-			machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
-		}
+		machines := clientMachines(cfg, net)
 		return e, func(id int) blockStore {
 			m := machines[id%len(machines)]
 			conns := make([]*rdma.Conn, nReplicas)
@@ -337,12 +345,55 @@ type txSystem struct {
 // aborts until commit; returns the number of aborts.
 type txRunner func(p *sim.Proc, gen *workload.TxGenerator) (aborts int64, err error)
 
+// txHandle is the per-transaction surface shared by PRISM-TX and FaRM.
+type txHandle interface {
+	Read(p *sim.Proc, key int64) ([]byte, error)
+	Write(key int64, value []byte)
+	Commit(p *sim.Proc) (tx.Timestamp, error)
+}
+
+// rmwRunner wraps a Begin function in the standard YCSB-T
+// read-modify-write retry loop.
+func rmwRunner(begin func() txHandle) txRunner {
+	ver := 0
+	return func(p *sim.Proc, g *workload.TxGenerator) (int64, error) {
+		keys := g.Next()
+		var aborts int64
+		for {
+			t := begin()
+			for _, k := range keys {
+				old, err := t.Read(p, k)
+				if err != nil {
+					return aborts, err
+				}
+				ver++
+				nv := append([]byte(nil), old...)
+				if len(nv) > 0 {
+					nv[0] ^= byte(ver)
+				}
+				t.Write(k, nv)
+			}
+			if _, err := t.Commit(p); err == nil {
+				return aborts, nil
+			}
+			aborts++
+		}
+	}
+}
+
 func buildPRISMTX(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
-	p := model.Default().WithNetwork(model.Rack)
-	e := sim.NewEngine(seed)
-	net := fabric.New(e, p)
-	nic := rdma.NewServer(net, "shard", model.SoftwarePRISM)
-	shard, err := tx.NewShard(nic, tx.ShardOptions{NSlots: cfg.Keys, MaxValue: cfg.ValueSize, ExtraBuffers: 8192})
+	tmpl := txTemplate(cfg)
+	e, net, _ := buildNet(seed)
+	shard := tx.NewShardFromTemplate(net, "shard", model.SoftwarePRISM, tmpl)
+	return e, prismTXClientFactory(cfg, e, net, shard)
+}
+
+// buildPRISMTXFresh is the pre-template path, kept for the fork-vs-fresh
+// equivalence test (see buildPRISMKVFresh).
+func buildPRISMTXFresh(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
+	e, net, _ := buildNet(seed)
+	shard, err := tx.NewShard(rdma.NewServer(net, "shard", model.SoftwarePRISM),
+		tx.ShardOptions{NSlots: cfg.Keys, MaxValue: cfg.ValueSize, ExtraBuffers: 8192})
 	if err != nil {
 		panic(err)
 	}
@@ -352,88 +403,29 @@ func buildPRISMTX(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
 			panic(err)
 		}
 	}
-	machines := make([]*rdma.Client, cfg.ClientMachines)
-	for i := range machines {
-		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
-	}
-	return e, func(id int) txRunner {
+	return e, prismTXClientFactory(cfg, e, net, shard)
+}
+
+func prismTXClientFactory(cfg Config, e *sim.Engine, net *fabric.Network, shard *tx.Shard) func(int) txRunner {
+	machines := clientMachines(cfg, net)
+	return func(id int) txRunner {
 		m := machines[id%len(machines)]
 		c := tx.NewClient(uint16(id+1), []*rdma.Conn{m.Connect(shard.NIC())}, []tx.Meta{shard.Meta()}, e)
 		c.UseControlConns([]*rdma.Conn{m.Connect(shard.NIC())})
-		ver := 0
-		return func(p *sim.Proc, g *workload.TxGenerator) (int64, error) {
-			keys := g.Next()
-			var aborts int64
-			for {
-				t := c.Begin()
-				for _, k := range keys {
-					old, err := t.Read(p, k)
-					if err != nil {
-						return aborts, err
-					}
-					ver++
-					nv := append([]byte(nil), old...)
-					if len(nv) > 0 {
-						nv[0] ^= byte(ver)
-					}
-					t.Write(k, nv)
-				}
-				if _, err := t.Commit(p); err == nil {
-					return aborts, nil
-				}
-				aborts++
-			}
-		}
+		return rmwRunner(func() txHandle { return c.Begin() })
 	}
 }
 
 func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
 	return func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
-		p := model.Default().WithNetwork(model.Rack)
-		e := sim.NewEngine(seed)
-		net := fabric.New(e, p)
-		nic := rdma.NewServer(net, "shard", deploy)
-		srv, err := tx.NewFarmServer(nic, tx.ShardOptions{NSlots: cfg.Keys, MaxValue: cfg.ValueSize})
-		if err != nil {
-			panic(err)
-		}
-		gen := workload.NewTxGenerator(workload.TxMix{Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1}, seed)
-		for k := int64(0); k < cfg.Keys; k++ {
-			if err := srv.Load(k, gen.Value(k, 0)); err != nil {
-				panic(err)
-			}
-		}
-		machines := make([]*rdma.Client, cfg.ClientMachines)
-		for i := range machines {
-			machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
-		}
+		tmpl := farmTemplate(cfg)
+		e, net, _ := buildNet(seed)
+		srv := tx.NewFarmServerFromTemplate(net, "shard", deploy, tmpl)
+		machines := clientMachines(cfg, net)
 		return e, func(id int) txRunner {
 			m := machines[id%len(machines)]
 			c := tx.NewFarmClient(uint16(id+1), []*rdma.Conn{m.Connect(srv.NIC())}, []tx.FarmMeta{srv.Meta()})
-			ver := 0
-			return func(p *sim.Proc, g *workload.TxGenerator) (int64, error) {
-				keys := g.Next()
-				var aborts int64
-				for {
-					t := c.Begin()
-					for _, k := range keys {
-						old, err := t.Read(p, k)
-						if err != nil {
-							return aborts, err
-						}
-						ver++
-						nv := append([]byte(nil), old...)
-						if len(nv) > 0 {
-							nv[0] ^= byte(ver)
-						}
-						t.Write(k, nv)
-					}
-					if _, err := t.Commit(p); err == nil {
-						return aborts, nil
-					}
-					aborts++
-				}
-			}
+			return rmwRunner(func() txHandle { return c.Begin() })
 		}
 	}
 }

@@ -17,13 +17,24 @@ import (
 // commit protocol's scaling behavior.
 
 // buildTXCluster provisions n PRISM-TX shards and a client factory for
-// transactions of keysPerTx keys.
+// transactions of keysPerTx keys. Shard images come from the per-shard
+// template set (keysPerTx only shapes client transactions, not the loaded
+// data, so all keysPerTx variants share one template set).
 func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner) {
-	p := model.Default().WithNetwork(model.Rack)
-	e := sim.NewEngine(seed)
-	net := fabric.New(e, p)
+	tmpls := txClusterTemplates(cfg, nShards)
+	e, net, _ := buildNet(seed)
 	shards := make([]*tx.Shard, nShards)
-	metas := make([]tx.Meta, nShards)
+	for i, t := range tmpls {
+		shards[i] = tx.NewShardFromTemplate(net, fmt.Sprintf("shard-%d", i), model.SoftwarePRISM, t)
+	}
+	return e, txClusterClientFactory(cfg, e, net, shards)
+}
+
+// buildTXClusterFresh is the pre-template path, kept for the
+// fork-vs-fresh equivalence test (see buildPRISMKVFresh).
+func buildTXClusterFresh(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner) {
+	e, net, _ := buildNet(seed)
+	shards := make([]*tx.Shard, nShards)
 	perShard := cfg.Keys / int64(nShards)
 	for i := range shards {
 		nic := rdma.NewServer(net, fmt.Sprintf("shard-%d", i), model.SoftwarePRISM)
@@ -32,7 +43,6 @@ func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine
 			panic(err)
 		}
 		shards[i] = s
-		metas[i] = s.Meta()
 	}
 	gen := workload.NewTxGenerator(workload.TxMix{Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx}, seed)
 	for k := int64(0); k < cfg.Keys; k++ {
@@ -40,44 +50,26 @@ func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine
 			panic(err)
 		}
 	}
-	machines := make([]*rdma.Client, cfg.ClientMachines)
-	for i := range machines {
-		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+	return e, txClusterClientFactory(cfg, e, net, shards)
+}
+
+func txClusterClientFactory(cfg Config, e *sim.Engine, net *fabric.Network, shards []*tx.Shard) func(id int) txRunner {
+	metas := make([]tx.Meta, len(shards))
+	for i, s := range shards {
+		metas[i] = s.Meta()
 	}
-	return e, func(id int) txRunner {
+	machines := clientMachines(cfg, net)
+	return func(id int) txRunner {
 		m := machines[id%len(machines)]
-		conns := make([]*rdma.Conn, nShards)
-		ctrl := make([]*rdma.Conn, nShards)
+		conns := make([]*rdma.Conn, len(shards))
+		ctrl := make([]*rdma.Conn, len(shards))
 		for i, s := range shards {
 			conns[i] = m.Connect(s.NIC())
 			ctrl[i] = m.Connect(s.NIC())
 		}
 		c := tx.NewClient(uint16(id+1), conns, metas, e)
 		c.UseControlConns(ctrl)
-		ver := 0
-		return func(p *sim.Proc, g *workload.TxGenerator) (int64, error) {
-			keys := g.Next()
-			var aborts int64
-			for {
-				t := c.Begin()
-				for _, k := range keys {
-					old, err := t.Read(p, k)
-					if err != nil {
-						return aborts, err
-					}
-					ver++
-					nv := append([]byte(nil), old...)
-					if len(nv) > 0 {
-						nv[0] ^= byte(ver)
-					}
-					t.Write(k, nv)
-				}
-				if _, err := t.Commit(p); err == nil {
-					return aborts, nil
-				}
-				aborts++
-			}
-		}
+		return rmwRunner(func() txHandle { return c.Begin() })
 	}
 }
 

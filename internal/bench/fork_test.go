@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"prism/internal/memory"
+	"prism/internal/model"
+	"prism/internal/sim"
+	"prism/internal/workload"
+)
+
+// spaceChecksum hashes every byte of every region of a space.
+func spaceChecksum(t *testing.T, s *memory.Space) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	for _, r := range s.Regions() {
+		fmt.Fprintf(h, "%x/%x/%x:", r.Base, r.Len, r.Key)
+		h.Write(r.Bytes())
+	}
+	return h.Sum64()
+}
+
+// txClusterPointWith is txClusterPoint with a pluggable cluster builder,
+// so the test can drive the fresh path through the production measurement
+// code.
+func txClusterPointWith(build func(Config, int64, int, int) (*sim.Engine, func(int) txRunner),
+	cfg Config, figID, pointKey string, nShards, keysPerTx, clients int) Point {
+	seed := PointSeed(cfg.Seed, figID, "PRISM-TX", pointKey)
+	e, mkRunner := build(cfg, seed, nShards, keysPerTx)
+	d := newLoadDriver(e, cfg)
+	for i := 0; i < clients; i++ {
+		run := mkRunner(i)
+		gen := workload.NewTxGenerator(workload.TxMix{
+			Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx,
+		}, clientSeed(seed, i))
+		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+			return run(p, gen)
+		})
+	}
+	return d.run(clients)
+}
+
+// TestForkedClusterMatchesFresh is the tentpole regression for template
+// forking: a cluster instantiated from a copy-on-write template must
+// produce byte-identical figure output to one built directly on the
+// measurement engine. Loading is engine- and RNG-free for these systems,
+// so the two paths are distinguishable only if forking leaks or loses
+// state.
+func TestForkedClusterMatchesFresh(t *testing.T) {
+	cfg := tiny()
+
+	t.Run("prism-kv", func(t *testing.T) {
+		tmplSys := kvSystem{"PRISM-KV", buildPRISMKV}
+		freshSys := kvSystem{"PRISM-KV", buildPRISMKVFresh}
+		var forked, fresh Series
+		forked.Name, fresh.Name = "PRISM-KV", "PRISM-KV"
+		for _, n := range cfg.ClientCounts {
+			// 50% writes so forks diverge hard from the template image.
+			forked.Points = append(forked.Points, kvPoint(tmplSys, cfg, "forkeq", 0.5, n))
+			fresh.Points = append(fresh.Points, kvPoint(freshSys, cfg, "forkeq", 0.5, n))
+		}
+		a := render(&Figure{ID: "forkeq", Series: []Series{forked}})
+		b := render(&Figure{ID: "forkeq", Series: []Series{fresh}})
+		if a != b {
+			t.Fatalf("template-forked CSV differs from fresh-built:\nforked:\n%s\nfresh:\n%s", a, b)
+		}
+	})
+
+	t.Run("prism-rs", func(t *testing.T) {
+		for _, n := range cfg.ClientCounts {
+			forked := rsPoint(rsSystem{"PRISM-RS", buildPRISMRS}, cfg, "forkeq-rs", 0.4, n)
+			fresh := rsPoint(rsSystem{"PRISM-RS", buildPRISMRSFresh}, cfg, "forkeq-rs", 0.4, n)
+			if forked != fresh {
+				t.Fatalf("clients=%d: forked %+v != fresh %+v", n, forked, fresh)
+			}
+		}
+	})
+
+	t.Run("prism-tx", func(t *testing.T) {
+		forked := txPoint(txSystem{"PRISM-TX", buildPRISMTX}, cfg, "forkeq-tx", 0.8, 32)
+		fresh := txPoint(txSystem{"PRISM-TX", buildPRISMTXFresh}, cfg, "forkeq-tx", 0.8, 32)
+		if forked != fresh {
+			t.Fatalf("forked %+v != fresh %+v", forked, fresh)
+		}
+	})
+
+	t.Run("tx-cluster", func(t *testing.T) {
+		forked := txClusterPointWith(buildTXCluster, cfg, "forkeq-txc", "k", 2, 2, 16)
+		fresh := txClusterPointWith(buildTXClusterFresh, cfg, "forkeq-txc", "k", 2, 2, 16)
+		if forked != fresh {
+			t.Fatalf("forked %+v != fresh %+v", forked, fresh)
+		}
+	})
+}
+
+// TestForkWritesInvisibleOutsideFork runs a write-heavy point twice from
+// the same cached template, with checksums of the template's sealed memory
+// taken around each run: the parent image must never change, and the two
+// runs must agree exactly (a leak from the first fork into the template or
+// a sibling would skew the second).
+func TestForkWritesInvisibleOutsideFork(t *testing.T) {
+	cfg := tiny()
+	tmpl := kvTemplate(cfg)
+	before := spaceChecksum(t, tmpl.NIC().Snapshot().Space())
+
+	sys := kvSystem{"PRISM-KV", buildPRISMKV}
+	first := kvPoint(sys, cfg, "fork-iso", 0.0, 32) // 100% writes
+	if mid := spaceChecksum(t, tmpl.NIC().Snapshot().Space()); mid != before {
+		t.Fatalf("template bytes changed during a forked run: %#x -> %#x", before, mid)
+	}
+	second := kvPoint(sys, cfg, "fork-iso", 0.0, 32)
+	if first != second {
+		t.Fatalf("repeat run from same template differs: %+v vs %+v", first, second)
+	}
+	if after := spaceChecksum(t, tmpl.NIC().Snapshot().Space()); after != before {
+		t.Fatalf("template bytes changed after forked runs: %#x -> %#x", before, after)
+	}
+}
+
+// TestPilafTemplateBuildDeterministic rebuilds the Pilaf template from
+// scratch and checks a measurement point reproduces exactly. (Pilaf loads
+// via engine-staged tear-delayed stores, so unlike the other systems its
+// fresh path is not directly comparable; template-build determinism is the
+// equivalent guarantee.)
+func TestPilafTemplateBuildDeterministic(t *testing.T) {
+	cfg := tiny()
+	sys := kvSystem{"Pilaf", buildPilaf(model.SoftwarePRISM)}
+	a := kvPoint(sys, cfg, "forkeq-pilaf", 0.5, 32)
+	sum1 := spaceChecksum(t, pilafTemplate(cfg).NIC().Snapshot().Space())
+	resetTemplateCache()
+	b := kvPoint(sys, cfg, "forkeq-pilaf", 0.5, 32)
+	sum2 := spaceChecksum(t, pilafTemplate(cfg).NIC().Snapshot().Space())
+	if a != b {
+		t.Fatalf("point from rebuilt template differs: %+v vs %+v", a, b)
+	}
+	if sum1 != sum2 {
+		t.Fatalf("independently built templates differ: %#x vs %#x", sum1, sum2)
+	}
+}

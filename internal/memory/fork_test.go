@@ -1,0 +1,249 @@
+package memory
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// buildParent registers a few regions spanning multiple COW pages, fills
+// them with a recognizable pattern, and snapshots.
+func buildParent(t *testing.T) (*Snapshot, []*Region) {
+	t.Helper()
+	s := NewSpace()
+	sizes := []uint64{3 * pageSize, 100, pageSize + 17}
+	regs := make([]*Region, len(sizes))
+	for i, n := range sizes {
+		r, err := s.Register(n)
+		if err != nil {
+			t.Fatalf("register %d: %v", n, err)
+		}
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(uint64(i+1)*31 + uint64(j))
+		}
+		if err := s.Write(r.Key, r.Base, b); err != nil {
+			t.Fatalf("fill: %v", err)
+		}
+		regs[i] = r
+	}
+	return s.Snapshot(), regs
+}
+
+func TestForkSharesUntilWrite(t *testing.T) {
+	sn, regs := buildParent(t)
+	f := sn.Fork()
+	r := regs[0]
+
+	got, err := f.Peek(r.Key, r.Base+5, 16)
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	want, _ := sn.Space().Peek(r.Key, r.Base+5, 16)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fork peek differs from parent before any write")
+	}
+	if fr := f.RegionAt(r.Base); !fr.Shared() {
+		t.Fatalf("untouched fork region should still share parent pages")
+	}
+
+	// Write one byte in the middle page; only that page privatizes.
+	if err := f.Write(r.Key, r.Base+Addr(pageSize)+7, []byte{0xAB}); err != nil {
+		t.Fatalf("fork write: %v", err)
+	}
+	fr := f.RegionAt(r.Base)
+	if !fr.Shared() {
+		t.Fatalf("region with untouched pages should still be shared")
+	}
+	if fr.nDirty != 1 {
+		t.Fatalf("nDirty = %d, want 1", fr.nDirty)
+	}
+	// Parent byte unchanged.
+	pb, _ := sn.Space().Peek(r.Key, r.Base+Addr(pageSize)+7, 1)
+	if pb[0] == 0xAB {
+		t.Fatalf("fork write leaked into parent")
+	}
+	// Fork sees its own byte, and neighbors from the parent pattern.
+	fb, _ := f.Peek(r.Key, r.Base+Addr(pageSize)+6, 3)
+	if fb[0] != pb[0]-1 || fb[1] != 0xAB {
+		t.Fatalf("fork view = %v, want parent neighbor then 0xAB", fb[:2])
+	}
+}
+
+func TestSiblingForksIsolated(t *testing.T) {
+	sn, regs := buildParent(t)
+	f1, f2 := sn.Fork(), sn.Fork()
+	r := regs[2]
+
+	if err := f1.WriteU64(r.Key, r.Base+8, 0xDEAD); err != nil {
+		t.Fatalf("f1 write: %v", err)
+	}
+	v2, err := f2.ReadU64(r.Key, r.Base+8)
+	if err != nil {
+		t.Fatalf("f2 read: %v", err)
+	}
+	vp, _ := sn.Space().ReadU64(r.Key, r.Base+8)
+	if v2 != vp {
+		t.Fatalf("sibling fork observed the other fork's write")
+	}
+	if v1, _ := f1.ReadU64(r.Key, r.Base+8); v1 != 0xDEAD {
+		t.Fatalf("f1 lost its own write: %#x", v1)
+	}
+}
+
+func TestPeekCacheAcrossForkWrite(t *testing.T) {
+	// The last-region cache must never serve a stale shared view after the
+	// fork privatizes pages: Peek, write the same range, Peek again.
+	sn, regs := buildParent(t)
+	f := sn.Fork()
+	r := regs[0]
+
+	before, err := f.Peek(r.Key, r.Base, 8)
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	b0 := before[0]
+	if err := f.Write(r.Key, r.Base, []byte{b0 + 1}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	after, _ := f.Peek(r.Key, r.Base, 8)
+	if after[0] != b0+1 {
+		t.Fatalf("Peek after write returned stale byte %#x, want %#x", after[0], b0+1)
+	}
+	// And the parent, looked up through its own cache, still has the old byte.
+	pb, _ := sn.Space().Peek(r.Key, r.Base, 1)
+	if pb[0] != b0 {
+		t.Fatalf("parent byte changed: %#x -> %#x", b0, pb[0])
+	}
+}
+
+func TestForkMixedRangeView(t *testing.T) {
+	// A Peek spanning a private page and a shared page must return one
+	// coherent slice containing both the fork's write and the parent bytes.
+	sn, regs := buildParent(t)
+	f := sn.Fork()
+	r := regs[0]
+
+	// Dirty page 0 only.
+	if err := f.Write(r.Key, r.Base, []byte{0x11}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	span, err := f.Peek(r.Key, r.Base+Addr(pageSize)-4, 8) // pages 0..1
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	parent, _ := sn.Space().Peek(r.Key, r.Base+Addr(pageSize)-4, 8)
+	if !bytes.Equal(span, parent) {
+		t.Fatalf("mixed-range view differs from parent where untouched")
+	}
+}
+
+func TestForkNAKsMatchParent(t *testing.T) {
+	sn, regs := buildParent(t)
+	f := sn.Fork()
+	r := regs[1]
+
+	cases := []struct {
+		key  RKey
+		addr Addr
+		n    uint64
+		want error
+	}{
+		{r.Key, 0, 8, ErrNullPointer},
+		{r.Key, r.End() + 0x10000000, 8, ErrUnregistered},
+		{r.Key + 100, r.Base, 8, ErrBadRKey},
+		{r.Key, r.Base + Addr(r.Len) - 4, 8, ErrOutOfBounds},
+	}
+	for _, c := range cases {
+		_, pErr := sn.Space().Peek(c.key, c.addr, c.n)
+		_, fErr := f.Peek(c.key, c.addr, c.n)
+		if !errors.Is(pErr, c.want) || !errors.Is(fErr, c.want) {
+			t.Fatalf("NAK mismatch at %#x: parent %v, fork %v, want %v", c.addr, pErr, fErr, c.want)
+		}
+	}
+	// A fork write that crosses the region boundary must not privatize or
+	// alter anything.
+	if err := f.Write(r.Key, r.Base+Addr(r.Len)-4, make([]byte, 8)); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("fork OOB write: %v", err)
+	}
+	if fr := f.RegionAt(r.Base); !fr.Shared() {
+		t.Fatalf("rejected write privatized pages")
+	}
+}
+
+func TestSealedParentRejectsMutation(t *testing.T) {
+	sn, regs := buildParent(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("write to sealed parent did not panic")
+		}
+	}()
+	_ = sn.Space().Write(regs[0].Key, regs[0].Base, []byte{1})
+}
+
+func TestForkCanRegisterNewRegions(t *testing.T) {
+	// Servers lazily register connection temp regions after instantiation;
+	// two forks doing so must get identical addresses and keys.
+	sn, _ := buildParent(t)
+	f1, f2 := sn.Fork(), sn.Fork()
+	r1, err := f1.Register(4096)
+	if err != nil {
+		t.Fatalf("fork register: %v", err)
+	}
+	r2, err := f2.Register(4096)
+	if err != nil {
+		t.Fatalf("fork register: %v", err)
+	}
+	if r1.Base != r2.Base || r1.Key != r2.Key {
+		t.Fatalf("fork registrations diverged: %#x/%d vs %#x/%d", r1.Base, r1.Key, r2.Base, r2.Key)
+	}
+	if err := f1.Write(r1.Key, r1.Base, []byte{9}); err != nil {
+		t.Fatalf("write to fork-registered region: %v", err)
+	}
+}
+
+func TestForkRandomizedMatchesShadow(t *testing.T) {
+	// Property check: a fork under a random mix of reads and writes behaves
+	// exactly like an independent shadow copy, and the parent never changes.
+	sn, regs := buildParent(t)
+	f := sn.Fork()
+	r := regs[0]
+
+	parentImg := append([]byte(nil), sn.Space().mustPeekAll(r)...)
+	shadow := append([]byte(nil), parentImg...)
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		off := uint64(rng.Intn(int(r.Len - 64)))
+		n := uint64(1 + rng.Intn(64))
+		if rng.Intn(2) == 0 {
+			b := make([]byte, n)
+			rng.Read(b)
+			if err := f.Write(r.Key, r.Base+Addr(off), b); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			copy(shadow[off:], b)
+		} else {
+			got, err := f.Peek(r.Key, r.Base+Addr(off), n)
+			if err != nil {
+				t.Fatalf("peek: %v", err)
+			}
+			if !bytes.Equal(got, shadow[off:off+n]) {
+				t.Fatalf("iteration %d: fork view diverged from shadow at +%d", i, off)
+			}
+		}
+	}
+	if !bytes.Equal(sn.Space().mustPeekAll(r), parentImg) {
+		t.Fatalf("parent bytes changed under fork traffic")
+	}
+}
+
+// mustPeekAll returns the full contents of r via the space's checked path.
+func (s *Space) mustPeekAll(r *Region) []byte {
+	b, err := s.Peek(r.Key, r.Base, r.Len)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -31,12 +31,20 @@ var (
 	ErrRegionTooWide = errors.New("memory: registration exceeds space")
 )
 
-// Region is a registered, pinned memory region.
+// Region is a registered, pinned memory region. A region created by
+// Snapshot.Fork shares its parent's bytes and privatizes pages on first
+// write (see fork.go); ordinary regions own their bytes outright.
 type Region struct {
 	Base Addr
 	Len  uint64
 	Key  RKey
 	data []byte
+	// Copy-on-write state, nil/zero for ordinary regions: shared points at
+	// the sealed parent's bytes, dirty marks pages already copied into
+	// data, nDirty counts them.
+	shared []byte
+	dirty  []bool
+	nDirty int
 }
 
 // End returns the first address past the region.
@@ -53,9 +61,11 @@ type Space struct {
 	regions []*Region // sorted by Base
 	nextKey RKey
 	brk     Addr // bump pointer for Register allocations
+	sealed  bool // set by Snapshot; mutations panic afterwards
 	// last caches the most recently hit region. Verb streams have strong
 	// region locality (a store's hash table or value heap), so most lookups
-	// skip the binary search.
+	// skip the binary search. Forked spaces get their own Region objects,
+	// so the cache never leaks across a fork boundary.
 	last *Region
 }
 
@@ -69,6 +79,7 @@ func NewSpace() *Space {
 // a newly generated rkey. Registration is a host-CPU operation (§3.2); the
 // caller is responsible for charging its cost if modeled.
 func (s *Space) Register(n uint64) (*Region, error) {
+	s.checkMutable()
 	if n == 0 || n > 1<<40 {
 		return nil, ErrRegionTooWide
 	}
@@ -153,8 +164,7 @@ func (s *Space) Peek(key RKey, addr Addr, n uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	off := addr - r.Base
-	return r.data[off : off+Addr(n) : off+Addr(n)], nil
+	return r.view(uint64(addr-r.Base), n), nil
 }
 
 // ReadInto copies len(dst) bytes at addr into dst, validated under key —
@@ -170,11 +180,12 @@ func (s *Space) ReadInto(dst []byte, key RKey, addr Addr) error {
 
 // Write copies data to addr, validated under key.
 func (s *Space) Write(key RKey, addr Addr, data []byte) error {
+	s.checkMutable()
 	r, err := s.Check(key, addr, uint64(len(data)))
 	if err != nil {
 		return err
 	}
-	copy(r.data[addr-r.Base:], data)
+	copy(r.writable(uint64(addr-r.Base), uint64(len(data))), data)
 	return nil
 }
 
@@ -226,15 +237,21 @@ func (s *Space) WriteBoundedPtr(key RKey, addr Addr, p BoundedPtr) error {
 }
 
 // Bytes exposes the region's backing storage for server-local (CPU-side)
-// access, the way an application touches its own pinned memory.
-func (r *Region) Bytes() []byte { return r.data }
+// access, the way an application touches its own pinned memory. The slice
+// is writable, so on a forked region it privatizes every page first; use
+// Peek/Slice for bounded access when the region may be a fork.
+func (r *Region) Bytes() []byte {
+	if r.shared != nil {
+		return r.writable(0, r.Len)
+	}
+	return r.data
+}
 
 // Slice returns the backing bytes for [addr, addr+n) without rkey
-// validation — server-local access only.
+// validation — server-local access only. The slice is writable.
 func (r *Region) Slice(addr Addr, n uint64) []byte {
 	if !r.Contains(addr, n) {
 		panic(fmt.Sprintf("memory: local slice [%#x,+%d) outside region", addr, n))
 	}
-	off := addr - r.Base
-	return r.data[off : off+Addr(n)]
+	return r.writable(uint64(addr-r.Base), n)
 }

@@ -34,6 +34,12 @@ import (
 type Executor struct {
 	Space     *memory.Space
 	FreeLists map[uint32]*alloc.FreeList
+
+	// ReadAlloc, when set, returns the n-byte destination buffer for READ
+	// payload copies. The transport installs it around Exec to carve
+	// response payloads out of a connection-owned arena instead of the
+	// heap; the buffer's contents are overwritten in full.
+	ReadAlloc func(n uint64) []byte
 }
 
 // NewExecutor returns an executor over space with no free lists.
@@ -182,9 +188,18 @@ func (x *Executor) execRead(op *wire.Op, meta *OpMeta) (wire.Result, error) {
 	}
 	// The result rides the response message until delivery, so it must be a
 	// stable copy, not a view.
-	data, err := x.Space.Read(op.RKey, addr, length)
-	if err != nil {
-		return wire.Result{}, err
+	var data []byte
+	if x.ReadAlloc != nil {
+		data = x.ReadAlloc(length)
+		if err := x.Space.ReadInto(data, op.RKey, addr); err != nil {
+			return wire.Result{}, err
+		}
+	} else {
+		var err error
+		data, err = x.Space.Read(op.RKey, addr, length)
+		if err != nil {
+			return wire.Result{}, err
+		}
 	}
 	meta.HostAccesses++
 	return wire.Result{Status: wire.StatusOK, Data: data}, nil

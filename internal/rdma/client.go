@@ -64,6 +64,12 @@ type Conn struct {
 
 	// Retransmissions counts timer-driven resends (loss recovery).
 	Retransmissions int64
+
+	// noLoss enables the request pool: on a lossless network a request
+	// object has no in-flight duplicates once its response arrives, so it
+	// can be reused for the next issue on this connection.
+	noLoss bool
+	prFree []*pendingReq
 }
 
 type pendingReq struct {
@@ -85,6 +91,7 @@ func (c *Client) Connect(srv *Server) *Conn {
 		TempAddr: temp,
 		TempKey:  tempKey,
 		pending:  make(map[uint64]*pendingReq),
+		noLoss:   c.net.Params().LossRate == 0,
 	}
 	c.conns[connKey{node: srv.node, id: id}] = conn
 	return conn
@@ -101,13 +108,20 @@ func (c *Conn) IssueAsync(ops []wire.Op) *sim.Future[[]wire.Result] {
 	if len(ops) == 0 {
 		panic("rdma: empty request")
 	}
-	req := &wire.Request{Conn: c.id, Seq: c.seq, Ops: ops}
+	var pr *pendingReq
+	if n := len(c.prFree); n > 0 {
+		pr = c.prFree[n-1]
+		c.prFree[n-1] = nil
+		c.prFree = c.prFree[:n-1]
+		pr.req.Conn, pr.req.Seq, pr.req.Ops = c.id, c.seq, ops
+	} else {
+		pr = &pendingReq{req: &wire.Request{Conn: c.id, Seq: c.seq, Ops: ops}}
+	}
+	pr.fut = sim.NewFuture[[]wire.Result](c.client.e)
 	c.seq++
-	fut := sim.NewFuture[[]wire.Result](c.client.e)
-	pr := &pendingReq{req: req, fut: fut}
 	c.queue = append(c.queue, pr)
 	c.drainQueue()
-	return fut
+	return pr.fut
 }
 
 // drainQueue transmits queued requests while the window allows. The
@@ -180,6 +194,14 @@ func (c *Client) onMessage(m fabric.Message) {
 	}
 	delete(conn.pending, resp.Seq)
 	pr.timer.Stop()
+	fut := pr.fut
+	if conn.noLoss {
+		// No duplicate of this request can still be in flight: recycle the
+		// request object for the next issue on this connection.
+		pr.req.Ops = nil
+		pr.fut = nil
+		conn.prFree = append(conn.prFree, pr)
+	}
 	conn.drainQueue() // a window slot may have freed
-	pr.fut.Complete(resp.Results)
+	fut.Complete(resp.Results)
 }

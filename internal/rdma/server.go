@@ -85,6 +85,12 @@ type Server struct {
 	// RDMABaseRTT (the paper's 2.5 µs baseline).
 	baseProc time.Duration
 
+	// noLoss enables the per-connection response/payload arenas: on a
+	// lossless network there are no retransmissions, so no duplicate of a
+	// retired response can still be in flight when its replay-ring slot is
+	// reused.
+	noLoss bool
+
 	// Stats
 	RequestsServed int64
 	OpsExecuted    int64
@@ -112,6 +118,16 @@ type serverConn struct {
 	// same client" semantics (§3.4) well defined across chains.
 	busy    bool
 	backlog []*wire.Request
+	// payload is the per-slot response-payload arena (lossless networks
+	// only): READ results for the request in replay slot i are carved out
+	// of payload[i], and the whole slot is reset when the ring retires it.
+	// curSlot is the slot of the request currently executing (requests on
+	// one connection are serialized, so a single slot suffices), and
+	// readAlloc is the carve hook built once per connection so the hot
+	// path does not allocate a closure per request.
+	payload   [replayDepth][]byte
+	curSlot   int
+	readAlloc func(n uint64) []byte
 }
 
 // replayDepth bounds both the response cache and the client send window;
@@ -133,6 +149,12 @@ func (sc *serverConn) wasServed(seq uint64) bool {
 // NewServer attaches a server NIC with the given deployment model to the
 // network.
 func NewServer(net *fabric.Network, name string, deploy model.Deployment) *Server {
+	return newServer(net, name, deploy, memory.NewSpace())
+}
+
+// newServer is the shared constructor: fresh builds get an empty space,
+// template instantiations a fork of the captured one.
+func newServer(net *fabric.Network, name string, deploy model.Deployment, space *memory.Space) *Server {
 	e := net.Engine()
 	p := net.Params()
 	s := &Server{
@@ -141,7 +163,7 @@ func NewServer(net *fabric.Network, name string, deploy model.Deployment) *Serve
 		p:      p,
 		node:   net.NewNode(name),
 		deploy: deploy,
-		space:  memory.NewSpace(),
+		space:  space,
 		conns:  make(map[uint64]*serverConn),
 	}
 	s.exec = prism.NewExecutor(s.space)
@@ -158,7 +180,81 @@ func NewServer(net *fabric.Network, name string, deploy model.Deployment) *Serve
 		s.baseProc = 0
 	}
 	s.node.SetHandler(s.onMessage)
+	s.noLoss = p.LossRate == 0
 	return s
+}
+
+// acquireResp returns a response object for seq with nops zeroed results.
+// On a lossless network it reuses the retired occupant of seq's replay
+// slot: the client's send window guarantees seq is only on the wire after
+// seq-replayDepth was acknowledged, so the old response (and every view
+// into its payload arena handed to that request's issuer) is at least
+// replayDepth requests stale by the time it is overwritten.
+func (s *Server) acquireResp(sc *serverConn, seq uint64, nops int) *wire.Response {
+	if !s.noLoss {
+		return &wire.Response{Seq: seq, Results: make([]wire.Result, nops)}
+	}
+	slot := seq % replayDepth
+	resp := sc.replayResp[slot]
+	if resp == nil {
+		return &wire.Response{Seq: seq, Results: make([]wire.Result, nops)}
+	}
+	sc.replayResp[slot] = nil
+	sc.replaySeq[slot] = ^uint64(0)
+	sc.payload[slot] = sc.payload[slot][:0]
+	results := resp.Results[:0]
+	if cap(results) < nops {
+		results = make([]wire.Result, nops)
+	} else {
+		results = results[:nops]
+		for i := range results {
+			results[i] = wire.Result{}
+		}
+	}
+	resp.Seq = seq
+	resp.Results = results
+	return resp
+}
+
+// carvePayload allocates n bytes from the slot's payload arena. When the
+// arena must grow, earlier carvings keep the old backing array alive and
+// the request continues on the new one.
+func (sc *serverConn) carvePayload(slot int, n uint64) []byte {
+	buf := sc.payload[slot]
+	if uint64(cap(buf)-len(buf)) < n {
+		c := 2 * cap(buf)
+		if c < int(n) {
+			c = int(n)
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		buf = make([]byte, 0, c)
+	}
+	off := len(buf)
+	buf = buf[:off+int(n)]
+	sc.payload[slot] = buf
+	return buf[off:]
+}
+
+// FreeArenas releases all pooled transport memory — cached responses,
+// result slices, and payload arenas — once every in-flight NIC operation
+// has drained (explicit quiesce). Useful before heap profiling or when a
+// cluster is torn down; a no-op on lossy networks, where responses are
+// never pooled because the replay ring must keep them intact.
+func (s *Server) FreeArenas() {
+	if !s.noLoss {
+		return
+	}
+	s.quiescer.AfterQuiesce(func() {
+		for _, sc := range s.conns {
+			for i := range sc.replayResp {
+				sc.replayResp[i] = nil
+				sc.replaySeq[i] = ^uint64(0)
+				sc.payload[i] = nil
+			}
+		}
+	})
 }
 
 // Space exposes the server's memory for registration and CPU-side access.
@@ -248,6 +344,7 @@ func (s *Server) connect(client *fabric.Node) (id uint64, temp memory.Addr, temp
 	s.nextConn++
 	sc := &serverConn{id: id, client: client, lastOK: true, tempAddr: s.allocConnTemp()}
 	sc.tempOnNIC = id < OnNICMemoryBytes/ConnTempSize
+	sc.readAlloc = func(n uint64) []byte { return sc.carvePayload(sc.curSlot, n) }
 	for i := range sc.replaySeq {
 		sc.replaySeq[i] = ^uint64(0)
 	}
@@ -337,7 +434,7 @@ func (s *Server) supports(req *wire.Request) bool {
 func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 	s.RequestsServed++
 	if !s.supports(req) {
-		resp := &wire.Response{Seq: req.Seq, Results: make([]wire.Result, len(req.Ops))}
+		resp := s.acquireResp(sc, req.Seq, len(req.Ops))
 		for i := range resp.Results {
 			resp.Results[i] = wire.Result{Status: wire.StatusUnsupported}
 		}
@@ -346,7 +443,9 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 	}
 
 	opTok := s.quiescer.OpStart()
-	results := make([]wire.Result, len(req.Ops))
+	resp := s.acquireResp(sc, req.Seq, len(req.Ops))
+	results := resp.Results
+	sc.curSlot = int(req.Seq % replayDepth)
 
 	// Fixed per-request costs and core-pool queueing by deployment.
 	preDelay := s.baseProc / 2
@@ -369,9 +468,7 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 	runOp = func(i int) {
 		if i == len(req.Ops) {
 			s.quiescer.OpEnd(opTok)
-			s.e.Schedule(s.baseProc-preDelay, func() {
-				s.finish(sc, &wire.Response{Seq: req.Seq, Results: results})
-			})
+			s.e.Schedule(s.baseProc-preDelay, func() { s.finish(sc, resp) })
 			return
 		}
 		op := &req.Ops[i]
@@ -386,7 +483,13 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 			runOp(i + 1)
 			return
 		}
+		if s.noLoss {
+			// READ payloads ride the response until the slot retires; carve
+			// them from the slot's arena instead of the heap.
+			s.exec.ReadAlloc = sc.readAlloc
+		}
 		res, meta := s.exec.Exec(op)
+		s.exec.ReadAlloc = nil
 		s.OpsExecuted++
 		sc.lastOK = res.Status.OK()
 		results[i] = res
@@ -445,13 +548,15 @@ func (s *Server) SetRecvCredits(n int) { s.recvCredits = n }
 func (s *Server) serveRPC(sc *serverConn, req *wire.Request) {
 	s.RequestsServed++
 	if s.handler == nil {
-		resp := &wire.Response{Seq: req.Seq, Results: []wire.Result{{Status: wire.StatusUnsupported}}}
+		resp := s.acquireResp(sc, req.Seq, 1)
+		resp.Results[0] = wire.Result{Status: wire.StatusUnsupported}
 		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
 		return
 	}
 	if s.recvCredits <= 0 {
 		// No posted receive buffer: Receiver Not Ready.
-		resp := &wire.Response{Seq: req.Seq, Results: []wire.Result{{Status: wire.StatusRNR}}}
+		resp := s.acquireResp(sc, req.Seq, 1)
+		resp.Results[0] = wire.Result{Status: wire.StatusRNR}
 		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
 		return
 	}
@@ -467,7 +572,8 @@ func (s *Server) serveRPC(sc *serverConn, req *wire.Request) {
 			s.rpcCores.Submit(extraCPU, nil)
 		}
 		total := s.baseProc + s.p.RPCOverhead + s.p.RPCHandlerCPUTime + extraCPU
-		resp := &wire.Response{Seq: req.Seq, Results: []wire.Result{{Status: wire.StatusOK, Data: reply}}}
+		resp := s.acquireResp(sc, req.Seq, 1)
+		resp.Results[0] = wire.Result{Status: wire.StatusOK, Data: reply}
 		s.e.Schedule(total, func() {
 			s.recvCredits++ // the app reposts the consumed receive buffer
 			s.finish(sc, resp)

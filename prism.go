@@ -78,6 +78,18 @@ type (
 	// FarmServer / FarmClient: the FaRM baseline.
 	FarmServer = tx.FarmServer
 	FarmClient = tx.FarmClient
+
+	// Templates: immutable images of built servers (Capture on the server
+	// type), instantiated per run with the cluster's *FromTemplate methods.
+	// Each instance gets a copy-on-write fork of the captured memory, so
+	// building an application's keyspace is paid once, not per experiment.
+	ServerTemplate  = rdma.ServerTemplate
+	KVTemplate      = kv.Template
+	PilafTemplate   = kv.PilafTemplate
+	RSTemplate      = abd.Template
+	ABDLockTemplate = abd.LockTemplate
+	TXTemplate      = tx.Template
+	FarmTemplate    = tx.FarmTemplate
 )
 
 // Deployment models (§4.3).
@@ -158,6 +170,55 @@ func (c *ClusterSim) Go(name string, fn func(p *Proc)) {
 
 // Run drives the simulation until no events remain.
 func (c *ClusterSim) Run() { c.engine.Run() }
+
+// Settle drives the simulation until idle so that staged setup effects
+// (e.g. Pilaf's deliberately torn load stores) land in memory. Call it on
+// a build cluster before capturing templates from its servers.
+func (c *ClusterSim) Settle() { c.engine.Run() }
+
+// --- Instantiate-from-template (the other half of a split build) ---
+//
+// Cluster construction splits in two: build the application once on a
+// throwaway cluster (NewCluster + the app constructor + loading), Settle,
+// and Capture a template from each server; then instantiate any number of
+// measurement clusters, each server forked copy-on-write from its
+// template. Deployment is chosen at instantiation, so one build serves
+// every deployment variant.
+
+// NewServerFromTemplate adds a server forked from a bare NIC template.
+func (c *ClusterSim) NewServerFromTemplate(name string, d Deployment, t *ServerTemplate) *Server {
+	return rdma.NewServerFromTemplate(c.net, name, d, t)
+}
+
+// NewKVServerFromTemplate adds a loaded PRISM-KV server.
+func (c *ClusterSim) NewKVServerFromTemplate(name string, d Deployment, t *KVTemplate) *KVServer {
+	return kv.NewServerFromTemplate(c.net, name, d, t)
+}
+
+// NewPilafServerFromTemplate adds a loaded Pilaf server.
+func (c *ClusterSim) NewPilafServerFromTemplate(name string, d Deployment, t *PilafTemplate) *PilafServer {
+	return kv.NewPilafServerFromTemplate(c.net, name, d, t)
+}
+
+// NewRSReplicaFromTemplate adds an initialized PRISM-RS replica.
+func (c *ClusterSim) NewRSReplicaFromTemplate(name string, d Deployment, t *RSTemplate) *RSReplica {
+	return abd.NewReplicaFromTemplate(c.net, name, d, t)
+}
+
+// NewABDLockReplicaFromTemplate adds an initialized ABDLOCK replica.
+func (c *ClusterSim) NewABDLockReplicaFromTemplate(name string, d Deployment, t *ABDLockTemplate) *ABDLockReplica {
+	return abd.NewLockReplicaFromTemplate(c.net, name, d, t)
+}
+
+// NewTXShardFromTemplate adds a loaded PRISM-TX shard.
+func (c *ClusterSim) NewTXShardFromTemplate(name string, d Deployment, t *TXTemplate) *TXShard {
+	return tx.NewShardFromTemplate(c.net, name, d, t)
+}
+
+// NewFarmServerFromTemplate adds a loaded FaRM server.
+func (c *ClusterSim) NewFarmServerFromTemplate(name string, d Deployment, t *FarmTemplate) *FarmServer {
+	return tx.NewFarmServerFromTemplate(c.net, name, d, t)
+}
 
 // --- Application constructors (thin wrappers over the internal packages) ---
 
