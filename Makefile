@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench ./internal/sim
+	$(GO) test -race ./internal/bench ./internal/sim ./internal/fabric ./internal/rdma
 
 # Allocation microbenchmarks for the simulator hot path.
 bench:

@@ -33,11 +33,15 @@ import (
 )
 
 // figRecord is one figure's wall-clock entry in the -json output.
+// PointWallSeconds is the host wall clock of each figure point in
+// generation order — the per-point cost the domain scheduler and the
+// point pool are amortizing (diagnostic only; never part of the CSV).
 type figRecord struct {
-	ID          string  `json:"id"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Series      int     `json:"series"`
-	Points      int     `json:"points"`
+	ID               string    `json:"id"`
+	WallSeconds      float64   `json:"wall_seconds"`
+	Series           int       `json:"series"`
+	Points           int       `json:"points"`
+	PointWallSeconds []float64 `json:"point_wall_seconds,omitempty"`
 }
 
 // benchRecord is the perf record written by -json: enough to compare
@@ -46,7 +50,9 @@ type benchRecord struct {
 	Command          string      `json:"command"`
 	Seed             int64       `json:"seed"`
 	Parallel         int         `json:"parallel"`
+	Intra            int         `json:"intra"`
 	GOMAXPROCS       int         `json:"gomaxprocs"`
+	NumCPU           int         `json:"num_cpu"`
 	Keys             int64       `json:"keys"`
 	ValueSize        int         `json:"value_size"`
 	Figures          []figRecord `json:"figures"`
@@ -64,6 +70,7 @@ func main() {
 	maxClients := flag.Int("max-clients", 0, "truncate the client ladder at this count (0 = full ladder)")
 	format := flag.String("format", "text", "output format: text or csv")
 	parallel := flag.Int("parallel", 1, "figure-point worker goroutines (0 = GOMAXPROCS; output is identical at any setting)")
+	intra := flag.Int("intra", 1, "domain worker goroutines inside each figure point (0 = GOMAXPROCS; output is identical at any setting)")
 	jsonPath := flag.String("json", "", "write a wall-clock/throughput record to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -81,6 +88,10 @@ func main() {
 	cfg.Parallel = *parallel
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
+	cfg.Intra = *intra
+	if cfg.Intra <= 0 {
+		cfg.Intra = runtime.GOMAXPROCS(0)
 	}
 	if *maxClients > 0 {
 		var ladder []int
@@ -148,7 +159,9 @@ func main() {
 		Command:    "prismbench " + strings.Join(os.Args[1:], " "),
 		Seed:       cfg.Seed,
 		Parallel:   cfg.Parallel,
+		Intra:      cfg.Intra,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Keys:       cfg.Keys,
 		ValueSize:  cfg.ValueSize,
 	}
@@ -166,9 +179,13 @@ func main() {
 		for _, s := range fig.Series {
 			points += len(s.Points)
 		}
-		rec.Figures = append(rec.Figures, figRecord{
+		fr := figRecord{
 			ID: fig.ID, WallSeconds: wall, Series: len(fig.Series), Points: points,
-		})
+		}
+		for _, w := range fig.PointWall {
+			fr.PointWallSeconds = append(fr.PointWallSeconds, w.Seconds())
+		}
+		rec.Figures = append(rec.Figures, fr)
 		rec.TotalWallSeconds += wall
 		if *format == "csv" {
 			fig.FprintCSV(os.Stdout)

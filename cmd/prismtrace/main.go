@@ -18,6 +18,7 @@ import (
 	"prism"
 	"prism/internal/abd"
 	"prism/internal/memory"
+	"prism/internal/rdma"
 	"prism/internal/sim"
 	"prism/internal/tx"
 	"prism/internal/wire"
@@ -41,6 +42,26 @@ func main() {
 		return
 	}
 	trace(which)
+}
+
+// attachRing installs a bounded tracer on the server so the executed
+// wire ops — with the event domain that owns them — can be replayed
+// after the run.
+func attachRing(srv *prism.Server) *rdma.TraceRing {
+	ring := rdma.NewTraceRing(256)
+	srv.SetTracer(ring.Record)
+	return ring
+}
+
+// dumpRing prints the server-side execution trace. Each line carries the
+// op's owning event domain (dom=N): under the per-node domain scheduler
+// every server executes its NIC chain in its own domain, so the ids show
+// where in the partitioned simulation each op actually ran.
+func dumpRing(name string, ring *rdma.TraceRing) {
+	fmt.Printf("  executed on %s (server trace; dom = owning event domain):\n", name)
+	for _, ev := range ring.Events() {
+		fmt.Printf("    %v\n", ev)
+	}
 }
 
 // traceConn wraps op issue with printing.
@@ -92,6 +113,7 @@ func trace(which string) {
 			os.Exit(1)
 		}
 		store.Load(7, []byte("traced value"))
+		ring := attachRing(srv)
 		conn := c.NewClientMachine("cli").Connect(srv)
 		client := prism.NewKVClient(conn, store.Meta(), 1)
 		c.Go("trace", func(p *sim.Proc) {
@@ -116,6 +138,7 @@ func trace(which string) {
 			}
 		})
 		c.Run()
+		dumpRing("kv", ring)
 
 	case "abdwrite":
 		fmt.Println("PRISM-RS write phase (per replica, §7.3): one chained round trip —")
@@ -125,6 +148,7 @@ func trace(which string) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		ring := attachRing(srv)
 		conn := c.NewClientMachine("cli").Connect(srv)
 		client := prism.NewRSClient(1, []*prism.Conn{conn}, []abd.Meta{rep.Meta()})
 		c.Go("trace", func(p *sim.Proc) {
@@ -138,6 +162,7 @@ func trace(which string) {
 			describeOps(abdChain(m, conn, 3))
 		})
 		c.Run()
+		dumpRing("replica", ring)
 
 	case "txcommit":
 		fmt.Println("PRISM-TX commit for a 1-key RMW (§8.2): three round trips total —")
@@ -148,6 +173,7 @@ func trace(which string) {
 			os.Exit(1)
 		}
 		shard.Load(2, make([]byte, 64))
+		ring := attachRing(srv)
 		conn := c.NewClientMachine("cli").Connect(srv)
 		client := c.NewTXClient(1, []*prism.Conn{conn}, []tx.Meta{shard.Meta()})
 		c.Go("trace", func(p *sim.Proc) {
@@ -165,6 +191,7 @@ func trace(which string) {
 			fmt.Println("  install chain: WRITE ts|bound to tmp, ALLOCATE redirect, CAS_GT <C|addr|bound>.")
 		})
 		c.Run()
+		dumpRing("shard", ring)
 
 	default:
 		flag.Usage()

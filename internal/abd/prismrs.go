@@ -190,7 +190,8 @@ func (c *Client) readPhase(p *sim.Proc, block int64) (Tag, []byte, error) {
 			op = prism.ReadBounded(m.Key, m.entryAddr(block)+8, m.bufSize())
 		}
 		f := c.conns[i].IssueAsync([]wire.Op{op})
-		rf := sim.NewFuture[readReply](p.Engine())
+		// Bound to the connection's domain: the completion below runs there.
+		rf := sim.NewFuture[readReply](c.conns[i].Engine())
 		futs[i] = rf
 		f.OnComplete(func(res []wire.Result) {
 			rep := readReply{replica: i}
@@ -264,7 +265,8 @@ func (c *Client) writePhase(p *sim.Proc, block int64, tag Tag, value []byte) err
 			prism.Conditional(prism.CASIndirectData(m.Key, m.entryAddr(block), wire.CASGt, tmp,
 				prism.FieldMask(entrySize, 0, 8), prism.FullMask(entrySize))),
 		})
-		rf := sim.NewFuture[int](p.Engine())
+		// Bound to the connection's domain: the completion below runs there.
+		rf := sim.NewFuture[int](conn.Engine())
 		futs[i] = rf
 		f.OnComplete(func(res []wire.Result) {
 			okAck := 0

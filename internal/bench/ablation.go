@@ -34,7 +34,7 @@ func AblationABDWriteback(cfg Config) *Figure {
 	for vi, skip := range variants {
 		jobs = append(jobs, func() Point {
 			seed := PointSeed(cfg.Seed, fig.ID, names[vi], "clients=16")
-			e, mkClient := buildPRISMRS(cfg, seed, 0)
+			e, mkClient, place := buildPRISMRS(cfg, seed, 0)
 			d := newLoadDriver(e, cfg)
 			const clients = 16
 			for i := 0; i < clients; i++ {
@@ -43,7 +43,7 @@ func AblationABDWriteback(cfg Config) *Figure {
 				gen := workload.NewGenerator(workload.Mix{
 					Keys: cfg.Keys, ReadFrac: 1.0, ValueSize: cfg.ValueSize,
 				}, clientSeed(seed, i))
-				d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
 					_, key := gen.Next()
 					_, err := st.Get(p, key)
 					return 0, err
@@ -52,7 +52,9 @@ func AblationABDWriteback(cfg Config) *Figure {
 			return d.run(clients)
 		})
 	}
-	for vi, pt := range runJobs(cfg.Parallel, jobs) {
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
+	for vi, pt := range pts {
 		fig.Series = append(fig.Series, Series{
 			Name:   names[vi],
 			Points: []Point{pt},
@@ -81,7 +83,7 @@ func AblationKVSlotCache(cfg Config) *Figure {
 	for vi, cache := range variants {
 		jobs = append(jobs, func() Point {
 			seed := PointSeed(cfg.Seed, fig.ID, names[vi], "clients=16")
-			e, mkClient := buildPRISMKV(cfg, seed)
+			e, mkClient, place := buildPRISMKV(cfg, seed)
 			d := newLoadDriver(e, cfg)
 			const clients = 16
 			for i := 0; i < clients; i++ {
@@ -91,7 +93,7 @@ func AblationKVSlotCache(cfg Config) *Figure {
 					Keys: cfg.Keys, ReadFrac: 0, ValueSize: cfg.ValueSize,
 				}, clientSeed(seed, i))
 				ver := 0
-				d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
 					_, key := gen.Next()
 					ver++
 					return 0, st.Put(p, key, gen.Value(key, ver))
@@ -100,7 +102,9 @@ func AblationKVSlotCache(cfg Config) *Figure {
 			return d.run(clients)
 		})
 	}
-	for vi, pt := range runJobs(cfg.Parallel, jobs) {
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
+	for vi, pt := range pts {
 		fig.Series = append(fig.Series, Series{
 			Name:   names[vi],
 			Points: []Point{pt},
@@ -144,7 +148,9 @@ func AblationRedirectTarget(cfg Config) *Figure {
 			})
 		})
 	}
-	for vi, lat := range runJobs(cfg.Parallel, jobs) {
+	lats, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
+	for vi, lat := range lats {
 		fig.Series = append(fig.Series, Series{
 			Name:   names[vi],
 			Points: []Point{{Clients: 1, Mean: lat, Median: lat, P99: lat}},

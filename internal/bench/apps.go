@@ -19,10 +19,16 @@ type kvStore interface {
 	Put(p *sim.Proc, key int64, value []byte) error
 }
 
+// placement maps a client id to the event domain of the machine the
+// client runs on. Driver processes must be spawned on their machine's
+// domain so that under domain-parallel execution every client runs —
+// and records measurements — alongside its own NIC.
+type placement func(id int) *sim.Engine
+
 // kvSystem builds a fresh loaded cluster and a per-client store factory.
 type kvSystem struct {
 	name  string
-	build func(cfg Config, seed int64) (e *sim.Engine, mkClient func(id int) kvStore)
+	build func(cfg Config, seed int64) (e *sim.Engine, mkClient func(id int) kvStore, place placement)
 }
 
 // clientMachines provisions the standard client-machine fleet.
@@ -34,18 +40,25 @@ func clientMachines(cfg Config, net *fabric.Network) []*rdma.Client {
 	return machines
 }
 
-func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
+// machinePlacement is the standard id -> machine-domain rule, the same
+// modulo the client factories use to pick a machine.
+func machinePlacement(machines []*rdma.Client) placement {
+	return func(id int) *sim.Engine { return machines[id%len(machines)].Domain() }
+}
+
+func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
 	tmpl := kvTemplate(cfg)
 	e, net, _ := buildNet(seed)
 	srv := kv.NewServerFromTemplate(net, "server", model.SoftwarePRISM, tmpl)
-	return e, kvClientFactory(cfg, net, srv)
+	mk, place := kvClientFactory(cfg, net, srv)
+	return e, mk, place
 }
 
 // buildPRISMKVFresh is the pre-template construction path: build and load
 // the server directly on the measurement engine. Loading touches neither
 // the engine nor its RNG, so buildPRISMKV is bit-identical to it —
 // TestForkedClusterMatchesFresh holds the two against each other.
-func buildPRISMKVFresh(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
+func buildPRISMKVFresh(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
 	e, net, _ := buildNet(seed)
 	srv, err := kv.NewServer(rdma.NewServer(net, "server", model.SoftwarePRISM),
 		kv.DefaultOptions(cfg.Keys, cfg.ValueSize))
@@ -58,10 +71,11 @@ func buildPRISMKVFresh(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) 
 			panic(err)
 		}
 	}
-	return e, kvClientFactory(cfg, net, srv)
+	mk, place := kvClientFactory(cfg, net, srv)
+	return e, mk, place
 }
 
-func kvClientFactory(cfg Config, net *fabric.Network, srv *kv.Server) func(int) kvStore {
+func kvClientFactory(cfg Config, net *fabric.Network, srv *kv.Server) (func(int) kvStore, placement) {
 	machines := clientMachines(cfg, net)
 	return func(id int) kvStore {
 		m := machines[id%len(machines)]
@@ -69,11 +83,11 @@ func kvClientFactory(cfg Config, net *fabric.Network, srv *kv.Server) func(int) 
 		c.CtrlConn = m.Connect(srv.NIC()) // reclamation rides a control QP
 		c.FreeBatch = 4                   // keep unreclaimed churn small under heavy write load
 		return c
-	}
+	}, machinePlacement(machines)
 }
 
-func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
-	return func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore) {
+func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
+	return func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
 		tmpl := pilafTemplate(cfg)
 		e, net, p := buildNet(seed)
 		srv := kv.NewPilafServerFromTemplate(net, "server", deploy, tmpl)
@@ -82,7 +96,7 @@ func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engi
 		return e, func(id int) kvStore {
 			m := machines[id%len(machines)]
 			return kv.NewPilafClient(m.Connect(srv.NIC()), srv.Meta(), crc)
-		}
+		}, machinePlacement(machines)
 	}
 }
 
@@ -90,7 +104,7 @@ func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engi
 // simulation whose every RNG derives from the point's identity.
 func kvPoint(sys kvSystem, cfg Config, figID string, readFrac float64, nClients int) Point {
 	seed := PointSeed(cfg.Seed, figID, sys.name, fmt.Sprintf("clients=%d", nClients))
-	e, mkClient := sys.build(cfg, seed)
+	e, mkClient, place := sys.build(cfg, seed)
 	d := newLoadDriver(e, cfg)
 	for i := 0; i < nClients; i++ {
 		st := mkClient(i)
@@ -98,7 +112,7 @@ func kvPoint(sys kvSystem, cfg Config, figID string, readFrac float64, nClients 
 			Keys: cfg.Keys, ReadFrac: readFrac, ValueSize: cfg.ValueSize,
 		}, clientSeed(seed, i))
 		ver := 0
-		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+		d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
 			kind, key := gen.Next()
 			if kind == workload.OpGet {
 				_, err := st.Get(p, key)
@@ -117,7 +131,8 @@ func kvCurve(sys kvSystem, cfg Config, figID string, readFrac float64) Series {
 	for _, nClients := range cfg.ClientCounts {
 		jobs = append(jobs, func() Point { return kvPoint(sys, cfg, figID, readFrac, nClients) })
 	}
-	return Series{Name: sys.name, Points: runJobs(cfg.Parallel, jobs)}
+	pts, _ := runJobs(cfg.Parallel, jobs)
+	return Series{Name: sys.name, Points: pts}
 }
 
 // Fig3 reproduces Figure 3: PRISM-KV vs Pilaf (hardware and software
@@ -146,7 +161,8 @@ func kvFigure(cfg Config, id, title string, readFrac float64) *Figure {
 			jobs = append(jobs, func() Point { return kvPoint(sys, cfg, id, readFrac, nClients) })
 		}
 	}
-	pts := runJobs(cfg.Parallel, jobs)
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for si, sys := range systems {
 		fig.Series = append(fig.Series, Series{
 			Name:   sys.name,
@@ -165,10 +181,10 @@ type blockStore interface {
 
 type rsSystem struct {
 	name  string
-	build func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore)
+	build func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore, placement)
 }
 
-func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
+func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore, placement) {
 	// The three replicas of a group are identical after initialization, so
 	// one template serves all of them — each on its own COW fork.
 	tmpl := rsTemplate(cfg)
@@ -178,12 +194,13 @@ func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blo
 	for i := range replicas {
 		replicas[i] = abd.NewReplicaFromTemplate(net, fmt.Sprintf("replica-%d", i), model.SoftwarePRISM, tmpl)
 	}
-	return e, rsClientFactory(cfg, net, replicas)
+	mk, place := rsClientFactory(cfg, net, replicas)
+	return e, mk, place
 }
 
 // buildPRISMRSFresh is the pre-template path, kept for the fork-vs-fresh
 // equivalence test (see buildPRISMKVFresh).
-func buildPRISMRSFresh(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
+func buildPRISMRSFresh(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore, placement) {
 	e, net, _ := buildNet(seed)
 	const nReplicas = 3
 	replicas := make([]*abd.Replica, nReplicas)
@@ -200,10 +217,11 @@ func buildPRISMRSFresh(cfg Config, seed int64, _ float64) (*sim.Engine, func(int
 		}
 		replicas[i] = r
 	}
-	return e, rsClientFactory(cfg, net, replicas)
+	mk, place := rsClientFactory(cfg, net, replicas)
+	return e, mk, place
 }
 
-func rsClientFactory(cfg Config, net *fabric.Network, replicas []*abd.Replica) func(int) blockStore {
+func rsClientFactory(cfg Config, net *fabric.Network, replicas []*abd.Replica) (func(int) blockStore, placement) {
 	machines := clientMachines(cfg, net)
 	return func(id int) blockStore {
 		m := machines[id%len(machines)]
@@ -221,11 +239,11 @@ func rsClientFactory(cfg Config, net *fabric.Network, replicas []*abd.Replica) f
 		c.UseControlConns(ctrl) // reclamation rides control QPs
 		c.FreeBatch = 8
 		return c
-	}
+	}, machinePlacement(machines)
 }
 
-func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore) {
-	return func(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore) {
+func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore, placement) {
+	return func(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore, placement) {
 		tmpl := lockTemplate(cfg)
 		e, net, _ := buildNet(seed)
 		const nReplicas = 3
@@ -242,9 +260,12 @@ func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta fl
 				conns[i] = m.Connect(r.NIC())
 				metas[i] = r.Meta()
 			}
-			jit := e.Rand().Float64
+			// Backoff jitter draws from the client machine's domain RNG:
+			// backoffs fire on that domain, and under domain-parallel
+			// execution the root engine's RNG must not be shared.
+			jit := m.Domain().Rand().Float64
 			return abd.NewLockClient(uint16(id+1), conns, metas, jit)
-		}
+		}, machinePlacement(machines)
 	}
 }
 
@@ -252,7 +273,7 @@ func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta fl
 func rsPoint(sys rsSystem, cfg Config, figID string, theta float64, nClients int) Point {
 	seed := PointSeed(cfg.Seed, figID, sys.name,
 		fmt.Sprintf("theta=%.2f/clients=%d", theta, nClients))
-	e, mkClient := sys.build(cfg, seed, theta)
+	e, mkClient, place := sys.build(cfg, seed, theta)
 	d := newLoadDriver(e, cfg)
 	for i := 0; i < nClients; i++ {
 		st := mkClient(i)
@@ -260,7 +281,7 @@ func rsPoint(sys rsSystem, cfg Config, figID string, theta float64, nClients int
 			Keys: cfg.Keys, ReadFrac: 0.5, ValueSize: cfg.ValueSize, Theta: theta,
 		}, clientSeed(seed, i))
 		ver := 0
-		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+		d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
 			kind, key := gen.Next()
 			if kind == workload.OpGet {
 				_, err := st.Get(p, key)
@@ -291,7 +312,8 @@ func Fig6(cfg Config) *Figure {
 			jobs = append(jobs, func() Point { return rsPoint(sys, cfg, "fig6", 0, nClients) })
 		}
 	}
-	pts := runJobs(cfg.Parallel, jobs)
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for si, sys := range systems {
 		fig.Series = append(fig.Series, Series{
 			Name:   sys.name,
@@ -320,7 +342,8 @@ func Fig7(cfg Config) *Figure {
 			jobs = append(jobs, func() Point { return rsPoint(sys, cfg, "fig7", theta, clients) })
 		}
 	}
-	pts := runJobs(cfg.Parallel, jobs)
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for si, sys := range systems {
 		s := Series{Name: sys.name}
 		for ti, theta := range thetas {
@@ -338,7 +361,7 @@ func Fig7(cfg Config) *Figure {
 
 type txSystem struct {
 	name  string
-	build func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner)
+	build func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement)
 }
 
 // txRunner executes one YCSB-T read-modify-write transaction, retrying
@@ -381,16 +404,17 @@ func rmwRunner(begin func() txHandle) txRunner {
 	}
 }
 
-func buildPRISMTX(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
+func buildPRISMTX(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
 	tmpl := txTemplate(cfg)
 	e, net, _ := buildNet(seed)
 	shard := tx.NewShardFromTemplate(net, "shard", model.SoftwarePRISM, tmpl)
-	return e, prismTXClientFactory(cfg, e, net, shard)
+	mk, place := prismTXClientFactory(cfg, net, shard)
+	return e, mk, place
 }
 
 // buildPRISMTXFresh is the pre-template path, kept for the fork-vs-fresh
 // equivalence test (see buildPRISMKVFresh).
-func buildPRISMTXFresh(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
+func buildPRISMTXFresh(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
 	e, net, _ := buildNet(seed)
 	shard, err := tx.NewShard(rdma.NewServer(net, "shard", model.SoftwarePRISM),
 		tx.ShardOptions{NSlots: cfg.Keys, MaxValue: cfg.ValueSize, ExtraBuffers: 8192})
@@ -403,21 +427,22 @@ func buildPRISMTXFresh(cfg Config, seed int64) (*sim.Engine, func(int) txRunner)
 			panic(err)
 		}
 	}
-	return e, prismTXClientFactory(cfg, e, net, shard)
+	mk, place := prismTXClientFactory(cfg, net, shard)
+	return e, mk, place
 }
 
-func prismTXClientFactory(cfg Config, e *sim.Engine, net *fabric.Network, shard *tx.Shard) func(int) txRunner {
+func prismTXClientFactory(cfg Config, net *fabric.Network, shard *tx.Shard) (func(int) txRunner, placement) {
 	machines := clientMachines(cfg, net)
 	return func(id int) txRunner {
 		m := machines[id%len(machines)]
-		c := tx.NewClient(uint16(id+1), []*rdma.Conn{m.Connect(shard.NIC())}, []tx.Meta{shard.Meta()}, e)
+		c := tx.NewClient(uint16(id+1), []*rdma.Conn{m.Connect(shard.NIC())}, []tx.Meta{shard.Meta()})
 		c.UseControlConns([]*rdma.Conn{m.Connect(shard.NIC())})
 		return rmwRunner(func() txHandle { return c.Begin() })
-	}
+	}, machinePlacement(machines)
 }
 
-func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
-	return func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner) {
+func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
+	return func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
 		tmpl := farmTemplate(cfg)
 		e, net, _ := buildNet(seed)
 		srv := tx.NewFarmServerFromTemplate(net, "shard", deploy, tmpl)
@@ -426,7 +451,7 @@ func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engin
 			m := machines[id%len(machines)]
 			c := tx.NewFarmClient(uint16(id+1), []*rdma.Conn{m.Connect(srv.NIC())}, []tx.FarmMeta{srv.Meta()})
 			return rmwRunner(func() txHandle { return c.Begin() })
-		}
+		}, machinePlacement(machines)
 	}
 }
 
@@ -434,14 +459,14 @@ func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engin
 func txPoint(sys txSystem, cfg Config, figID string, theta float64, nClients int) Point {
 	seed := PointSeed(cfg.Seed, figID, sys.name,
 		fmt.Sprintf("theta=%.2f/clients=%d", theta, nClients))
-	e, mkRunner := sys.build(cfg, seed)
+	e, mkRunner, place := sys.build(cfg, seed)
 	d := newLoadDriver(e, cfg)
 	for i := 0; i < nClients; i++ {
 		run := mkRunner(i)
 		gen := workload.NewTxGenerator(workload.TxMix{
 			Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: 1, Theta: theta,
 		}, clientSeed(seed, i))
-		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+		d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
 			return run(p, gen)
 		})
 	}
@@ -466,7 +491,8 @@ func Fig9(cfg Config) *Figure {
 			jobs = append(jobs, func() Point { return txPoint(sys, cfg, "fig9", 0, nClients) })
 		}
 	}
-	pts := runJobs(cfg.Parallel, jobs)
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for si, sys := range systems {
 		fig.Series = append(fig.Series, Series{
 			Name:   sys.name,
@@ -500,7 +526,8 @@ func Fig10(cfg Config) *Figure {
 			}
 		}
 	}
-	pts := runJobs(cfg.Parallel, jobs)
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for si, sys := range systems {
 		s := Series{Name: sys.name}
 		for ti, theta := range thetas {

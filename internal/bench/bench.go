@@ -39,7 +39,8 @@ type Config struct {
 	Warmup  time.Duration
 	Measure time.Duration
 	// MaxOps caps measured operations per point (0 = no cap) so high
-	// throughput points do not dominate wall-clock time.
+	// throughput points do not dominate wall-clock time. The cap is
+	// detected at window barriers, so a run may slightly overshoot it.
 	MaxOps int64
 	Seed   int64
 	// Parallel is the worker count for the point runner: each figure point
@@ -47,6 +48,12 @@ type Config struct {
 	// concurrently. <= 1 runs points serially in declaration order. Output
 	// is byte-identical either way (see PointSeed).
 	Parallel int
+	// Intra is the worker count inside one simulation: event domains (one
+	// per simulated machine) execute lookahead windows on up to Intra
+	// goroutines. <= 1 runs domains serially. Output is byte-identical at
+	// any setting — cross-domain deliveries merge in a fixed total order at
+	// window barriers. Composes with Parallel (points x domains).
+	Intra int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -61,6 +68,7 @@ func DefaultConfig() Config {
 		MaxOps:         0,
 		Seed:           42,
 		Parallel:       1,
+		Intra:          1,
 	}
 }
 
@@ -103,18 +111,26 @@ func clientSeed(pointSeed int64, i int) int64 {
 }
 
 // runJobs executes jobs on up to workers goroutines and returns their
-// results in declaration order. workers <= 1 runs them serially on the
-// calling goroutine.
-func runJobs[T any](workers int, jobs []func() T) []T {
+// results in declaration order, along with each job's wall-clock
+// duration (also in declaration order — harness-side timing, not
+// simulated time). workers <= 1 runs them serially on the calling
+// goroutine.
+func runJobs[T any](workers int, jobs []func() T) ([]T, []time.Duration) {
 	out := make([]T, len(jobs))
+	wall := make([]time.Duration, len(jobs))
+	timed := func(i int) {
+		start := time.Now()
+		out[i] = jobs[i]()
+		wall[i] = time.Since(start)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
-		for i, job := range jobs {
-			out[i] = job()
+		for i := range jobs {
+			timed(i)
 		}
-		return out
+		return out, wall
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -123,7 +139,7 @@ func runJobs[T any](workers int, jobs []func() T) []T {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = jobs[i]()
+				timed(i)
 			}
 		}()
 	}
@@ -132,7 +148,7 @@ func runJobs[T any](workers int, jobs []func() T) []T {
 	}
 	close(idx)
 	wg.Wait()
-	return out
+	return out, wall
 }
 
 // Point is one measured point of a curve.
@@ -154,6 +170,11 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	Series []Series
+	// PointWall is the harness wall-clock time of each figure point in
+	// job-declaration order. Diagnostic only: it is reported by
+	// prismbench -json but never rendered into the text/CSV figures,
+	// whose output must stay machine-independent.
+	PointWall []time.Duration
 }
 
 // Fprint renders the figure as aligned text tables.
@@ -197,25 +218,69 @@ func (f *Figure) FprintCSV(w io.Writer) {
 // op is invoked repeatedly per client; it returns the number of logical
 // operations completed (usually 1; transactions may retry internally and
 // still count 1) or an error to stop that client.
+//
+// Measurements are sharded per event domain: each client process records
+// into the shard of the machine domain it was spawned on, so under
+// domain-parallel execution (Config.Intra > 1) concurrent clients never
+// share a recorder. Shards merge deterministically in run.
 type loadDriver struct {
 	e       *sim.Engine
 	cfg     Config
+	shards  map[*sim.Engine]*driverShard
+	order   []*driverShard // first-spawn order, for a stable merge
+	stopped bool           // written only between windows (barrier or run)
+}
+
+// driverShard is the measurement state owned by one event domain.
+type driverShard struct {
 	rec     *stats.LatencyRecorder
 	ops     int64
 	aborts  int64
 	errs    int64
 	lastEnd sim.Time
-	stopped bool
 }
 
 func newLoadDriver(e *sim.Engine, cfg Config) *loadDriver {
-	return &loadDriver{e: e, cfg: cfg, rec: stats.NewLatencyRecorder()}
+	d := &loadDriver{e: e, cfg: cfg, shards: make(map[*sim.Engine]*driverShard)}
+	if cfg.Intra > 1 {
+		e.World().SetWorkers(cfg.Intra)
+	}
+	if cfg.MaxOps > 0 {
+		// The cap spans domains, so it is enforced where cross-domain
+		// state may be read safely: at window barriers.
+		e.World().OnBarrier(d.checkMaxOps)
+	}
+	return d
 }
 
-// spawn starts one closed-loop client process running op until the driver
-// stops.
-func (d *loadDriver) spawn(name string, op func(p *sim.Proc) (aborts int64, err error)) {
-	d.e.Go(name, func(p *sim.Proc) {
+func (d *loadDriver) shard(dom *sim.Engine) *driverShard {
+	sh := d.shards[dom]
+	if sh == nil {
+		sh = &driverShard{rec: stats.NewLatencyRecorder()}
+		d.shards[dom] = sh
+		d.order = append(d.order, sh)
+	}
+	return sh
+}
+
+func (d *loadDriver) checkMaxOps() {
+	if d.stopped {
+		return
+	}
+	var total int64
+	for _, sh := range d.order {
+		total += sh.ops
+	}
+	if total >= d.cfg.MaxOps {
+		d.stopped = true
+	}
+}
+
+// spawn starts one closed-loop client process on dom (the client's
+// machine domain) running op until the driver stops.
+func (d *loadDriver) spawn(dom *sim.Engine, name string, op func(p *sim.Proc) (aborts int64, err error)) {
+	sh := d.shard(dom)
+	dom.Go(name, func(p *sim.Proc) {
 		warmEnd := sim.Time(d.cfg.Warmup)
 		measureEnd := sim.Time(d.cfg.Warmup + d.cfg.Measure)
 		for !d.stopped {
@@ -225,19 +290,16 @@ func (d *loadDriver) spawn(name string, op func(p *sim.Proc) (aborts int64, err 
 			}
 			aborts, err := op(p)
 			if err != nil {
-				d.errs++
+				sh.errs++
 				return
 			}
 			end := p.Now()
 			if start >= warmEnd && end <= measureEnd {
-				d.rec.Record(end.Sub(start))
-				d.ops++
-				d.aborts += aborts
-				if end > d.lastEnd {
-					d.lastEnd = end
-				}
-				if d.cfg.MaxOps > 0 && d.ops >= d.cfg.MaxOps {
-					d.stopped = true
+				sh.rec.Record(end.Sub(start))
+				sh.ops++
+				sh.aborts += aborts
+				if end > sh.lastEnd {
+					sh.lastEnd = end
 				}
 			}
 		}
@@ -245,27 +307,40 @@ func (d *loadDriver) spawn(name string, op func(p *sim.Proc) (aborts int64, err 
 }
 
 // run drives the simulation through the measurement window, drains the
-// in-flight operations so client processes exit cleanly, and summarizes.
+// in-flight operations so client processes exit cleanly, and summarizes
+// the per-domain shards.
 func (d *loadDriver) run(clients int) Point {
 	d.e.RunUntil(sim.Time(d.cfg.Warmup + d.cfg.Measure))
 	d.stopped = true
 	d.e.Run() // drain in-flight ops; clients observe stopped and exit
+	rec := stats.NewLatencyRecorder()
+	var ops, aborts, errs int64
+	var lastEnd sim.Time
+	for _, sh := range d.order {
+		rec.Merge(sh.rec)
+		ops += sh.ops
+		aborts += sh.aborts
+		errs += sh.errs
+		if sh.lastEnd > lastEnd {
+			lastEnd = sh.lastEnd
+		}
+	}
 	// Throughput from ops completed in the effective measured window
 	// (shorter than Measure when MaxOps stopped the run early).
 	window := d.cfg.Measure
-	if d.cfg.MaxOps > 0 && d.lastEnd > sim.Time(d.cfg.Warmup) {
-		if span := d.lastEnd.Sub(sim.Time(d.cfg.Warmup)); span < window {
+	if d.cfg.MaxOps > 0 && lastEnd > sim.Time(d.cfg.Warmup) {
+		if span := lastEnd.Sub(sim.Time(d.cfg.Warmup)); span < window {
 			window = span
 		}
 	}
-	tput := float64(d.ops) / window.Seconds()
+	tput := float64(ops) / window.Seconds()
 	return Point{
 		Clients:    clients,
 		Throughput: tput,
-		Mean:       d.rec.Mean(),
-		Median:     d.rec.Median(),
-		P99:        d.rec.P99(),
-		Aborts:     d.aborts,
-		Errors:     d.errs,
+		Mean:       rec.Mean(),
+		Median:     rec.Median(),
+		P99:        rec.P99(),
+		Aborts:     aborts,
+		Errors:     errs,
 	}
 }

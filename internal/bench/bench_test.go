@@ -264,7 +264,10 @@ func TestRunJobsOrderAndCoverage(t *testing.T) {
 		for i := range jobs {
 			jobs[i] = func() int { return i * i }
 		}
-		got := runJobs(workers, jobs)
+		got, wall := runJobs(workers, jobs)
+		if len(wall) != len(jobs) {
+			t.Fatalf("workers=%d: %d wall-clock entries, want %d", workers, len(wall), len(jobs))
+		}
 		for i, v := range got {
 			if v != i*i {
 				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*i)

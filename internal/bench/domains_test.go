@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"prism/internal/sim"
+	"prism/internal/workload"
+)
+
+// newTestGen builds the standard per-client read-only generator.
+func newTestGen(cfg Config, seed int64, i int) *workload.Generator {
+	return workload.NewGenerator(workload.Mix{
+		Keys: cfg.Keys, ReadFrac: 1, ValueSize: cfg.ValueSize,
+	}, clientSeed(seed, i))
+}
+
+// allFigures enumerates every figure generator the harness exports, so
+// the domain-determinism regression sweeps the full surface.
+var allFigures = []struct {
+	name string
+	fn   func(Config) *Figure
+}{
+	{"fig1", Fig1},
+	{"fig2", Fig2},
+	{"rpcvsrdma", RPCvsRDMA},
+	{"fig3", Fig3},
+	{"fig4", Fig4},
+	{"fig6", Fig6},
+	{"fig7", Fig7},
+	{"fig9", Fig9},
+	{"fig10", Fig10},
+	{"ext-shards", ExtShards},
+	{"ext-multikey", ExtMultiKey},
+	{"ablation-abd-writeback", AblationABDWriteback},
+	{"ablation-kv-slotcache", AblationKVSlotCache},
+	{"ablation-redirect-target", AblationRedirectTarget},
+	{"ablation-freelist-classes", AblationFreelistClasses},
+}
+
+// tinyD is an extra-small config for the all-figures sweep (it runs every
+// figure twice).
+func tinyD() Config {
+	cfg := DefaultConfig()
+	cfg.Keys = 512
+	cfg.Warmup = 30 * time.Microsecond
+	cfg.Measure = 150 * time.Microsecond
+	cfg.ClientCounts = []int{3, 17}
+	return cfg
+}
+
+// intraWorkers is the domain-parallel worker count under test,
+// overridable so CI can sweep settings (PRISM_INTRA).
+func intraWorkers(t *testing.T) int {
+	if s := os.Getenv("PRISM_INTRA"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad PRISM_INTRA=%q", s)
+		}
+		return n
+	}
+	return 4
+}
+
+// TestDomainParallelMatchesSerial is the tentpole regression for the
+// per-node event-domain scheduler: every figure must render byte-identical
+// CSV whether domains execute serially or on a worker pool, composed with
+// the inter-point pool. Conservative lookahead windows plus the fixed
+// (time, src-domain, seq) merge order at barriers make the parallel
+// schedule semantically invisible.
+func TestDomainParallelMatchesSerial(t *testing.T) {
+	intra := intraWorkers(t)
+	for _, figure := range allFigures {
+		t.Run(figure.name, func(t *testing.T) {
+			serial := tinyD()
+			serial.Intra = 1
+			serial.Parallel = 1
+			domains := tinyD()
+			domains.Intra = intra
+			domains.Parallel = 4
+			a, b := render(figure.fn(serial)), render(figure.fn(domains))
+			if a != b {
+				t.Fatalf("intra=%d output differs from serial:\n--- serial ---\n%s--- intra=%d ---\n%s",
+					intra, a, intra, b)
+			}
+		})
+	}
+}
+
+// TestMaxOpsStopsEarly: the cross-domain op cap is enforced at window
+// barriers, and identically so at any worker count.
+func TestMaxOpsStopsEarly(t *testing.T) {
+	base := tinyD()
+	base.Measure = 2 * time.Millisecond
+	base.MaxOps = 50
+	run := func(intra int) (Point, int64) {
+		cfg := base
+		cfg.Intra = intra
+		seed := PointSeed(cfg.Seed, "maxops", "PRISM-KV", "clients=16")
+		e, mkClient, place := buildPRISMKV(cfg, seed)
+		d := newLoadDriver(e, cfg)
+		for i := 0; i < 16; i++ {
+			st := mkClient(i)
+			gen := newTestGen(cfg, seed, i)
+			d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+				_, key := gen.Next()
+				_, err := st.Get(p, key)
+				return 0, err
+			})
+		}
+		pt := d.run(16)
+		var ops int64
+		for _, sh := range d.order {
+			ops += sh.ops
+		}
+		return pt, ops
+	}
+	serial, ops := run(1)
+	// The cap is detected one barrier late at worst, so allow modest
+	// overshoot, but the run must stop well short of an uncapped run
+	// (which completes thousands of ops in this window).
+	if ops < 50 || ops > 500 {
+		t.Fatalf("MaxOps=50 measured %d ops", ops)
+	}
+	if par, parOps := run(4); par != serial || parOps != ops {
+		t.Fatalf("MaxOps point differs across worker counts:\nserial: %+v (%d ops)\nintra4: %+v (%d ops)",
+			serial, ops, par, parOps)
+	}
+}
+
+// BenchmarkIntraScaling measures one heavy figure point at increasing
+// domain-worker counts (wall-clock scaling of the window scheduler).
+func BenchmarkIntraScaling(b *testing.B) {
+	for _, intra := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("intra=%d", intra), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Keys = 2048
+			cfg.Warmup = 50 * time.Microsecond
+			cfg.Measure = 500 * time.Microsecond
+			cfg.Intra = intra
+			for i := 0; i < b.N; i++ {
+				kvPoint(kvSystem{"PRISM-KV", buildPRISMKV}, cfg, "intrascale", 0.5, 128)
+			}
+		})
+	}
+}

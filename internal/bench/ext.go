@@ -20,19 +20,20 @@ import (
 // transactions of keysPerTx keys. Shard images come from the per-shard
 // template set (keysPerTx only shapes client transactions, not the loaded
 // data, so all keysPerTx variants share one template set).
-func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner) {
+func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner, placement) {
 	tmpls := txClusterTemplates(cfg, nShards)
 	e, net, _ := buildNet(seed)
 	shards := make([]*tx.Shard, nShards)
 	for i, t := range tmpls {
 		shards[i] = tx.NewShardFromTemplate(net, fmt.Sprintf("shard-%d", i), model.SoftwarePRISM, t)
 	}
-	return e, txClusterClientFactory(cfg, e, net, shards)
+	mk, place := txClusterClientFactory(cfg, net, shards)
+	return e, mk, place
 }
 
 // buildTXClusterFresh is the pre-template path, kept for the
 // fork-vs-fresh equivalence test (see buildPRISMKVFresh).
-func buildTXClusterFresh(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner) {
+func buildTXClusterFresh(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner, placement) {
 	e, net, _ := buildNet(seed)
 	shards := make([]*tx.Shard, nShards)
 	perShard := cfg.Keys / int64(nShards)
@@ -50,10 +51,11 @@ func buildTXClusterFresh(cfg Config, seed int64, nShards, keysPerTx int) (*sim.E
 			panic(err)
 		}
 	}
-	return e, txClusterClientFactory(cfg, e, net, shards)
+	mk, place := txClusterClientFactory(cfg, net, shards)
+	return e, mk, place
 }
 
-func txClusterClientFactory(cfg Config, e *sim.Engine, net *fabric.Network, shards []*tx.Shard) func(id int) txRunner {
+func txClusterClientFactory(cfg Config, net *fabric.Network, shards []*tx.Shard) (func(id int) txRunner, placement) {
 	metas := make([]tx.Meta, len(shards))
 	for i, s := range shards {
 		metas[i] = s.Meta()
@@ -67,10 +69,10 @@ func txClusterClientFactory(cfg Config, e *sim.Engine, net *fabric.Network, shar
 			conns[i] = m.Connect(s.NIC())
 			ctrl[i] = m.Connect(s.NIC())
 		}
-		c := tx.NewClient(uint16(id+1), conns, metas, e)
+		c := tx.NewClient(uint16(id+1), conns, metas)
 		c.UseControlConns(ctrl)
 		return rmwRunner(func() txHandle { return c.Begin() })
-	}
+	}, machinePlacement(machines)
 }
 
 // ExtShards measures PRISM-TX throughput as the data is partitioned over
@@ -91,7 +93,8 @@ func ExtShards(cfg Config) *Figure {
 				nShards, 1, clients)
 		})
 	}
-	pts := runJobs(cfg.Parallel, jobs)
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	s := Series{Name: "PRISM-TX"}
 	for i, nShards := range shardCounts {
 		pt := pts[i]
@@ -106,14 +109,14 @@ func ExtShards(cfg Config) *Figure {
 // txClusterPoint runs one multi-shard PRISM-TX measurement.
 func txClusterPoint(cfg Config, figID, pointKey string, nShards, keysPerTx, clients int) Point {
 	seed := PointSeed(cfg.Seed, figID, "PRISM-TX", pointKey)
-	e, mkRunner := buildTXCluster(cfg, seed, nShards, keysPerTx)
+	e, mkRunner, place := buildTXCluster(cfg, seed, nShards, keysPerTx)
 	d := newLoadDriver(e, cfg)
 	for i := 0; i < clients; i++ {
 		run := mkRunner(i)
 		gen := workload.NewTxGenerator(workload.TxMix{
 			Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx,
 		}, clientSeed(seed, i))
-		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+		d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
 			return run(p, gen)
 		})
 	}
@@ -138,7 +141,8 @@ func ExtMultiKey(cfg Config) *Figure {
 				2, kpt, clients)
 		})
 	}
-	pts := runJobs(cfg.Parallel, jobs)
+	pts, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	s := Series{Name: "PRISM-TX"}
 	for i, kpt := range keysPerTx {
 		pt := pts[i]

@@ -25,17 +25,17 @@ func spaceChecksum(t *testing.T, s *memory.Space) uint64 {
 // txClusterPointWith is txClusterPoint with a pluggable cluster builder,
 // so the test can drive the fresh path through the production measurement
 // code.
-func txClusterPointWith(build func(Config, int64, int, int) (*sim.Engine, func(int) txRunner),
+func txClusterPointWith(build func(Config, int64, int, int) (*sim.Engine, func(int) txRunner, placement),
 	cfg Config, figID, pointKey string, nShards, keysPerTx, clients int) Point {
 	seed := PointSeed(cfg.Seed, figID, "PRISM-TX", pointKey)
-	e, mkRunner := build(cfg, seed, nShards, keysPerTx)
+	e, mkRunner, place := build(cfg, seed, nShards, keysPerTx)
 	d := newLoadDriver(e, cfg)
 	for i := 0; i < clients; i++ {
 		run := mkRunner(i)
 		gen := workload.NewTxGenerator(workload.TxMix{
 			Keys: cfg.Keys, ValueSize: cfg.ValueSize, KeysPerTx: keysPerTx,
 		}, clientSeed(seed, i))
-		d.spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
+		d.spawn(place(i), fmt.Sprintf("c%d", i), func(p *sim.Proc) (int64, error) {
 			return run(p, gen)
 		})
 	}

@@ -80,7 +80,8 @@ func Fig1(cfg Config) *Figure {
 			})
 		}
 	}
-	cells := runJobs(cfg.Parallel, jobs)
+	cells, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for di, d := range deployments {
 		s := Series{Name: d.String()}
 		for opIdx, opName := range opNames {
@@ -215,7 +216,8 @@ func Fig2(cfg Config) *Figure {
 			})
 		}
 	}
-	lats := runJobs(cfg.Parallel, jobs)
+	lats, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for vi, v := range variants {
 		s := Series{Name: v.name}
 		for pi, prof := range profiles {
@@ -275,7 +277,8 @@ func RPCvsRDMA(cfg Config) *Figure {
 			})
 		},
 	}
-	lats := runJobs(cfg.Parallel, jobs)
+	lats, wall := runJobs(cfg.Parallel, jobs)
+	fig.PointWall = wall
 	for i, name := range names {
 		lat := lats[i]
 		fig.Series = append(fig.Series, Series{

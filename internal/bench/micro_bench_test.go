@@ -13,11 +13,11 @@ import (
 func BenchmarkSimulatedGET(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.Keys = 1024
-	e, mkClient := buildPRISMKV(cfg, 42)
+	e, mkClient, place := buildPRISMKV(cfg, 42)
 	st := mkClient(0)
 	b.ReportAllocs()
 	b.ResetTimer()
-	e.Go("bench", func(p *sim.Proc) {
+	place(0).Go("bench", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
 			if _, err := st.Get(p, int64(i)%cfg.Keys); err != nil {
 				panic(err)

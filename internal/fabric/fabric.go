@@ -8,6 +8,15 @@
 // computed from the real encodings in package wire — drives bandwidth
 // accounting, so the fabric does not pay for encoding on the hot path. The
 // rdma package's tests exercise the full encode/decode path separately.
+//
+// Each node is its own event domain (see package sim): the node's
+// timers, port resources, and handler all execute on the node's domain.
+// The fabric declares the minimum cross-node latency — frame
+// serialization plus switch propagation — as the world's lookahead, and
+// buffers cross-node sends in per-node outboxes that are merged at
+// window barriers in (arrival time, source node, send sequence) order.
+// Loopback traffic stays inside the sender's domain and never touches a
+// barrier.
 package fabric
 
 import (
@@ -22,6 +31,11 @@ type Message struct {
 	From, To *Node
 	Size     int // encoded size in bytes, excluding frame overhead
 	Payload  any
+	// Tag is an opaque sender-chosen stamp carried with the datagram. The
+	// rdma transport uses it to epoch-stamp pooled payload objects: a
+	// receiver can tell a stale (recycled and reused) payload from the
+	// incarnation this datagram actually carried.
+	Tag uint32
 }
 
 // Handler receives messages delivered to a node.
@@ -31,8 +45,19 @@ type Handler func(m Message)
 type Node struct {
 	net     *Network
 	name    string
+	dom     *sim.Engine
 	tx, rx  *sim.Resource
 	handler Handler
+
+	// Cross-domain send buffer, drained at window barriers.
+	out    []crossEntry
+	outSeq uint64
+
+	// free recycles this node's in-flight message carriers. The pool is
+	// owned by the delivery side: carriers are taken at barriers (or for
+	// loopback, in-domain) and returned during this domain's execution —
+	// the two never overlap, so no locking is needed.
+	free *flight
 
 	// Counters for reporting and tests.
 	BytesSent     int64
@@ -45,6 +70,11 @@ type Node struct {
 // Name returns the node's name.
 func (n *Node) Name() string { return n.name }
 
+// Domain returns the event domain this node lives on. All of the node's
+// traffic handling — port serialization, delivery, protocol timers —
+// executes there.
+func (n *Node) Domain() *sim.Engine { return n.dom }
+
 // SetHandler installs the delivery callback. It must be set before any
 // message arrives.
 func (n *Node) SetHandler(h Handler) { n.handler = h }
@@ -52,37 +82,47 @@ func (n *Node) SetHandler(h Handler) { n.handler = h }
 // TxQueueDelay reports the current backlog on the node's transmit port.
 func (n *Node) TxQueueDelay() sim.Duration { return n.tx.QueueDelay() }
 
+// crossEntry is one cross-node message waiting in its source node's
+// outbox for the next window barrier.
+type crossEntry struct {
+	at      sim.Time // arrival instant at the destination's switch port
+	ser     sim.Duration
+	m       Message
+	src     int // source node index (creation order) — merge tie-break
+	seq     uint64
+	dropped bool
+}
+
 // Network is a set of nodes joined through one switch profile.
 type Network struct {
 	e     *sim.Engine
 	p     model.Params
 	nodes []*Node
-	free  *flight // recycled in-flight message carriers
+	merge []crossEntry // barrier scratch, reused across flushes
 }
 
-// flight carries one message through its delivery hops (tx serialization →
-// switch propagation → rx serialization → handler). The hop callbacks are
+// flight carries one message through its destination-side delivery hops
+// (switch arrival → rx serialization → handler). The hop callbacks are
 // bound to the flight once, when it is first allocated, so a recycled
 // flight moves a message end to end without allocating.
 type flight struct {
-	net  *Network
-	m    Message
-	ser  sim.Duration
-	next *flight
+	owner *Node
+	m     Message
+	ser   sim.Duration
+	next  *flight
 
-	afterTx  func()
 	atSwitch func()
 	deliver  func()
 }
 
-func (n *Network) newFlight(m Message, ser sim.Duration) *flight {
+// newFlight takes a carrier from the destination node's pool.
+func (n *Node) newFlight(m Message, ser sim.Duration) *flight {
 	f := n.free
 	if f != nil {
 		n.free = f.next
 		f.next = nil
 	} else {
-		f = &flight{net: n}
-		f.afterTx = f.runAfterTx
+		f = &flight{owner: n}
 		f.atSwitch = f.runAtSwitch
 		f.deliver = f.runDeliver
 	}
@@ -91,20 +131,10 @@ func (n *Network) newFlight(m Message, ser sim.Duration) *flight {
 	return f
 }
 
-func (n *Network) recycle(f *flight) {
+func (n *Node) recycleFlight(f *flight) {
 	f.m = Message{} // drop payload references
 	f.next = n.free
 	n.free = f
-}
-
-func (f *flight) runAfterTx() {
-	n := f.net
-	if n.p.LossRate > 0 && n.e.Rand().Float64() < n.p.LossRate {
-		f.m.To.MsgsDropped++
-		n.recycle(f)
-		return
-	}
-	n.e.Schedule(n.p.Network.OneWay, f.atSwitch)
 }
 
 func (f *flight) runAtSwitch() {
@@ -115,36 +145,45 @@ func (f *flight) runAtSwitch() {
 
 func (f *flight) runDeliver() {
 	m := f.m
-	f.net.recycle(f) // before the handler, so reentrant sends can reuse it
-	f.net.deliver(m)
+	f.owner.recycleFlight(f) // before the handler, so reentrant sends can reuse it
+	f.owner.net.deliver(m)
 }
 
 // New returns an empty network using p's latency/bandwidth parameters.
+// The minimum cross-node latency (zero-payload serialization plus switch
+// propagation) becomes the world's scheduling lookahead.
 func New(e *sim.Engine, p model.Params) *Network {
-	return &Network{e: e, p: p}
+	e.World().DeclareLookahead(p.SerializationDelay(0) + p.Network.OneWay)
+	n := &Network{e: e, p: p}
+	e.World().OnBarrier(n.flush)
+	return n
 }
 
-// Engine returns the simulation engine.
+// Engine returns the simulation engine the network was created on (the
+// world's root domain, not any node's domain).
 func (n *Network) Engine() *sim.Engine { return n.e }
 
 // Params returns the cost model in effect.
 func (n *Network) Params() model.Params { return n.p }
 
-// NewNode adds a machine to the network.
+// NewNode adds a machine to the network, on its own fresh event domain.
 func (n *Network) NewNode(name string) *Node {
 	node := &Node{
 		net:  n,
 		name: name,
-		tx:   sim.NewResource(n.e),
-		rx:   sim.NewResource(n.e),
+		dom:  n.e.World().NewDomain(),
 	}
+	node.tx = sim.NewResource(node.dom)
+	node.rx = sim.NewResource(node.dom)
 	n.nodes = append(n.nodes, node)
 	return node
 }
 
 // Send transmits m.Payload from m.From to m.To. Delivery order between a
 // pair of nodes follows transmission order (FIFO ports); messages may be
-// dropped when the cost model's LossRate is nonzero.
+// dropped when the cost model's LossRate is nonzero. Send must be called
+// from the source node's domain context (or from setup code between
+// runs).
 func (n *Network) Send(m Message) {
 	if m.From == nil || m.To == nil {
 		panic("fabric: Send with nil endpoint")
@@ -152,15 +191,84 @@ func (n *Network) Send(m Message) {
 	if m.From == m.To {
 		// Loopback: skip the wire, deliver after a negligible delay. Still
 		// account the send so same-node traffic shows up in byte counters.
+		// Stays entirely inside the node's own domain.
 		m.From.BytesSent += int64(m.Size)
 		m.From.MsgsSent++
-		n.e.Schedule(0, n.newFlight(m, 0).deliver)
+		m.From.dom.Schedule(0, m.From.newFlight(m, 0).deliver)
 		return
 	}
 	ser := n.p.SerializationDelay(m.Size)
 	m.From.BytesSent += int64(m.Size)
 	m.From.MsgsSent++
-	m.From.tx.Submit(ser, n.newFlight(m, ser).afterTx)
+	// Source-side serialization happens on the sender's clock now; the
+	// rest of the journey is buffered until the window barrier. Loss is
+	// sampled here, from the sender's RNG stream, so the draw order is
+	// domain-deterministic; the drop is accounted at the barrier.
+	finish := m.From.tx.Submit(ser, nil)
+	src := m.From
+	src.out = append(src.out, crossEntry{
+		at:      finish.Add(n.p.Network.OneWay),
+		ser:     ser,
+		m:       m,
+		src:     src.dom.DomainID(),
+		seq:     src.outSeq,
+		dropped: n.p.LossRate > 0 && src.dom.Rand().Float64() < n.p.LossRate,
+	})
+	src.outSeq++
+}
+
+// flush is the window-barrier hook: it merges every node's outbox in the
+// fixed total order (arrival time, source node, send sequence) and
+// schedules the deliveries on the destination domains. The merge order —
+// never goroutine scheduling — decides tie-breaks, which is what makes
+// multi-worker runs byte-identical to serial ones.
+func (n *Network) flush() {
+	buf := n.merge[:0]
+	for _, node := range n.nodes {
+		if len(node.out) == 0 {
+			continue
+		}
+		buf = append(buf, node.out...)
+		for i := range node.out {
+			node.out[i] = crossEntry{} // drop payload references
+		}
+		node.out = node.out[:0]
+	}
+	if len(buf) == 0 {
+		n.merge = buf
+		return
+	}
+	// Each node's outbox is already time-sorted (its tx port is FIFO), so
+	// this insertion sort is a cheap merge of a few sorted runs — and it
+	// avoids the per-call closure allocation of sort.Slice on a hot path.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && crossBefore(&buf[j], &buf[j-1]); j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	for i := range buf {
+		en := &buf[i]
+		if en.dropped {
+			en.m.To.MsgsDropped++
+			continue
+		}
+		f := en.m.To.newFlight(en.m, en.ser)
+		en.m.To.dom.At(en.at, f.atSwitch)
+	}
+	for i := range buf {
+		buf[i] = crossEntry{}
+	}
+	n.merge = buf[:0]
+}
+
+func crossBefore(a, b *crossEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
 }
 
 func (n *Network) deliver(m Message) {

@@ -1,7 +1,9 @@
 package fabric
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -23,7 +25,7 @@ func TestPointToPointLatency(t *testing.T) {
 	a, b := net.NewNode("a"), net.NewNode("b")
 	a.SetHandler(func(Message) {})
 	var arrived sim.Time
-	b.SetHandler(func(m Message) { arrived = e.Now() })
+	b.SetHandler(func(m Message) { arrived = b.Domain().Now() })
 	size := 512
 	net.Send(Message{From: a, To: b, Size: size})
 	e.Run()
@@ -69,8 +71,8 @@ func TestReceiverPortContention(t *testing.T) {
 		t.Fatalf("delivered %d, want %d", n, 2*msgs)
 	}
 	minTime := sim.Time(time.Duration(2*msgs) * p.SerializationDelay(size))
-	if e.Now() < minTime {
-		t.Fatalf("finished at %v, faster than receiver line rate allows (%v)", e.Now(), minTime)
+	if got := dst.Domain().Now(); got < minTime {
+		t.Fatalf("finished at %v, faster than receiver line rate allows (%v)", got, minTime)
 	}
 }
 
@@ -85,8 +87,8 @@ func TestLoopback(t *testing.T) {
 	if !done {
 		t.Fatal("loopback not delivered")
 	}
-	if e.Now() != 0 {
-		t.Fatalf("loopback took %v", e.Now())
+	if got := a.Domain().Now(); got != 0 {
+		t.Fatalf("loopback took %v", got)
 	}
 	// Same-node traffic must be visible to the byte counters.
 	if a.BytesSent != 64 || a.MsgsSent != 1 {
@@ -199,7 +201,79 @@ func TestBandwidthAccounting(t *testing.T) {
 	e.Run()
 	ser := p.SerializationDelay(size)
 	want := sim.Time(time.Duration(n)*ser + p.Network.OneWay + ser)
-	if e.Now() != want {
-		t.Fatalf("burst finished at %v, want %v", e.Now(), want)
+	if got := b.Domain().Now(); got != want {
+		t.Fatalf("burst finished at %v, want %v", got, want)
+	}
+}
+
+// TestCrossDomainDeterminism: a multi-node message storm — every node
+// seeding traffic, receivers forwarding to RNG-chosen peers for several
+// hops — must produce byte-identical per-node delivery traces and
+// counters whether the domains execute serially or on a worker pool. The
+// (arrival time, source node, send sequence) merge order at window
+// barriers is the only tie-break, so goroutine scheduling must be
+// invisible.
+func TestCrossDomainDeterminism(t *testing.T) {
+	run := func(workers int) string {
+		e := sim.NewEngine(7)
+		net := New(e, testParams())
+		const N = 6
+		nodes := make([]*Node, N)
+		traces := make([][]string, N)
+		for i := 0; i < N; i++ {
+			nodes[i] = net.NewNode(string(rune('a' + i)))
+		}
+		for i := 0; i < N; i++ {
+			i := i
+			self := nodes[i]
+			self.SetHandler(func(m Message) {
+				hops := m.Payload.(int)
+				traces[i] = append(traces[i],
+					fmt.Sprintf("%s->%s@%d hops=%d", m.From.Name(), self.Name(), self.Domain().Now(), hops))
+				if hops > 0 {
+					// Forward to a peer drawn from this domain's RNG.
+					next := nodes[self.Domain().Rand().Intn(N)]
+					if next != self {
+						net.Send(Message{From: self, To: next, Size: 64 + hops, Payload: hops - 1})
+					}
+				}
+			})
+		}
+		for i := 0; i < N; i++ {
+			i := i
+			src := nodes[i]
+			for j := 0; j < N; j++ {
+				if j == i {
+					continue
+				}
+				dst := nodes[j]
+				src.Domain().Schedule(sim.Duration(i+j)*time.Microsecond, func() {
+					net.Send(Message{From: src, To: dst, Size: 128, Payload: 4})
+				})
+			}
+		}
+		e.World().SetWorkers(workers)
+		e.Run()
+		var b strings.Builder
+		for i, tr := range traces {
+			fmt.Fprintf(&b, "node %s: sent=%d/%dB recv=%d/%dB dropped=%d\n",
+				nodes[i].Name(), nodes[i].MsgsSent, nodes[i].BytesSent,
+				nodes[i].MsgsReceived, nodes[i].BytesReceived, nodes[i].MsgsDropped)
+			for _, line := range tr {
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+		return b.String()
+	}
+	serial := run(1)
+	if serial == "" || !strings.Contains(serial, "hops=0") {
+		t.Fatalf("storm did not cascade:\n%s", serial)
+	}
+	for _, w := range []int{2, 4} {
+		if par := run(w); par != serial {
+			t.Fatalf("workers=%d trace differs from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+				w, serial, w, par)
+		}
 	}
 }

@@ -149,7 +149,7 @@ func TestTXSerializableUnderLoss(t *testing.T) {
 	var committed []check.CommittedTx
 	for i := 0; i < 4; i++ {
 		id := uint16(i + 1)
-		c := tx.NewClient(id, []*rdma.Conn{machine.Connect(shard.NIC())}, []tx.Meta{shard.Meta()}, e)
+		c := tx.NewClient(id, []*rdma.Conn{machine.Connect(shard.NIC())}, []tx.Meta{shard.Meta()})
 		rng := rand.New(rand.NewSource(int64(id) * 3))
 		e.Go(fmt.Sprintf("c%d", id), func(pr *sim.Proc) {
 			for n := 0; n < 25; n++ {
@@ -288,7 +288,7 @@ func TestMixedTenants(t *testing.T) {
 	}
 	machine := rdma.NewClient(net, "cli")
 	kvC := kv.NewClient(machine.Connect(kvSrv.NIC()), kvSrv.Meta(), 1)
-	txC := tx.NewClient(2, []*rdma.Conn{machine.Connect(txSrv.NIC())}, []tx.Meta{txSrv.Meta()}, e)
+	txC := tx.NewClient(2, []*rdma.Conn{machine.Connect(txSrv.NIC())}, []tx.Meta{txSrv.Meta()})
 
 	e.Go("kv-tenant", func(pr *sim.Proc) {
 		for i := 0; i < 100; i++ {

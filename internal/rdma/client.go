@@ -27,10 +27,11 @@ type connKey struct {
 
 // NewClient attaches a client NIC to the network.
 func NewClient(net *fabric.Network, name string) *Client {
+	node := net.NewNode(name)
 	c := &Client{
-		e:     net.Engine(),
+		e:     node.Domain(),
 		net:   net,
-		node:  net.NewNode(name),
+		node:  node,
 		conns: make(map[connKey]*Conn),
 	}
 	c.node.SetHandler(c.onMessage)
@@ -39,6 +40,11 @@ func NewClient(net *fabric.Network, name string) *Client {
 
 // Node returns the client's fabric node.
 func (c *Client) Node() *fabric.Node { return c.node }
+
+// Domain returns the event domain this client machine lives on. Futures
+// for this machine's connections complete there, so closed-loop client
+// processes should be spawned on it.
+func (c *Client) Domain() *sim.Engine { return c.e }
 
 // Conn is a reliable connection (queue pair) to one server. Not safe for
 // use by multiple simulation processes at once; give each closed-loop
@@ -65,10 +71,10 @@ type Conn struct {
 	// Retransmissions counts timer-driven resends (loss recovery).
 	Retransmissions int64
 
-	// noLoss enables the request pool: on a lossless network a request
-	// object has no in-flight duplicates once its response arrives, so it
-	// can be reused for the next issue on this connection.
-	noLoss bool
+	// prFree pools request objects: once a request's response arrives it
+	// can be reused for the next issue on this connection. A duplicate of
+	// the old request may still be in flight on a lossy network; the
+	// epoch bumped on reuse lets the server discard it (see wire.Request).
 	prFree []*pendingReq
 }
 
@@ -91,7 +97,6 @@ func (c *Client) Connect(srv *Server) *Conn {
 		TempAddr: temp,
 		TempKey:  tempKey,
 		pending:  make(map[uint64]*pendingReq),
-		noLoss:   c.net.Params().LossRate == 0,
 	}
 	c.conns[connKey{node: srv.node, id: id}] = conn
 	return conn
@@ -99,6 +104,11 @@ func (c *Client) Connect(srv *Server) *Conn {
 
 // Server returns the remote end of the connection.
 func (c *Conn) Server() *Server { return c.srv }
+
+// Engine returns the client machine's event domain. Futures layered on
+// top of this connection's completions (e.g. by abd) must be bound to
+// it, because that is where they will be completed.
+func (c *Conn) Engine() *sim.Engine { return c.client.e }
 
 // IssueAsync transmits a chain of ops and returns a future for the
 // per-op results. Requests beyond the send window queue locally until a
@@ -114,6 +124,7 @@ func (c *Conn) IssueAsync(ops []wire.Op) *sim.Future[[]wire.Result] {
 		c.prFree[n-1] = nil
 		c.prFree = c.prFree[:n-1]
 		pr.req.Conn, pr.req.Seq, pr.req.Ops = c.id, c.seq, ops
+		pr.req.Epoch++ // invalidate in-flight duplicates of the old incarnation
 	} else {
 		pr = &pendingReq{req: &wire.Request{Conn: c.id, Seq: c.seq, Ops: ops}}
 	}
@@ -159,6 +170,7 @@ func (c *Conn) transmit(req *wire.Request) {
 		To:      c.srv.node,
 		Size:    wire.RequestWireSize(req),
 		Payload: req,
+		Tag:     req.Epoch, // snapshot: receiver drops if the object was recycled
 	})
 }
 
@@ -184,6 +196,12 @@ func (c *Client) onMessage(m fabric.Message) {
 	if !ok {
 		panic(fmt.Sprintf("rdma: client %s received %T", c.node.Name(), m.Payload))
 	}
+	if resp.Epoch != m.Tag {
+		// The server recycled this response object into a newer incarnation
+		// while the (duplicate) datagram was in flight; its contents answer
+		// a different request now. Drop it.
+		return
+	}
 	conn, ok := c.conns[connKey{node: m.From, id: resp.Conn}]
 	if !ok {
 		panic(fmt.Sprintf("rdma: response for unknown connection %d from %s", resp.Conn, m.From.Name()))
@@ -195,13 +213,11 @@ func (c *Client) onMessage(m fabric.Message) {
 	delete(conn.pending, resp.Seq)
 	pr.timer.Stop()
 	fut := pr.fut
-	if conn.noLoss {
-		// No duplicate of this request can still be in flight: recycle the
-		// request object for the next issue on this connection.
-		pr.req.Ops = nil
-		pr.fut = nil
-		conn.prFree = append(conn.prFree, pr)
-	}
+	// Recycle the request object for the next issue on this connection.
+	// Any in-flight duplicate is invalidated by the epoch bump on reuse.
+	pr.req.Ops = nil
+	pr.fut = nil
+	conn.prFree = append(conn.prFree, pr)
 	conn.drainQueue() // a window slot may have freed
 	fut.Complete(resp.Results)
 }

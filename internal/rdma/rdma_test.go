@@ -573,3 +573,56 @@ func TestSameConnectionRequestsSerialize(t *testing.T) {
 		}
 	}
 }
+
+// TestArenaRecycleUnderRetransmission is the regression for epoch-stamped
+// transport pooling: request and response objects are recycled even when
+// the link drops packets, so stale duplicates of a recycled object's
+// previous incarnation may still be in flight when it is repopulated. The
+// epoch stamp (snapshotted into the fabric Tag at send time) makes both
+// endpoints drop such datagrams. Every op here writes a distinct payload
+// and immediately reads it back, so any cross-wiring of a recycled
+// response to the wrong future shows up as a data mismatch; the stat
+// assertions prove pooling actually cycled under loss rather than being
+// quietly disabled.
+func TestArenaRecycleUnderRetransmission(t *testing.T) {
+	v := newEnv(t, model.SoftwarePRISM, func(p *model.Params) {
+		p.LossRate = 0.3
+		p.RetransmitTimeout = 30 * time.Microsecond
+	})
+	const n = 200
+	v.run(t, func(p *sim.Proc) {
+		buf := make([]byte, 8)
+		for i := 0; i < n; i++ {
+			for b := range buf {
+				buf[b] = byte(i + b)
+			}
+			addr := v.reg.Base + memory.Addr(8*(i%64))
+			res := v.conn.Issue(p, prism.Write(v.reg.Key, addr, buf))
+			if res[0].Status != wire.StatusOK {
+				t.Errorf("write %d: %v", i, res[0].Status)
+			}
+			res = v.conn.Issue(p, prism.Read(v.reg.Key, addr, 8))
+			if res[0].Status != wire.StatusOK {
+				t.Errorf("read %d: %v", i, res[0].Status)
+				continue
+			}
+			for b, got := range res[0].Data {
+				if got != byte(i+b) {
+					t.Fatalf("read %d returned stale/foreign data %x at byte %d (want %x)",
+						i, got, b, byte(i+b))
+				}
+			}
+		}
+	})
+	if v.conn.Retransmissions == 0 {
+		t.Fatal("test exercised no retransmissions")
+	}
+	if v.srv.RespReused == 0 {
+		t.Fatal("response arena never recycled under loss (pooling disabled?)")
+	}
+	if len(v.conn.prFree) == 0 {
+		t.Fatal("request pool empty after drain: requests not recycled under loss")
+	}
+	t.Logf("retransmissions=%d respReused=%d reqPool=%d",
+		v.conn.Retransmissions, v.srv.RespReused, len(v.conn.prFree))
+}

@@ -85,15 +85,12 @@ type Server struct {
 	// RDMABaseRTT (the paper's 2.5 µs baseline).
 	baseProc time.Duration
 
-	// noLoss enables the per-connection response/payload arenas: on a
-	// lossless network there are no retransmissions, so no duplicate of a
-	// retired response can still be in flight when its replay-ring slot is
-	// reused.
-	noLoss bool
-
 	// Stats
 	RequestsServed int64
 	OpsExecuted    int64
+	// RespReused counts responses recycled from the replay ring rather
+	// than allocated (transport-arena effectiveness, also under loss).
+	RespReused int64
 }
 
 type serverConn struct {
@@ -155,13 +152,17 @@ func NewServer(net *fabric.Network, name string, deploy model.Deployment) *Serve
 // newServer is the shared constructor: fresh builds get an empty space,
 // template instantiations a fork of the captured one.
 func newServer(net *fabric.Network, name string, deploy model.Deployment, space *memory.Space) *Server {
-	e := net.Engine()
 	p := net.Params()
+	node := net.NewNode(name)
+	// All server-side state — cores, timers, the executor's memory — lives
+	// on the node's event domain, so requests from many clients execute
+	// here without touching any other domain.
+	e := node.Domain()
 	s := &Server{
 		e:      e,
 		net:    net,
 		p:      p,
-		node:   net.NewNode(name),
+		node:   node,
 		deploy: deploy,
 		space:  space,
 		conns:  make(map[uint64]*serverConn),
@@ -180,20 +181,21 @@ func newServer(net *fabric.Network, name string, deploy model.Deployment, space 
 		s.baseProc = 0
 	}
 	s.node.SetHandler(s.onMessage)
-	s.noLoss = p.LossRate == 0
 	return s
 }
 
 // acquireResp returns a response object for seq with nops zeroed results.
-// On a lossless network it reuses the retired occupant of seq's replay
-// slot: the client's send window guarantees seq is only on the wire after
-// seq-replayDepth was acknowledged, so the old response (and every view
-// into its payload arena handed to that request's issuer) is at least
-// replayDepth requests stale by the time it is overwritten.
+// It reuses the retired occupant of seq's replay slot: the client's send
+// window guarantees seq is only on the wire after seq-replayDepth was
+// acknowledged, so the old response (and every view into its payload
+// arena handed to that request's issuer) is at least replayDepth requests
+// stale by the time it is overwritten.
+//
+// On a lossy network a *replayed duplicate* of the old response can still
+// be in flight when the object is repopulated; bumping Epoch on reuse
+// lets the client discard such a datagram (its fabric Tag snapshots the
+// epoch at send time), so recycling stays safe under retransmission.
 func (s *Server) acquireResp(sc *serverConn, seq uint64, nops int) *wire.Response {
-	if !s.noLoss {
-		return &wire.Response{Seq: seq, Results: make([]wire.Result, nops)}
-	}
 	slot := seq % replayDepth
 	resp := sc.replayResp[slot]
 	if resp == nil {
@@ -212,7 +214,9 @@ func (s *Server) acquireResp(sc *serverConn, seq uint64, nops int) *wire.Respons
 		}
 	}
 	resp.Seq = seq
+	resp.Epoch++ // invalidate in-flight duplicates of the old incarnation
 	resp.Results = results
+	s.RespReused++
 	return resp
 }
 
@@ -240,12 +244,8 @@ func (sc *serverConn) carvePayload(slot int, n uint64) []byte {
 // FreeArenas releases all pooled transport memory — cached responses,
 // result slices, and payload arenas — once every in-flight NIC operation
 // has drained (explicit quiesce). Useful before heap profiling or when a
-// cluster is torn down; a no-op on lossy networks, where responses are
-// never pooled because the replay ring must keep them intact.
+// cluster is torn down.
 func (s *Server) FreeArenas() {
-	if !s.noLoss {
-		return
-	}
 	s.quiescer.AfterQuiesce(func() {
 		for _, sc := range s.conns {
 			for i := range sc.replayResp {
@@ -360,6 +360,13 @@ func (s *Server) onMessage(m fabric.Message) {
 	req, ok := m.Payload.(*wire.Request)
 	if !ok {
 		panic(fmt.Sprintf("rdma: server %s received %T", s.node.Name(), m.Payload))
+	}
+	if req.Epoch != m.Tag {
+		// The pooled request object was recycled and repopulated while this
+		// (duplicate) datagram was in flight; its contents describe a newer
+		// request. Drop it — the incarnation it belonged to was already
+		// acknowledged, or the client would not have recycled it.
+		return
 	}
 	sc, ok := s.conns[req.Conn]
 	if !ok {
@@ -476,18 +483,16 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 			results[i] = wire.Result{Status: wire.StatusNotExecuted}
 			if s.tracer != nil {
 				s.tracer(TraceEvent{
-					At: s.e.Now(), Conn: sc.id, Seq: req.Seq, OpIdx: i,
+					At: s.e.Now(), Domain: s.e.DomainID(), Conn: sc.id, Seq: req.Seq, OpIdx: i,
 					Code: op.Code, Flags: op.Flags, Status: wire.StatusNotExecuted,
 				})
 			}
 			runOp(i + 1)
 			return
 		}
-		if s.noLoss {
-			// READ payloads ride the response until the slot retires; carve
-			// them from the slot's arena instead of the heap.
-			s.exec.ReadAlloc = sc.readAlloc
-		}
+		// READ payloads ride the response until the slot retires; carve
+		// them from the slot's arena instead of the heap.
+		s.exec.ReadAlloc = sc.readAlloc
 		res, meta := s.exec.Exec(op)
 		s.exec.ReadAlloc = nil
 		s.OpsExecuted++
@@ -495,7 +500,7 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 		results[i] = res
 		if s.tracer != nil {
 			s.tracer(TraceEvent{
-				At: s.e.Now(), Conn: sc.id, Seq: req.Seq, OpIdx: i,
+				At: s.e.Now(), Domain: s.e.DomainID(), Conn: sc.id, Seq: req.Seq, OpIdx: i,
 				Code: op.Code, Flags: op.Flags, Status: res.Status,
 			})
 		}
@@ -607,5 +612,6 @@ func (s *Server) respond(sc *serverConn, resp *wire.Response) {
 		To:      sc.client,
 		Size:    wire.ResponseWireSize(resp),
 		Payload: resp,
+		Tag:     resp.Epoch, // snapshot: receiver drops if the object was recycled
 	})
 }

@@ -1,23 +1,41 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock in nanoseconds and an event heap.
-// Work is expressed either as plain callback events (Schedule/At) or as
-// blocking processes (Go), which are goroutines that run one at a time
-// under a strict handoff discipline: at any moment, at most one goroutine
-// — the engine loop or exactly one process — is executing. This makes all
-// simulation state single-threaded (no data races, fully deterministic)
-// while letting protocol code be written in a natural blocking style
-// (Sleep, Future.Wait, Resource.Acquire).
+// The simulator is organized as a World of event domains. Each domain
+// (represented by an Engine handle) owns its own virtual clock, event
+// heap, free list, and seeded RNG stream; a conservative time-window
+// scheduler advances all domains together. Within one synchronized
+// window, domains are independent — they may execute on parallel worker
+// goroutines — because cross-domain interaction is only possible through
+// messages whose minimum propagation latency (the lookahead, declared by
+// the fabric) bounds the window length. Deliveries produced during a
+// window are buffered and merged at the window barrier in a fixed total
+// order, so execution is deterministic at any worker count.
 //
-// Determinism: events at the same virtual time fire in the order they were
-// scheduled (FIFO tie-break by sequence number), and the engine's RNG is
-// seeded explicitly. Two runs with the same seed produce identical traces.
+// A single-domain world (the common case for unit tests) degenerates to
+// the classic single-heap event loop with identical semantics.
+//
+// Work is expressed either as plain callback events (Schedule/At) or as
+// blocking processes (Go), which are goroutines that run under a strict
+// handoff discipline: at any moment, at most one goroutine per domain —
+// the domain's window loop or exactly one of its processes — is
+// executing. This keeps all simulation state domain-local (no data
+// races, fully deterministic) while letting protocol code be written in
+// a natural blocking style (Sleep, Future.Wait, Resource.Acquire).
+//
+// Determinism: events at the same virtual time fire in the order they
+// were scheduled (FIFO tie-break by sequence number), every domain's RNG
+// is seeded from the world seed and the domain id, and barrier merges
+// order cross-domain deliveries by (time, source domain, send sequence).
+// Two runs with the same seed produce identical traces at any worker
+// count.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -87,11 +105,229 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Engine is a discrete-event simulator. It is not safe for concurrent use
-// from outside; all interaction must happen from engine-run events and
-// processes, or from the single goroutine that calls Run.
+// World coordinates a set of event domains through conservative
+// synchronized windows. It is created implicitly by NewEngine; further
+// domains are added with NewDomain (the fabric adds one per node).
+type World struct {
+	seed    int64
+	domains []*Engine
+	workers int
+
+	// lookahead is the minimum cross-domain propagation latency declared
+	// by the fabrics on this world (0 = none declared yet). It bounds how
+	// far a window may run past the global minimum next-event time.
+	lookahead Duration
+
+	// barriers run at every window barrier (and before the first window),
+	// single-threaded, with all domains paused. The fabric uses them to
+	// merge and deliver cross-domain mailboxes.
+	barriers []func()
+
+	procs   atomic.Int64 // live processes across all domains
+	stopped atomic.Bool
+	running bool
+
+	active []*Engine // per-window scratch: domains with runnable events
+}
+
+// NewDomain adds an event domain to the world and returns its Engine
+// handle. Domain 0 keeps the RNG stream of the world seed itself (so a
+// single-domain world is stream-compatible with the historical engine);
+// later domains get decorrelated SplitMix64-derived streams.
+func (w *World) NewDomain() *Engine {
+	id := len(w.domains)
+	seed := w.seed
+	if id > 0 {
+		seed = domainSeed(w.seed, id)
+	}
+	e := &Engine{w: w, id: id, rng: rand.New(rand.NewSource(seed))}
+	w.domains = append(w.domains, e)
+	return e
+}
+
+// domainSeed decorrelates per-domain RNG streams (one SplitMix64 step).
+func domainSeed(seed int64, id int) int64 {
+	z := uint64(seed) + uint64(id)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SetWorkers sets how many OS goroutines execute domains within one
+// window (<=1 = serial). Output is byte-identical at any setting.
+func (w *World) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.workers = n
+}
+
+// Workers returns the configured intra-window worker count.
+func (w *World) Workers() int { return w.workers }
+
+// Domains returns the number of event domains in the world.
+func (w *World) Domains() int { return len(w.domains) }
+
+// DeclareLookahead lower-bounds the window length: no cross-domain
+// message sent at time t can be delivered before t+d. Multiple fabrics
+// may declare; the minimum (clamped to >= 1ns) wins.
+func (w *World) DeclareLookahead(d Duration) {
+	if d < 1 {
+		d = 1
+	}
+	if w.lookahead == 0 || d < w.lookahead {
+		w.lookahead = d
+	}
+}
+
+// OnBarrier registers fn to run at every window barrier, while all
+// domains are paused. Hooks run in registration order on the
+// coordinating goroutine.
+func (w *World) OnBarrier(fn func()) {
+	w.barriers = append(w.barriers, fn)
+}
+
+// LiveProcs reports the number of processes that have started but not
+// finished (parked processes included), across all domains.
+func (w *World) LiveProcs() int { return int(w.procs.Load()) }
+
+// run advances the whole world until no domain has an event at or before
+// deadline, or Stop is called.
+func (w *World) run(deadline Time) {
+	if w.running {
+		panic("sim: re-entrant Run")
+	}
+	w.running = true
+	w.stopped.Store(false)
+	defer func() { w.running = false }()
+
+	la := w.lookahead
+	if la == 0 {
+		la = 1
+	}
+	single := len(w.domains) == 1
+	for {
+		// Barrier: merge cross-domain mailboxes into destination heaps.
+		// Runs before the window-start computation so flushed deliveries
+		// participate in it, and before the first window so messages sent
+		// from setup code are delivered.
+		for _, fn := range w.barriers {
+			fn()
+		}
+		if w.stopped.Load() {
+			break
+		}
+		// Window start W: the global minimum next-event time.
+		start := Never
+		for _, d := range w.domains {
+			if len(d.events) > 0 && d.events[0].at < start {
+				start = d.events[0].at
+			}
+		}
+		if start == Never || start > deadline {
+			break
+		}
+		// Window limit (inclusive): events at t <= limit are safe to run
+		// because no cross-domain message generated at t >= W can arrive
+		// before W+lookahead. A single-domain world has no cross traffic,
+		// so the window covers the whole run.
+		limit := deadline
+		if !single {
+			if x := start.Add(la); x-1 < limit {
+				limit = x - 1
+			}
+		}
+		if w.workers <= 1 || single {
+			for _, d := range w.domains {
+				d.runWindow(limit)
+			}
+		} else {
+			w.runParallel(limit)
+		}
+		if w.stopped.Load() {
+			break
+		}
+	}
+	// Leave every clock at the deadline if it was reached (mirroring the
+	// historical single-engine semantics).
+	if deadline != Never {
+		for _, d := range w.domains {
+			if d.now < deadline {
+				d.now = deadline
+			}
+		}
+	}
+}
+
+// runParallel executes one window with up to w.workers goroutines, each
+// claiming whole domains. Domains never share state within a window, so
+// this is race-free; determinism comes from the barrier merge order, not
+// from scheduling.
+func (w *World) runParallel(limit Time) {
+	act := w.active[:0]
+	for _, d := range w.domains {
+		if len(d.events) > 0 && d.events[0].at <= limit {
+			act = append(act, d)
+		}
+	}
+	w.active = act
+	nw := w.workers
+	if nw > len(act) {
+		nw = len(act)
+	}
+	if nw <= 1 {
+		for _, d := range act {
+			d.runWindow(limit)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make(chan any, nw)
+	work := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				select {
+				case panics <- r:
+				default:
+				}
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(act) {
+				return
+			}
+			act[i].runWindow(limit)
+		}
+	}
+	wg.Add(nw)
+	for i := 1; i < nw; i++ {
+		go work()
+	}
+	work()
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// Engine is one event domain of a World: a discrete-event scheduler with
+// its own clock, heap, and RNG stream. It is not safe for concurrent use
+// from outside; all interaction must happen from this domain's events
+// and processes, or from the single goroutine that calls Run (between
+// runs and at barriers).
+//
+// Run/RunUntil may be called on any domain handle; they advance the
+// whole world.
 type Engine struct {
-	now    Time
+	w   *World
+	id  int
+	now Time
+
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
@@ -100,33 +336,30 @@ type Engine struct {
 	// so steady-state scheduling does not allocate. Its length is bounded
 	// by the maximum number of simultaneously pending events.
 	free *event
-
-	// handoff plumbing
-	yield   chan struct{} // processes signal the engine when they park or exit
-	running bool
-
-	procs   int // live processes (for leak diagnostics)
-	stopped bool
 }
 
-// NewEngine returns an engine with its virtual clock at zero and an RNG
-// seeded with seed.
+// NewEngine returns a fresh world's root domain, with its virtual clock
+// at zero and an RNG seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{
-		rng:   rand.New(rand.NewSource(seed)),
-		yield: make(chan struct{}),
-	}
+	w := &World{seed: seed, workers: 1}
+	return w.NewDomain()
 }
 
-// Now returns the current virtual time.
+// World returns the world this domain belongs to.
+func (e *Engine) World() *World { return e.w }
+
+// DomainID returns this domain's index in its world (root = 0).
+func (e *Engine) DomainID() int { return e.id }
+
+// Now returns the domain's current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Rand returns the engine's deterministic RNG. It must only be used from
-// simulation context (events and processes).
+// Rand returns the domain's deterministic RNG. It must only be used from
+// this domain's simulation context (events and processes).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Schedule runs fn after d has elapsed on the virtual clock. A negative d
-// is treated as zero. The returned Timer can cancel the event.
+// Schedule runs fn after d has elapsed on the domain's clock. A negative
+// d is treated as zero. The returned Timer can cancel the event.
 func (e *Engine) Schedule(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
@@ -176,7 +409,7 @@ type Timer struct {
 }
 
 // Stop cancels the event if it has not fired. It reports whether the event
-// was still pending.
+// was still pending. It must be called from the owning domain's context.
 func (t Timer) Stop() bool {
 	if t.ev == nil || t.ev.gen != t.gen || t.ev.heap < 0 {
 		return false
@@ -186,28 +419,30 @@ func (t Timer) Stop() bool {
 	return true
 }
 
-// Stop halts the run loop after the current event completes. Pending events
-// are left unfired.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop halts the run loop after the current event completes. Pending
+// events are left unfired. From parallel (multi-worker) domain context
+// the halt is prompt but the exact cut point is scheduling-dependent;
+// deterministic users call it from setup code between runs.
+func (e *Engine) Stop() { e.w.stopped.Store(true) }
 
-// Run processes events until the heap is empty or Stop is called. It
-// panics if called re-entrantly.
+// Run processes events until every domain's heap is empty or Stop is
+// called. It panics if called re-entrantly.
 func (e *Engine) Run() { e.RunUntil(Never) }
 
-// RunUntil processes events with timestamps <= deadline. The clock is left
-// at the deadline if it is reached (and any events remain), or at the time
-// of the last event otherwise.
-func (e *Engine) RunUntil(deadline Time) {
-	if e.running {
-		panic("sim: re-entrant Run")
-	}
-	e.running = true
-	e.stopped = false
-	defer func() { e.running = false }()
-	for len(e.events) > 0 && !e.stopped {
+// RunUntil processes events with timestamps <= deadline across all
+// domains. Each domain's clock is left at the deadline if it is reached
+// (and any events remain), or at the time of its last event otherwise.
+func (e *Engine) RunUntil(deadline Time) { e.w.run(deadline) }
+
+// runWindow executes this domain's events up to and including limit.
+func (e *Engine) runWindow(limit Time) {
+	w := e.w
+	for len(e.events) > 0 {
 		next := e.events[0]
-		if next.at > deadline {
-			e.now = deadline
+		if next.at > limit {
+			return
+		}
+		if w.stopped.Load() {
 			return
 		}
 		heap.Pop(&e.events)
@@ -216,74 +451,88 @@ func (e *Engine) RunUntil(deadline Time) {
 		e.recycle(next) // before fn: events scheduled inside fn reuse it
 		fn()
 	}
-	if e.now < deadline && deadline != Never {
-		e.now = deadline
-	}
 }
 
-// Pending reports the number of scheduled events.
+// Pending reports the number of events scheduled in this domain.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // LiveProcs reports the number of processes that have started but not
-// finished (parked processes included). Useful for leak detection in tests.
-func (e *Engine) LiveProcs() int { return e.procs }
+// finished (parked processes included) across the whole world. Useful
+// for leak detection in tests.
+func (e *Engine) LiveProcs() int { return e.w.LiveProcs() }
 
 // ---------------------------------------------------------------------------
 // Processes
 
 // Proc is a blocking simulation process. Its methods must only be called
 // from the process's own goroutine.
+//
+// A process belongs to the domain it was spawned on, but a Future bound
+// to another domain may resume it there: after Wait returns, the process
+// runs in (and reads the clock of) the future's domain until its next
+// suspension. Protocol code that blocks only on its own machine's
+// connections never changes domains.
 type Proc struct {
-	e      *Engine
+	cur    *Engine // domain currently executing (or about to execute) this proc
 	name   string
-	resume chan struct{}
+	resume chan struct{} // domain loop -> proc handoff
+	yield  chan struct{} // proc -> domain loop handoff
 	dead   bool
 }
 
-// Go starts fn as a new process. fn begins executing at the current
-// virtual time but only after the current event completes (it is scheduled
-// like any other event).
+// Go starts fn as a new process on this domain. fn begins executing at
+// the current virtual time but only after the current event completes
+// (it is scheduled like any other event).
 func (e *Engine) Go(name string, fn func(p *Proc)) {
-	p := &Proc{e: e, name: name, resume: make(chan struct{})}
-	e.procs++
+	p := &Proc{cur: e, name: name, resume: make(chan struct{}), yield: make(chan struct{})}
+	e.w.procs.Add(1)
 	go func() {
 		<-p.resume // wait for first dispatch
 		fn(p)
 		p.dead = true
-		e.procs--
-		e.yield <- struct{}{} // return control to the engine loop
+		p.cur.w.procs.Add(-1)
+		p.yield <- struct{}{} // return control to the domain loop
 	}()
 	e.Schedule(0, func() { p.step() })
 }
 
-// step transfers control to the process until it parks or exits.
+// step transfers control to the process until it parks or exits. It must
+// run in the domain execution context recorded in p.cur.
 func (p *Proc) step() {
 	if p.dead {
 		panic(fmt.Sprintf("sim: resuming dead proc %q", p.name))
 	}
 	p.resume <- struct{}{}
-	<-p.e.yield
+	<-p.yield
 }
 
-// park returns control to the engine; the process resumes when something
-// calls step (via a scheduled event or a future completion).
+// resumeIn transfers control to the process within domain e's execution.
+// The process observes e as its current domain until its next suspension.
+func (p *Proc) resumeIn(e *Engine) {
+	p.cur = e
+	p.step()
+}
+
+// park returns control to the domain loop; the process resumes when
+// something calls step (via a scheduled event or a future completion).
 func (p *Proc) park() {
-	p.e.yield <- struct{}{}
+	p.yield <- struct{}{}
 	<-p.resume
 }
 
-// Engine returns the engine this process runs on.
-func (p *Proc) Engine() *Engine { return p.e }
+// Engine returns the domain this process is currently executing in.
+func (p *Proc) Engine() *Engine { return p.cur }
 
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.e.now }
+// Now returns the current virtual time of the process's current domain.
+func (p *Proc) Now() Time { return p.cur.now }
 
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time on its current
+// domain's clock.
 func (p *Proc) Sleep(d Duration) {
-	p.e.Schedule(d, func() { p.step() })
+	p.cur.Schedule(d, func() { p.step() })
 	p.park()
 }
 

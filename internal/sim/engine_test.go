@@ -454,3 +454,55 @@ func TestWaitQuorumZero(t *testing.T) {
 		t.Fatalf("k=0 returned %v", got)
 	}
 }
+
+// TestTimerStopGenerationAcrossWindows: a Timer handle that survives a
+// window barrier must not cancel the recycled incarnation of its event
+// object. The handle's event fires in an early window, the object is
+// reused for a fresh event in a later window, and only then is the stale
+// Stop attempted — with multiple worker goroutines, so the guard is
+// exercised under the exact interleaving domain barriers produce.
+func TestTimerStopGenerationAcrossWindows(t *testing.T) {
+	e := NewEngine(1)
+	other := e.World().NewDomain()
+	e.World().DeclareLookahead(10 * time.Microsecond)
+	e.World().SetWorkers(2)
+	var barriers int
+	e.World().OnBarrier(func() { barriers++ })
+
+	// Keep the second domain busy so the world actually runs windows.
+	for i := 1; i <= 5; i++ {
+		other.Schedule(Duration(i)*10*time.Microsecond, func() {})
+	}
+
+	fired, want := 0, 1
+	// Window 1: the handle's event fires and its object is recycled.
+	stale := e.Schedule(time.Microsecond, func() { fired++ })
+	barrierAtFire := -1
+	e.Schedule(2*time.Microsecond, func() { barrierAtFire = barriers })
+	// A later window: the free list hands the same object to a new event.
+	e.Schedule(25*time.Microsecond, func() {
+		if barriers <= barrierAtFire {
+			t.Errorf("no window barrier between fire (%d) and reuse (%d)", barrierAtFire, barriers)
+		}
+		// Drain the LIFO free list until it hands back stale's object.
+		reused := false
+		for i := 0; i < 4; i++ {
+			tm := e.Schedule(10*time.Microsecond, func() { fired++ })
+			want++
+			if tm.ev == stale.ev {
+				reused = true
+				break
+			}
+		}
+		if !reused {
+			t.Error("free list did not reuse the stale timer's event object")
+		}
+		if stale.Stop() {
+			t.Error("stale Timer handle cancelled a recycled event")
+		}
+	})
+	e.Run()
+	if fired != want {
+		t.Fatalf("fired = %d of %d events (stale Stop killed a recycled event)", fired, want)
+	}
+}

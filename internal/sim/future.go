@@ -57,11 +57,13 @@ func (f *Future[T]) OnComplete(fn func(T)) {
 }
 
 // Wait parks the process until the future completes and returns its value.
+// Complete must be invoked from f's domain execution context; Wait
+// resumes the process in that domain (see Proc).
 func (f *Future[T]) Wait(p *Proc) T {
 	if f.done {
 		return f.val
 	}
-	f.OnComplete(func(T) { p.step() })
+	f.OnComplete(func(T) { p.resumeIn(f.e) })
 	p.park()
 	return f.val
 }
@@ -85,7 +87,7 @@ func WaitQuorum[T any](p *Proc, k int, fs []*Future[T]) []T {
 			}
 			got = append(got, v)
 			if len(got) == k && parked {
-				p.step()
+				p.resumeIn(f.e)
 			}
 		})
 		if len(got) >= k {

@@ -31,8 +31,9 @@ func (r *Resource) Submit(d Duration, fn func()) Time {
 }
 
 // Acquire blocks the process until its work (of duration d) completes.
+// The process resumes in the resource's domain.
 func (r *Resource) Acquire(p *Proc, d Duration) {
-	r.Submit(d, func() { p.step() })
+	r.Submit(d, func() { p.resumeIn(r.e) })
 	p.park()
 }
 
@@ -85,8 +86,9 @@ func (m *MultiResource) Submit(d Duration, fn func()) Time {
 }
 
 // Acquire blocks the process until its work (of duration d) completes.
+// The process resumes in the resource's domain.
 func (m *MultiResource) Acquire(p *Proc, d Duration) {
-	m.Submit(d, func() { p.step() })
+	m.Submit(d, func() { p.resumeIn(m.e) })
 	p.park()
 }
 

@@ -112,12 +112,11 @@ func (s *Shard) Load(key int64, value []byte) error {
 // Client coordinates PRISM-TX transactions over a set of shards (one
 // connection each). Keys map to shards by modulo.
 type Client struct {
-	id     uint16
-	conns  []*rdma.Conn
-	metas  []Meta
-	clock  uint64
-	frees  [][]byte
-	engine *sim.Engine
+	id    uint16
+	conns []*rdma.Conn
+	metas []Meta
+	clock uint64
+	frees [][]byte
 	// ctrl, when set, carries reclamation RPCs on dedicated control
 	// connections (one per shard).
 	ctrl []*rdma.Conn
@@ -131,7 +130,7 @@ type Client struct {
 }
 
 // NewClient builds a transaction client over the given shards.
-func NewClient(id uint16, conns []*rdma.Conn, metas []Meta, e *sim.Engine) *Client {
+func NewClient(id uint16, conns []*rdma.Conn, metas []Meta) *Client {
 	if len(conns) != len(metas) || len(conns) == 0 {
 		panic("tx: shard connections and metadata must match")
 	}
@@ -143,7 +142,6 @@ func NewClient(id uint16, conns []*rdma.Conn, metas []Meta, e *sim.Engine) *Clie
 		conns:     conns,
 		metas:     metas,
 		frees:     make([][]byte, len(conns)),
-		engine:    e,
 		FreeBatch: 16,
 	}
 }

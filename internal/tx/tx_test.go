@@ -70,7 +70,7 @@ func (v *txEnv) client(id uint16, machine int) *Client {
 		conns[i] = v.cli[machine].Connect(s.NIC())
 		metas[i] = s.Meta()
 	}
-	return NewClient(id, conns, metas, v.e)
+	return NewClient(id, conns, metas)
 }
 
 func TestReadCommitted(t *testing.T) {

@@ -102,6 +102,7 @@ func EncodeRequest(req *Request) []byte {
 	b := make([]byte, 0, 64+inlineLen(req))
 	b = putU64(b, req.Conn)
 	b = putU64(b, req.Seq)
+	b = putU32(b, req.Epoch)
 	b = putU32(b, uint32(len(req.Ops)))
 	for i := range req.Ops {
 		op := &req.Ops[i]
@@ -131,7 +132,7 @@ func inlineLen(req *Request) int {
 // DecodeRequest parses a request encoded by EncodeRequest.
 func DecodeRequest(b []byte) (*Request, error) {
 	r := &reader{b: b}
-	req := &Request{Conn: r.u64(), Seq: r.u64()}
+	req := &Request{Conn: r.u64(), Seq: r.u64(), Epoch: r.u32()}
 	n := r.u32()
 	if r.err != nil {
 		return nil, r.err
@@ -168,6 +169,7 @@ func EncodeResponse(resp *Response) []byte {
 	b := make([]byte, 0, 32)
 	b = putU64(b, resp.Conn)
 	b = putU64(b, resp.Seq)
+	b = putU32(b, resp.Epoch)
 	b = putU32(b, uint32(len(resp.Results)))
 	for i := range resp.Results {
 		res := &resp.Results[i]
@@ -181,7 +183,7 @@ func EncodeResponse(resp *Response) []byte {
 // DecodeResponse parses a response encoded by EncodeResponse.
 func DecodeResponse(b []byte) (*Response, error) {
 	r := &reader{b: b}
-	resp := &Response{Conn: r.u64(), Seq: r.u64()}
+	resp := &Response{Conn: r.u64(), Seq: r.u64(), Epoch: r.u32()}
 	n := r.u32()
 	if r.err != nil {
 		return nil, r.err
@@ -208,12 +210,12 @@ func DecodeResponse(b []byte) (*Response, error) {
 // RequestWireSize returns the encoded size of req without materializing the
 // encoding (used on hot paths for bandwidth accounting).
 func RequestWireSize(req *Request) int {
-	return 20 + inlineLen(req)
+	return 24 + inlineLen(req)
 }
 
 // ResponseWireSize returns the encoded size of resp.
 func ResponseWireSize(resp *Response) int {
-	n := 20
+	n := 24
 	for i := range resp.Results {
 		n += 1 + 8 + 4 + len(resp.Results[i].Data)
 	}

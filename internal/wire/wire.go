@@ -172,12 +172,21 @@ type Result struct {
 type Request struct {
 	Conn uint64 // connection (queue pair) identifier
 	Seq  uint64 // per-connection sequence number
-	Ops  []Op
+	// Epoch counts reuses of this (pooled) request object. The transport
+	// stamps each transmission with the sender's current epoch so a
+	// receiver can discard a datagram whose payload object was recycled
+	// and repopulated while the datagram was in flight (possible only
+	// when the fabric drops or delays messages).
+	Epoch uint32
+	Ops   []Op
 }
 
 // Response is the server->client completion message.
 type Response struct {
-	Conn    uint64 // echoes the request's queue pair, for client demux
-	Seq     uint64
+	Conn uint64 // echoes the request's queue pair, for client demux
+	Seq  uint64
+	// Epoch counts reuses of this (pooled) response object; see
+	// Request.Epoch.
+	Epoch   uint32
 	Results []Result
 }

@@ -275,7 +275,7 @@ func NewTXShard(s *Server, opts TXOptions) (*TXShard, error) { return tx.NewShar
 
 // NewTXClient builds a transaction client over the given shards.
 func (c *ClusterSim) NewTXClient(id uint16, conns []*Conn, metas []tx.Meta) *TXClient {
-	return tx.NewClient(id, conns, metas, c.engine)
+	return tx.NewClient(id, conns, metas)
 }
 
 // NewFarmServer provisions the FaRM baseline on a server NIC.
