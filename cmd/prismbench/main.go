@@ -36,21 +36,34 @@ import (
 // PointWallSeconds is the host wall clock of each figure point in
 // generation order — the per-point cost the domain scheduler and the
 // point pool are amortizing (diagnostic only; never part of the CSV).
+// PointTelemetry is the scheduler telemetry of each point in the same
+// order: window/barrier counts are what demonstrate the lookahead
+// matrix and affinity grouping on hosts where wall clock cannot.
 type figRecord struct {
-	ID               string    `json:"id"`
-	WallSeconds      float64   `json:"wall_seconds"`
-	Series           int       `json:"series"`
-	Points           int       `json:"points"`
-	PointWallSeconds []float64 `json:"point_wall_seconds,omitempty"`
+	ID               string            `json:"id"`
+	WallSeconds      float64           `json:"wall_seconds"`
+	Series           int               `json:"series"`
+	Points           int               `json:"points"`
+	Windows          int64             `json:"windows"`
+	Barriers         int64             `json:"barriers"`
+	CrossDeliveries  int64             `json:"cross_deliveries"`
+	PointWallSeconds []float64         `json:"point_wall_seconds,omitempty"`
+	PointTelemetry   []bench.Telemetry `json:"point_telemetry,omitempty"`
 }
 
 // benchRecord is the perf record written by -json: enough to compare
-// serial vs parallel runs and to rerun the exact command.
+// serial vs parallel runs and to rerun the exact command. Intra is the
+// effective domain-worker count; IntraRequested is recorded only when
+// the requested -intra exceeded the CPU count and was clamped.
 type benchRecord struct {
 	Command          string      `json:"command"`
 	Seed             int64       `json:"seed"`
 	Parallel         int         `json:"parallel"`
 	Intra            int         `json:"intra"`
+	IntraRequested   int         `json:"intra_requested,omitempty"`
+	Affinity         int         `json:"affinity,omitempty"`
+	CrossRackNanos   int64       `json:"crossrack_ns,omitempty"`
+	ScalarWindows    bool        `json:"scalar_windows,omitempty"`
 	GOMAXPROCS       int         `json:"gomaxprocs"`
 	NumCPU           int         `json:"num_cpu"`
 	Keys             int64       `json:"keys"`
@@ -70,7 +83,11 @@ func main() {
 	maxClients := flag.Int("max-clients", 0, "truncate the client ladder at this count (0 = full ladder)")
 	format := flag.String("format", "text", "output format: text or csv")
 	parallel := flag.Int("parallel", 1, "figure-point worker goroutines (0 = GOMAXPROCS; output is identical at any setting)")
-	intra := flag.Int("intra", 1, "domain worker goroutines inside each figure point (0 = GOMAXPROCS; output is identical at any setting)")
+	intra := flag.Int("intra", 1, "domain worker goroutines inside each figure point (0 = GOMAXPROCS, clamped to NumCPU; output is identical at any setting)")
+	affinity := flag.Int("affinity", 1, "client machines per event domain (affinity groups; <=1 = one domain each; output is identical at any setting)")
+	crossRack := flag.Duration("crossrack", 0, "extra one-way latency between the client and server racks (0 = flat fabric, the paper's figures; nonzero changes the physics)")
+	scalarWindows := flag.Bool("scalar-windows", false, "schedule with the single scalar lookahead bound instead of the per-pair matrix (A/B telemetry knob; output is identical)")
+	verbose := flag.Bool("v", false, "print a one-line scheduler-telemetry summary per figure to stderr")
 	jsonPath := flag.String("json", "", "write a wall-clock/throughput record to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -93,6 +110,16 @@ func main() {
 	if cfg.Intra <= 0 {
 		cfg.Intra = runtime.GOMAXPROCS(0)
 	}
+	intraRequested := 0
+	if n := runtime.NumCPU(); cfg.Intra > n {
+		fmt.Fprintf(os.Stderr, "prismbench: -intra %d exceeds the %d available CPUs; clamping to %d (output is identical, extra workers only oversubscribe)\n",
+			cfg.Intra, n, n)
+		intraRequested = cfg.Intra
+		cfg.Intra = n
+	}
+	cfg.ClientsPerDomain = *affinity
+	cfg.CrossRack = *crossRack
+	cfg.ScalarWindows = *scalarWindows
 	if *maxClients > 0 {
 		var ladder []int
 		for _, c := range cfg.ClientCounts {
@@ -156,14 +183,18 @@ func main() {
 	order := []string{"rpcvsrdma", "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "ext-shards", "ext-multikey"}
 
 	rec := benchRecord{
-		Command:    "prismbench " + strings.Join(os.Args[1:], " "),
-		Seed:       cfg.Seed,
-		Parallel:   cfg.Parallel,
-		Intra:      cfg.Intra,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Keys:       cfg.Keys,
-		ValueSize:  cfg.ValueSize,
+		Command:        "prismbench " + strings.Join(os.Args[1:], " "),
+		Seed:           cfg.Seed,
+		Parallel:       cfg.Parallel,
+		Intra:          cfg.Intra,
+		IntraRequested: intraRequested,
+		Affinity:       cfg.ClientsPerDomain,
+		CrossRackNanos: cfg.CrossRack.Nanoseconds(),
+		ScalarWindows:  cfg.ScalarWindows,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		Keys:           cfg.Keys,
+		ValueSize:      cfg.ValueSize,
 	}
 
 	run := func(name string) {
@@ -184,6 +215,22 @@ func main() {
 		}
 		for _, w := range fig.PointWall {
 			fr.PointWallSeconds = append(fr.PointWallSeconds, w.Seconds())
+		}
+		var meanSum int64
+		for _, tel := range fig.PointTel {
+			fr.Windows += tel.Windows
+			fr.Barriers += tel.Barriers
+			fr.CrossDeliveries += tel.CrossDeliveries
+			meanSum += tel.MeanWindowNanos
+		}
+		fr.PointTelemetry = fig.PointTel
+		if *verbose {
+			meanWin := time.Duration(0)
+			if n := len(fig.PointTel); n > 0 {
+				meanWin = time.Duration(meanSum / int64(n))
+			}
+			fmt.Fprintf(os.Stderr, "prismbench: %s: %d points, windows=%d barriers=%d cross-deliveries=%d mean-window=%v wall=%.1fs\n",
+				fig.ID, len(fig.PointTel), fr.Windows, fr.Barriers, fr.CrossDeliveries, meanWin, wall)
 		}
 		rec.Figures = append(rec.Figures, fr)
 		rec.TotalWallSeconds += wall

@@ -8,11 +8,16 @@
 //	prismtrace abdwrite   # PRISM-RS write phase chain
 //	prismtrace txcommit   # PRISM-TX prepare + commit CASes
 //	prismtrace all
+//
+// The -affinity flag groups client machines into shared event domains
+// (N machines per domain); the printed trace is byte-identical at any
+// grouping — regrouping only changes scheduler barrier frequency.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"prism"
@@ -25,8 +30,9 @@ import (
 )
 
 func main() {
+	affinity := flag.Int("affinity", 1, "client machines per event domain (output is identical at any grouping)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: prismtrace {kvget|kvput|abdwrite|txcommit|all}")
+		fmt.Fprintln(os.Stderr, "usage: prismtrace [-affinity N] {kvget|kvput|abdwrite|txcommit|all}")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -36,12 +42,17 @@ func main() {
 	which := flag.Arg(0)
 	if which == "all" {
 		for _, w := range []string{"kvget", "kvput", "abdwrite", "txcommit"} {
-			trace(w)
+			if !trace(os.Stdout, w, *affinity) {
+				os.Exit(2)
+			}
 			fmt.Println()
 		}
 		return
 	}
-	trace(which)
+	if !trace(os.Stdout, which, *affinity) {
+		flag.Usage()
+		os.Exit(2)
+	}
 }
 
 // attachRing installs a bounded tracer on the server so the executed
@@ -57,15 +68,15 @@ func attachRing(srv *prism.Server) *rdma.TraceRing {
 // op's owning event domain (dom=N): under the per-node domain scheduler
 // every server executes its NIC chain in its own domain, so the ids show
 // where in the partitioned simulation each op actually ran.
-func dumpRing(name string, ring *rdma.TraceRing) {
-	fmt.Printf("  executed on %s (server trace; dom = owning event domain):\n", name)
+func dumpRing(w io.Writer, name string, ring *rdma.TraceRing) {
+	fmt.Fprintf(w, "  executed on %s (server trace; dom = owning event domain):\n", name)
 	for _, ev := range ring.Events() {
-		fmt.Printf("    %v\n", ev)
+		fmt.Fprintf(w, "    %v\n", ev)
 	}
 }
 
 // traceConn wraps op issue with printing.
-func describeOps(ops []wire.Op) {
+func describeOps(w io.Writer, ops []wire.Op) {
 	for i, op := range ops {
 		var flags []string
 		for _, f := range []struct {
@@ -97,12 +108,14 @@ func describeOps(ops []wire.Op) {
 		case wire.OpWrite:
 			extra = fmt.Sprintf(" payload=%dB", len(op.Data))
 		}
-		fmt.Printf("    op[%d] %-9s target=%#x%s%s\n", i, op.Code, op.Target, extra, fl)
+		fmt.Fprintf(w, "    op[%d] %-9s target=%#x%s%s\n", i, op.Code, op.Target, extra, fl)
 	}
 }
 
-func trace(which string) {
-	c := prism.NewCluster(prism.ClusterConfig{Seed: 3})
+// trace writes the annotated trace for one scenario to w; it reports
+// false for an unknown scenario name.
+func trace(w io.Writer, which string, affinity int) bool {
+	c := prism.NewCluster(prism.ClusterConfig{Seed: 3, ClientsPerDomain: affinity})
 
 	switch which {
 	case "kvget", "kvput":
@@ -118,30 +131,30 @@ func trace(which string) {
 		client := prism.NewKVClient(conn, store.Meta(), 1)
 		c.Go("trace", func(p *sim.Proc) {
 			if which == "kvget" {
-				fmt.Println("PRISM-KV GET(7): one round trip —")
+				fmt.Fprintln(w, "PRISM-KV GET(7): one round trip —")
 				start := p.Now()
 				v, err := client.Get(p, 7)
-				fmt.Printf("  -> %q err=%v RTT=%v\n", v, err, p.Now().Sub(start))
-				fmt.Println("  wire ops issued (reconstructed):")
-				describeOps([]wire.Op{
+				fmt.Fprintf(w, "  -> %q err=%v RTT=%v\n", v, err, p.Now().Sub(start))
+				fmt.Fprintln(w, "  wire ops issued (reconstructed):")
+				describeOps(w, []wire.Op{
 					opReadBounded(store, 7),
 				})
 			} else {
-				fmt.Println("PRISM-KV PUT(7): two round trips —")
+				fmt.Fprintln(w, "PRISM-KV PUT(7): two round trips —")
 				start := p.Now()
 				err := client.Put(p, 7, []byte("new value"))
-				fmt.Printf("  -> err=%v total=%v\n", err, p.Now().Sub(start))
-				fmt.Println("  RT1 probe chain:")
-				describeOps(probeOps(store, 7))
-				fmt.Println("  RT2 out-of-place install chain:")
-				describeOps(installOps(store, conn, 7))
+				fmt.Fprintf(w, "  -> err=%v total=%v\n", err, p.Now().Sub(start))
+				fmt.Fprintln(w, "  RT1 probe chain:")
+				describeOps(w, probeOps(store, 7))
+				fmt.Fprintln(w, "  RT2 out-of-place install chain:")
+				describeOps(w, installOps(store, conn, 7))
 			}
 		})
 		c.Run()
-		dumpRing("kv", ring)
+		dumpRing(w, "kv", ring)
 
 	case "abdwrite":
-		fmt.Println("PRISM-RS write phase (per replica, §7.3): one chained round trip —")
+		fmt.Fprintln(w, "PRISM-RS write phase (per replica, §7.3): one chained round trip —")
 		srv := c.NewServer("replica", prism.SoftwarePRISM)
 		rep, err := prism.NewRSReplica(srv, prism.RSOptions{NBlocks: 8, BlockSize: 64, ExtraBuffers: 16})
 		if err != nil {
@@ -154,18 +167,18 @@ func trace(which string) {
 		c.Go("trace", func(p *sim.Proc) {
 			start := p.Now()
 			tag, err := client.PutT(p, 3, make([]byte, 64))
-			fmt.Printf("  PUT block 3 -> tag %v err=%v total=%v (read phase + write phase)\n",
+			fmt.Fprintf(w, "  PUT block 3 -> tag %v err=%v total=%v (read phase + write phase)\n",
 				tag, err, p.Now().Sub(start))
-			fmt.Println("  write-phase chain (1. WRITE tag to tmp; 2. ALLOCATE redirect addr to")
-			fmt.Println("  tmp+8; 3. CAS_GT <tag|addr> with data-indirect from tmp):")
+			fmt.Fprintln(w, "  write-phase chain (1. WRITE tag to tmp; 2. ALLOCATE redirect addr to")
+			fmt.Fprintln(w, "  tmp+8; 3. CAS_GT <tag|addr> with data-indirect from tmp):")
 			m := rep.Meta()
-			describeOps(abdChain(m, conn, 3))
+			describeOps(w, abdChain(m, conn, 3))
 		})
 		c.Run()
-		dumpRing("replica", ring)
+		dumpRing(w, "replica", ring)
 
 	case "txcommit":
-		fmt.Println("PRISM-TX commit for a 1-key RMW (§8.2): three round trips total —")
+		fmt.Fprintln(w, "PRISM-TX commit for a 1-key RMW (§8.2): three round trips total —")
 		srv := c.NewServer("shard", prism.SoftwarePRISM)
 		shard, err := prism.NewTXShard(srv, prism.TXOptions{NSlots: 8, MaxValue: 64, ExtraBuffers: 32})
 		if err != nil {
@@ -180,23 +193,23 @@ func trace(which string) {
 			t := client.Begin()
 			start := p.Now()
 			v, err := t.Read(p, 2)
-			fmt.Printf("  exec READ key 2 -> %dB err=%v RTT=%v\n", len(v), err, p.Now().Sub(start))
+			fmt.Fprintf(w, "  exec READ key 2 -> %dB err=%v RTT=%v\n", len(v), err, p.Now().Sub(start))
 			t.Write(2, make([]byte, 64))
 			start = p.Now()
 			ts, err := t.Commit(p)
-			fmt.Printf("  commit -> ts=%v err=%v (prepare RT + install RT) total=%v\n",
+			fmt.Fprintf(w, "  commit -> ts=%v err=%v (prepare RT + install RT) total=%v\n",
 				ts, err, p.Now().Sub(start))
-			fmt.Println("  prepare chain: read-validation CAS_GT (RC|TS vs PW|PR, swap PR),")
-			fmt.Println("  then CONDITIONAL write-validation CAS_GT (TS vs PW, swap PW);")
-			fmt.Println("  install chain: WRITE ts|bound to tmp, ALLOCATE redirect, CAS_GT <C|addr|bound>.")
+			fmt.Fprintln(w, "  prepare chain: read-validation CAS_GT (RC|TS vs PW|PR, swap PR),")
+			fmt.Fprintln(w, "  then CONDITIONAL write-validation CAS_GT (TS vs PW, swap PW);")
+			fmt.Fprintln(w, "  install chain: WRITE ts|bound to tmp, ALLOCATE redirect, CAS_GT <C|addr|bound>.")
 		})
 		c.Run()
-		dumpRing("shard", ring)
+		dumpRing(w, "shard", ring)
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return false
 	}
+	return true
 }
 
 // The reconstructions below mirror exactly what the clients issue (the

@@ -30,9 +30,9 @@ func AblationABDWriteback(cfg Config) *Figure {
 	}
 	variants := []bool{false, true}
 	names := []string{"always write back (paper)", "skip write-back when tags agree"}
-	jobs := make([]func() Point, 0, len(variants))
+	jobs := make([]func() (Point, Telemetry), 0, len(variants))
 	for vi, skip := range variants {
-		jobs = append(jobs, func() Point {
+		jobs = append(jobs, func() (Point, Telemetry) {
 			seed := PointSeed(cfg.Seed, fig.ID, names[vi], "clients=16")
 			e, mkClient, place := buildPRISMRS(cfg, seed, 0)
 			d := newLoadDriver(e, cfg)
@@ -49,11 +49,12 @@ func AblationABDWriteback(cfg Config) *Figure {
 					return 0, err
 				})
 			}
-			return d.run(clients)
+			pt := d.run(clients)
+			return pt, worldTelemetry(e)
 		})
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for vi, pt := range pts {
 		fig.Series = append(fig.Series, Series{
 			Name:   names[vi],
@@ -79,9 +80,9 @@ func AblationKVSlotCache(cfg Config) *Figure {
 	cfg.Keys = 16
 	variants := []bool{false, true}
 	names := []string{"probe + chain (2 RTs)", "cached slot + chain (1 RT)"}
-	jobs := make([]func() Point, 0, len(variants))
+	jobs := make([]func() (Point, Telemetry), 0, len(variants))
 	for vi, cache := range variants {
-		jobs = append(jobs, func() Point {
+		jobs = append(jobs, func() (Point, Telemetry) {
 			seed := PointSeed(cfg.Seed, fig.ID, names[vi], "clients=16")
 			e, mkClient, place := buildPRISMKV(cfg, seed)
 			d := newLoadDriver(e, cfg)
@@ -99,11 +100,12 @@ func AblationKVSlotCache(cfg Config) *Figure {
 					return 0, st.Put(p, key, gen.Value(key, ver))
 				})
 			}
-			return d.run(clients)
+			pt := d.run(clients)
+			return pt, worldTelemetry(e)
 		})
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for vi, pt := range pts {
 		fig.Series = append(fig.Series, Series{
 			Name:   names[vi],
@@ -126,15 +128,15 @@ func AblationRedirectTarget(cfg Config) *Figure {
 	}
 	variants := []bool{false, true}
 	names := []string{"on-NIC temp storage (§4.2)", "host-memory temp storage"}
-	jobs := make([]func() time.Duration, 0, len(variants))
+	jobs := make([]func() (time.Duration, Telemetry), 0, len(variants))
 	for vi, host := range variants {
-		jobs = append(jobs, func() time.Duration {
+		jobs = append(jobs, func() (time.Duration, Telemetry) {
 			p := model.Default().WithNetwork(model.Direct)
 			p.RedirectToHostMem = host
 			env := newMicroEnvWithParams(model.ProjectedHardwarePRISM, p,
 				PointSeed(cfg.Seed, fig.ID, names[vi], "chain"))
 			var tag uint64 = 1
-			return env.measure(func(i int) []wire.Op {
+			lat := env.measure(func(i int) []wire.Op {
 				tag++
 				tagBytes := make([]byte, 8)
 				prism.PutBE64(tagBytes, 0, tag)
@@ -146,10 +148,11 @@ func AblationRedirectTarget(cfg Config) *Figure {
 						prism.FieldMask(16, 0, 8), prism.FullMask(16))),
 				}
 			})
+			return lat, worldTelemetry(env.e)
 		})
 	}
-	lats, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	lats, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for vi, lat := range lats {
 		fig.Series = append(fig.Series, Series{
 			Name:   names[vi],

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math/rand"
 
 	"prism/internal/abd"
 	"prism/internal/fabric"
@@ -31,11 +32,23 @@ type kvSystem struct {
 	build func(cfg Config, seed int64) (e *sim.Engine, mkClient func(id int) kvStore, place placement)
 }
 
-// clientMachines provisions the standard client-machine fleet.
+// clientMachines provisions the standard client-machine fleet. With
+// Config.ClientsPerDomain > 1 machines are co-located into affinity
+// groups of that size; with Config.CrossRack > 0 they are placed in rack
+// 1, opposite the servers (which stay in rack 0). Neither knob changes
+// measured output.
 func clientMachines(cfg Config, net *fabric.Network) []*rdma.Client {
 	machines := make([]*rdma.Client, cfg.ClientMachines)
 	for i := range machines {
-		machines[i] = rdma.NewClient(net, fmt.Sprintf("cli-%d", i))
+		name := fmt.Sprintf("cli-%d", i)
+		if cfg.ClientsPerDomain > 1 {
+			machines[i] = rdma.NewClientInGroup(net, name, i/cfg.ClientsPerDomain)
+		} else {
+			machines[i] = rdma.NewClient(net, name)
+		}
+		if cfg.CrossRack > 0 {
+			machines[i].Node().SetRack(1)
+		}
 	}
 	return machines
 }
@@ -48,7 +61,7 @@ func machinePlacement(machines []*rdma.Client) placement {
 
 func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
 	tmpl := kvTemplate(cfg)
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	srv := kv.NewServerFromTemplate(net, "server", model.SoftwarePRISM, tmpl)
 	mk, place := kvClientFactory(cfg, net, srv)
 	return e, mk, place
@@ -59,7 +72,7 @@ func buildPRISMKV(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, place
 // the engine nor its RNG, so buildPRISMKV is bit-identical to it —
 // TestForkedClusterMatchesFresh holds the two against each other.
 func buildPRISMKVFresh(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	srv, err := kv.NewServer(rdma.NewServer(net, "server", model.SoftwarePRISM),
 		kv.DefaultOptions(cfg.Keys, cfg.ValueSize))
 	if err != nil {
@@ -89,7 +102,7 @@ func kvClientFactory(cfg Config, net *fabric.Network, srv *kv.Server) (func(int)
 func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
 	return func(cfg Config, seed int64) (*sim.Engine, func(int) kvStore, placement) {
 		tmpl := pilafTemplate(cfg)
-		e, net, p := buildNet(seed)
+		e, net, p := measureNet(cfg, seed)
 		srv := kv.NewPilafServerFromTemplate(net, "server", deploy, tmpl)
 		machines := clientMachines(cfg, net)
 		crc := p.PilafCRCCost
@@ -102,7 +115,7 @@ func buildPilaf(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engi
 
 // kvPoint runs one ladder point of a KV system: a self-contained
 // simulation whose every RNG derives from the point's identity.
-func kvPoint(sys kvSystem, cfg Config, figID string, readFrac float64, nClients int) Point {
+func kvPoint(sys kvSystem, cfg Config, figID string, readFrac float64, nClients int) (Point, Telemetry) {
 	seed := PointSeed(cfg.Seed, figID, sys.name, fmt.Sprintf("clients=%d", nClients))
 	e, mkClient, place := sys.build(cfg, seed)
 	d := newLoadDriver(e, cfg)
@@ -122,16 +135,17 @@ func kvPoint(sys kvSystem, cfg Config, figID string, readFrac float64, nClients 
 			return 0, st.Put(p, key, gen.Value(key, ver))
 		})
 	}
-	return d.run(nClients)
+	pt := d.run(nClients)
+	return pt, worldTelemetry(e)
 }
 
 // kvCurve sweeps the client ladder for one system and workload mix.
 func kvCurve(sys kvSystem, cfg Config, figID string, readFrac float64) Series {
-	jobs := make([]func() Point, 0, len(cfg.ClientCounts))
+	jobs := make([]func() (Point, Telemetry), 0, len(cfg.ClientCounts))
 	for _, nClients := range cfg.ClientCounts {
-		jobs = append(jobs, func() Point { return kvPoint(sys, cfg, figID, readFrac, nClients) })
+		jobs = append(jobs, func() (Point, Telemetry) { return kvPoint(sys, cfg, figID, readFrac, nClients) })
 	}
-	pts, _ := runJobs(cfg.Parallel, jobs)
+	pts, _, _ := runPointJobs(cfg.Parallel, jobs)
 	return Series{Name: sys.name, Points: pts}
 }
 
@@ -155,14 +169,14 @@ func kvFigure(cfg Config, id, title string, readFrac float64) *Figure {
 	}
 	// One flat job list across all series, so the pool drains every point
 	// of the figure concurrently, then reassemble per series.
-	var jobs []func() Point
+	var jobs []func() (Point, Telemetry)
 	for _, sys := range systems {
 		for _, nClients := range cfg.ClientCounts {
-			jobs = append(jobs, func() Point { return kvPoint(sys, cfg, id, readFrac, nClients) })
+			jobs = append(jobs, func() (Point, Telemetry) { return kvPoint(sys, cfg, id, readFrac, nClients) })
 		}
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for si, sys := range systems {
 		fig.Series = append(fig.Series, Series{
 			Name:   sys.name,
@@ -188,7 +202,7 @@ func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blo
 	// The three replicas of a group are identical after initialization, so
 	// one template serves all of them — each on its own COW fork.
 	tmpl := rsTemplate(cfg)
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	const nReplicas = 3
 	replicas := make([]*abd.Replica, nReplicas)
 	for i := range replicas {
@@ -201,7 +215,7 @@ func buildPRISMRS(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blo
 // buildPRISMRSFresh is the pre-template path, kept for the fork-vs-fresh
 // equivalence test (see buildPRISMKVFresh).
 func buildPRISMRSFresh(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore, placement) {
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	const nReplicas = 3
 	replicas := make([]*abd.Replica, nReplicas)
 	for i := range replicas {
@@ -245,7 +259,7 @@ func rsClientFactory(cfg Config, net *fabric.Network, replicas []*abd.Replica) (
 func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta float64) (*sim.Engine, func(int) blockStore, placement) {
 	return func(cfg Config, seed int64, _ float64) (*sim.Engine, func(int) blockStore, placement) {
 		tmpl := lockTemplate(cfg)
-		e, net, _ := buildNet(seed)
+		e, net, _ := measureNet(cfg, seed)
 		const nReplicas = 3
 		replicas := make([]*abd.LockReplica, nReplicas)
 		for i := range replicas {
@@ -260,17 +274,21 @@ func buildABDLOCK(deploy model.Deployment) func(cfg Config, seed int64, theta fl
 				conns[i] = m.Connect(r.NIC())
 				metas[i] = r.Meta()
 			}
-			// Backoff jitter draws from the client machine's domain RNG:
-			// backoffs fire on that domain, and under domain-parallel
-			// execution the root engine's RNG must not be shared.
-			jit := m.Domain().Rand().Float64
+			// Backoff jitter draws from a per-client RNG stream derived
+			// from the point seed. A shared domain RNG would make the
+			// draw sequence each client sees depend on which machines
+			// share a domain — per-client streams keep output identical
+			// at any affinity grouping. The complemented base keeps the
+			// stream decorrelated from the client's workload generator,
+			// which uses clientSeed(seed, id) directly.
+			jit := rand.New(rand.NewSource(clientSeed(^seed, id))).Float64
 			return abd.NewLockClient(uint16(id+1), conns, metas, jit)
 		}, machinePlacement(machines)
 	}
 }
 
 // rsPoint runs one contention/ladder point of a replicated-storage system.
-func rsPoint(sys rsSystem, cfg Config, figID string, theta float64, nClients int) Point {
+func rsPoint(sys rsSystem, cfg Config, figID string, theta float64, nClients int) (Point, Telemetry) {
 	seed := PointSeed(cfg.Seed, figID, sys.name,
 		fmt.Sprintf("theta=%.2f/clients=%d", theta, nClients))
 	e, mkClient, place := sys.build(cfg, seed, theta)
@@ -291,7 +309,8 @@ func rsPoint(sys rsSystem, cfg Config, figID string, theta float64, nClients int
 			return 0, st.Put(p, key, gen.Value(key, ver))
 		})
 	}
-	return d.run(nClients)
+	pt := d.run(nClients)
+	return pt, worldTelemetry(e)
 }
 
 // Fig6 reproduces Figure 6: PRISM-RS vs lock-based ABD, 50% writes,
@@ -306,14 +325,14 @@ func Fig6(cfg Config) *Figure {
 		{"ABDLOCK (software RDMA)", buildABDLOCK(model.SoftwarePRISM)},
 		{"PRISM-RS", buildPRISMRS},
 	}
-	var jobs []func() Point
+	var jobs []func() (Point, Telemetry)
 	for _, sys := range systems {
 		for _, nClients := range cfg.ClientCounts {
-			jobs = append(jobs, func() Point { return rsPoint(sys, cfg, "fig6", 0, nClients) })
+			jobs = append(jobs, func() (Point, Telemetry) { return rsPoint(sys, cfg, "fig6", 0, nClients) })
 		}
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for si, sys := range systems {
 		fig.Series = append(fig.Series, Series{
 			Name:   sys.name,
@@ -336,14 +355,14 @@ func Fig7(cfg Config) *Figure {
 		{"PRISM-RS", buildPRISMRS},
 	}
 	const clients = 100
-	var jobs []func() Point
+	var jobs []func() (Point, Telemetry)
 	for _, sys := range systems {
 		for _, theta := range thetas {
-			jobs = append(jobs, func() Point { return rsPoint(sys, cfg, "fig7", theta, clients) })
+			jobs = append(jobs, func() (Point, Telemetry) { return rsPoint(sys, cfg, "fig7", theta, clients) })
 		}
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for si, sys := range systems {
 		s := Series{Name: sys.name}
 		for ti, theta := range thetas {
@@ -406,7 +425,7 @@ func rmwRunner(begin func() txHandle) txRunner {
 
 func buildPRISMTX(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
 	tmpl := txTemplate(cfg)
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	shard := tx.NewShardFromTemplate(net, "shard", model.SoftwarePRISM, tmpl)
 	mk, place := prismTXClientFactory(cfg, net, shard)
 	return e, mk, place
@@ -415,7 +434,7 @@ func buildPRISMTX(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, plac
 // buildPRISMTXFresh is the pre-template path, kept for the fork-vs-fresh
 // equivalence test (see buildPRISMKVFresh).
 func buildPRISMTXFresh(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	shard, err := tx.NewShard(rdma.NewServer(net, "shard", model.SoftwarePRISM),
 		tx.ShardOptions{NSlots: cfg.Keys, MaxValue: cfg.ValueSize, ExtraBuffers: 8192})
 	if err != nil {
@@ -444,7 +463,7 @@ func prismTXClientFactory(cfg Config, net *fabric.Network, shard *tx.Shard) (fun
 func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
 	return func(cfg Config, seed int64) (*sim.Engine, func(int) txRunner, placement) {
 		tmpl := farmTemplate(cfg)
-		e, net, _ := buildNet(seed)
+		e, net, _ := measureNet(cfg, seed)
 		srv := tx.NewFarmServerFromTemplate(net, "shard", deploy, tmpl)
 		machines := clientMachines(cfg, net)
 		return e, func(id int) txRunner {
@@ -456,7 +475,7 @@ func buildFaRM(deploy model.Deployment) func(cfg Config, seed int64) (*sim.Engin
 }
 
 // txPoint runs one contention/ladder point of a transactional system.
-func txPoint(sys txSystem, cfg Config, figID string, theta float64, nClients int) Point {
+func txPoint(sys txSystem, cfg Config, figID string, theta float64, nClients int) (Point, Telemetry) {
 	seed := PointSeed(cfg.Seed, figID, sys.name,
 		fmt.Sprintf("theta=%.2f/clients=%d", theta, nClients))
 	e, mkRunner, place := sys.build(cfg, seed)
@@ -470,7 +489,8 @@ func txPoint(sys txSystem, cfg Config, figID string, theta float64, nClients int
 			return run(p, gen)
 		})
 	}
-	return d.run(nClients)
+	pt := d.run(nClients)
+	return pt, worldTelemetry(e)
 }
 
 // Fig9 reproduces Figure 9: PRISM-TX vs FaRM throughput-latency, YCSB-T
@@ -485,14 +505,14 @@ func Fig9(cfg Config) *Figure {
 		{"FaRM (software RDMA)", buildFaRM(model.SoftwarePRISM)},
 		{"PRISM-TX", buildPRISMTX},
 	}
-	var jobs []func() Point
+	var jobs []func() (Point, Telemetry)
 	for _, sys := range systems {
 		for _, nClients := range cfg.ClientCounts {
-			jobs = append(jobs, func() Point { return txPoint(sys, cfg, "fig9", 0, nClients) })
+			jobs = append(jobs, func() (Point, Telemetry) { return txPoint(sys, cfg, "fig9", 0, nClients) })
 		}
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for si, sys := range systems {
 		fig.Series = append(fig.Series, Series{
 			Name:   sys.name,
@@ -518,16 +538,16 @@ func Fig10(cfg Config) *Figure {
 	}
 	// Flatten systems x thetas x ladder into one job list; the peak pick
 	// over each ladder happens after reassembly.
-	var jobs []func() Point
+	var jobs []func() (Point, Telemetry)
 	for _, sys := range systems {
 		for _, theta := range thetas {
 			for _, nClients := range ladder {
-				jobs = append(jobs, func() Point { return txPoint(sys, cfg, "fig10", theta, nClients) })
+				jobs = append(jobs, func() (Point, Telemetry) { return txPoint(sys, cfg, "fig10", theta, nClients) })
 			}
 		}
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for si, sys := range systems {
 		s := Series{Name: sys.name}
 		for ti, theta := range thetas {

@@ -54,6 +54,27 @@ type Config struct {
 	// any setting — cross-domain deliveries merge in a fixed total order at
 	// window barriers. Composes with Parallel (points x domains).
 	Intra int
+	// ClientsPerDomain co-locates client machines into shared event
+	// domains (affinity groups): machine i joins group i/ClientsPerDomain,
+	// so a fleet of tiny client machines barriers as a few domains instead
+	// of one each, and intra-group traffic skips the window barrier. <= 1
+	// keeps one domain per machine. Output is byte-identical at any
+	// grouping — delivery order is decided by (time, source node, send
+	// sequence), never by domain layout.
+	ClientsPerDomain int
+	// CrossRack places the client machines in a different rack than the
+	// servers and charges this much extra one-way latency per rack
+	// crossing (the paper's §8 topology: clients and servers in distinct
+	// racks). 0 keeps the fabric flat; the paper figures use the flat
+	// default, the topology benchmark uses a nonzero value to demonstrate
+	// per-pair lookahead.
+	CrossRack time.Duration
+	// ScalarWindows forces the pre-matrix scheduler rule — every window
+	// bounded by the single minimum lookahead over all pairs — instead of
+	// per-domain horizons from the per-pair matrix. Simulation outcomes
+	// are identical either way; only barrier frequency differs. A/B knob
+	// for the scheduler telemetry.
+	ScalarWindows bool
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -69,6 +90,8 @@ func DefaultConfig() Config {
 		Seed:           42,
 		Parallel:       1,
 		Intra:          1,
+
+		ClientsPerDomain: 1,
 	}
 }
 
@@ -151,6 +174,50 @@ func runJobs[T any](workers int, jobs []func() T) ([]T, []time.Duration) {
 	return out, wall
 }
 
+// Telemetry is one point's scheduler counters, read from the simulation
+// world after the point has run: how many conservative time windows it
+// took, how many barriers fired (each barrier synchronizes every domain),
+// how many deliveries crossed a domain boundary (intra-group traffic does
+// not), and the mean bounded window length in simulated time. It is
+// reported by prismbench -json and never rendered into the text/CSV
+// figures, whose bytes must stay independent of scheduler configuration.
+type Telemetry struct {
+	Domains         int   `json:"domains"`
+	Windows         int64 `json:"windows"`
+	Barriers        int64 `json:"barriers"`
+	CrossDeliveries int64 `json:"cross_deliveries"`
+	MeanWindowNanos int64 `json:"mean_window_ns"`
+}
+
+// worldTelemetry snapshots e's world scheduler counters.
+func worldTelemetry(e *sim.Engine) Telemetry {
+	st := e.World().Stats()
+	return Telemetry{
+		Domains:         st.Domains,
+		Windows:         st.Windows,
+		Barriers:        st.Barriers,
+		CrossDeliveries: st.CrossDeliveries,
+		MeanWindowNanos: int64(st.MeanWindow()),
+	}
+}
+
+// runPointJobs is runJobs for jobs that also report scheduler telemetry;
+// results and telemetry come back in declaration order.
+func runPointJobs[T any](workers int, jobs []func() (T, Telemetry)) ([]T, []Telemetry, []time.Duration) {
+	out := make([]T, len(jobs))
+	tels := make([]Telemetry, len(jobs))
+	wrapped := make([]func() struct{}, len(jobs))
+	for i := range jobs {
+		i := i
+		wrapped[i] = func() struct{} {
+			out[i], tels[i] = jobs[i]()
+			return struct{}{}
+		}
+	}
+	_, wall := runJobs(workers, wrapped)
+	return out, tels, wall
+}
+
 // Point is one measured point of a curve.
 type Point = stats.Summary
 
@@ -175,6 +242,10 @@ type Figure struct {
 	// prismbench -json but never rendered into the text/CSV figures,
 	// whose output must stay machine-independent.
 	PointWall []time.Duration
+	// PointTel is each point's scheduler telemetry in job-declaration
+	// order (empty for figures that run no simulation). Diagnostic only,
+	// like PointWall.
+	PointTel []Telemetry
 }
 
 // Fprint renders the figure as aligned text tables.
@@ -244,6 +315,9 @@ func newLoadDriver(e *sim.Engine, cfg Config) *loadDriver {
 	d := &loadDriver{e: e, cfg: cfg, shards: make(map[*sim.Engine]*driverShard)}
 	if cfg.Intra > 1 {
 		e.World().SetWorkers(cfg.Intra)
+	}
+	if cfg.ScalarWindows {
+		e.World().SetScalarWindows(true)
 	}
 	if cfg.MaxOps > 0 {
 		// The cap spans domains, so it is enforced where cross-domain

@@ -147,3 +147,141 @@ func BenchmarkIntraScaling(b *testing.B) {
 		})
 	}
 }
+
+// affinityGroups is the ClientsPerDomain setting under test, overridable
+// so CI can sweep groupings (PRISM_AFFINITY).
+func affinityGroups(t *testing.T) int {
+	if s := os.Getenv("PRISM_AFFINITY"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad PRISM_AFFINITY=%q", s)
+		}
+		return n
+	}
+	return 4
+}
+
+// TestAffinityGroupingMatchesUngrouped is the tentpole regression for
+// affinity groups: every figure must render byte-identical CSV whether
+// each client machine gets its own event domain (ClientsPerDomain=1) or
+// machines are co-located in groups — partial groups and one shared
+// domain for all machines alike — composed with the domain-worker and
+// point pools. Delivery order is (time, source node, send sequence), so
+// the domain layout must be invisible.
+func TestAffinityGroupingMatchesUngrouped(t *testing.T) {
+	group := affinityGroups(t)
+	all := tinyD().ClientMachines
+	for _, figure := range allFigures {
+		t.Run(figure.name, func(t *testing.T) {
+			want := render(figure.fn(tinyD()))
+			for _, g := range []int{group, all} {
+				cfg := tinyD()
+				cfg.ClientsPerDomain = g
+				cfg.Intra = 2
+				cfg.Parallel = 4
+				if got := render(figure.fn(cfg)); got != want {
+					t.Fatalf("ClientsPerDomain=%d output differs from ungrouped:\n--- ungrouped ---\n%s--- grouped ---\n%s",
+						g, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestScalarWindowsMatchOutput: the A/B scheduler knob must never change
+// figure output — only barrier frequency.
+func TestScalarWindowsMatchOutput(t *testing.T) {
+	for _, figure := range allFigures {
+		if figure.name != "fig4" && figure.name != "ext-shards" {
+			continue
+		}
+		t.Run(figure.name, func(t *testing.T) {
+			matrix := render(figure.fn(tinyD()))
+			cfg := tinyD()
+			cfg.ScalarWindows = true
+			if scalar := render(figure.fn(cfg)); scalar != matrix {
+				t.Fatalf("scalar-window output differs from matrix:\n--- matrix ---\n%s--- scalar ---\n%s",
+					matrix, scalar)
+			}
+		})
+	}
+}
+
+// sumBarriers totals the barrier counter over a figure's points.
+func sumBarriers(fig *Figure) int64 {
+	var n int64
+	for _, tel := range fig.PointTel {
+		n += tel.Barriers
+	}
+	return n
+}
+
+// TestCrossRackGroupingIdentity: with the §8-style rack split (nonzero
+// cross-rack latency) the physics change — output differs from the flat
+// fabric — but output is still byte-identical across groupings, worker
+// counts, and window rules; and at identical physics the matrix+affinity
+// scheduler crosses at least 25% fewer barriers than the scalar
+// ungrouped rule (the PR's headline win, asserted here at test scale).
+func TestCrossRackGroupingIdentity(t *testing.T) {
+	var fig4 func(Config) *Figure
+	for _, figure := range allFigures {
+		if figure.name == "fig4" {
+			fig4 = figure.fn
+		}
+	}
+	const extra = 500 * time.Nanosecond
+	flat := render(fig4(tinyD()))
+
+	scalarCfg := tinyD()
+	scalarCfg.CrossRack = extra
+	scalarCfg.ScalarWindows = true
+	scalarFig := fig4(scalarCfg)
+	base := render(scalarFig)
+	if base == flat {
+		t.Fatal("cross-rack latency had no effect on fig4")
+	}
+
+	groupedCfg := tinyD()
+	groupedCfg.CrossRack = extra
+	groupedCfg.ClientsPerDomain = groupedCfg.ClientMachines
+	groupedCfg.Intra = 4
+	groupedFig := fig4(groupedCfg)
+	if got := render(groupedFig); got != base {
+		t.Fatalf("cross-rack output differs across groupings:\n--- scalar ungrouped ---\n%s--- matrix grouped ---\n%s",
+			base, got)
+	}
+
+	sca, mat := sumBarriers(scalarFig), sumBarriers(groupedFig)
+	if sca == 0 || mat == 0 {
+		t.Fatalf("missing barrier telemetry: scalar=%d matrix=%d", sca, mat)
+	}
+	if mat*4 > sca*3 {
+		t.Fatalf("matrix+affinity crossed %d barriers vs scalar %d; want >= 25%% reduction", mat, sca)
+	}
+}
+
+// TestPointTelemetryPopulated: every figure point reports scheduler
+// telemetry, and multi-machine points observe cross-domain traffic.
+func TestPointTelemetryPopulated(t *testing.T) {
+	for _, figure := range allFigures {
+		if figure.name != "fig3" {
+			continue
+		}
+		fig := figure.fn(tinyD())
+		points := 0
+		for _, s := range fig.Series {
+			points += len(s.Points)
+		}
+		if len(fig.PointTel) != points {
+			t.Fatalf("PointTel has %d entries for %d points", len(fig.PointTel), points)
+		}
+		for i, tel := range fig.PointTel {
+			if tel.Domains < 3 || tel.Windows == 0 || tel.Barriers == 0 || tel.CrossDeliveries == 0 {
+				t.Fatalf("point %d telemetry implausible: %+v", i, tel)
+			}
+			if tel.MeanWindowNanos <= 0 {
+				t.Fatalf("point %d mean window %dns", i, tel.MeanWindowNanos)
+			}
+		}
+	}
+}

@@ -22,7 +22,7 @@ import (
 // data, so all keysPerTx variants share one template set).
 func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner, placement) {
 	tmpls := txClusterTemplates(cfg, nShards)
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	shards := make([]*tx.Shard, nShards)
 	for i, t := range tmpls {
 		shards[i] = tx.NewShardFromTemplate(net, fmt.Sprintf("shard-%d", i), model.SoftwarePRISM, t)
@@ -34,7 +34,7 @@ func buildTXCluster(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine
 // buildTXClusterFresh is the pre-template path, kept for the
 // fork-vs-fresh equivalence test (see buildPRISMKVFresh).
 func buildTXClusterFresh(cfg Config, seed int64, nShards, keysPerTx int) (*sim.Engine, func(id int) txRunner, placement) {
-	e, net, _ := buildNet(seed)
+	e, net, _ := measureNet(cfg, seed)
 	shards := make([]*tx.Shard, nShards)
 	perShard := cfg.Keys / int64(nShards)
 	for i := range shards {
@@ -86,15 +86,15 @@ func ExtShards(cfg Config) *Figure {
 	}
 	const clients = 256
 	shardCounts := []int{1, 2, 4}
-	jobs := make([]func() Point, 0, len(shardCounts))
+	jobs := make([]func() (Point, Telemetry), 0, len(shardCounts))
 	for _, nShards := range shardCounts {
-		jobs = append(jobs, func() Point {
+		jobs = append(jobs, func() (Point, Telemetry) {
 			return txClusterPoint(cfg, "ext-shards", fmt.Sprintf("shards=%d", nShards),
 				nShards, 1, clients)
 		})
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	s := Series{Name: "PRISM-TX"}
 	for i, nShards := range shardCounts {
 		pt := pts[i]
@@ -107,7 +107,7 @@ func ExtShards(cfg Config) *Figure {
 }
 
 // txClusterPoint runs one multi-shard PRISM-TX measurement.
-func txClusterPoint(cfg Config, figID, pointKey string, nShards, keysPerTx, clients int) Point {
+func txClusterPoint(cfg Config, figID, pointKey string, nShards, keysPerTx, clients int) (Point, Telemetry) {
 	seed := PointSeed(cfg.Seed, figID, "PRISM-TX", pointKey)
 	e, mkRunner, place := buildTXCluster(cfg, seed, nShards, keysPerTx)
 	d := newLoadDriver(e, cfg)
@@ -120,7 +120,8 @@ func txClusterPoint(cfg Config, figID, pointKey string, nShards, keysPerTx, clie
 			return run(p, gen)
 		})
 	}
-	return d.run(clients)
+	pt := d.run(clients)
+	return pt, worldTelemetry(e)
 }
 
 // ExtMultiKey measures PRISM-TX with multi-key transactions spanning two
@@ -134,15 +135,15 @@ func ExtMultiKey(cfg Config) *Figure {
 	}
 	const clients = 32
 	keysPerTx := []int{1, 2, 4, 8}
-	jobs := make([]func() Point, 0, len(keysPerTx))
+	jobs := make([]func() (Point, Telemetry), 0, len(keysPerTx))
 	for _, kpt := range keysPerTx {
-		jobs = append(jobs, func() Point {
+		jobs = append(jobs, func() (Point, Telemetry) {
 			return txClusterPoint(cfg, "ext-multikey", fmt.Sprintf("keys=%d", kpt),
 				2, kpt, clients)
 		})
 	}
-	pts, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	s := Series{Name: "PRISM-TX"}
 	for i, kpt := range keysPerTx {
 		pt := pts[i]

@@ -58,8 +58,10 @@ func TestForkedClusterMatchesFresh(t *testing.T) {
 		forked.Name, fresh.Name = "PRISM-KV", "PRISM-KV"
 		for _, n := range cfg.ClientCounts {
 			// 50% writes so forks diverge hard from the template image.
-			forked.Points = append(forked.Points, kvPoint(tmplSys, cfg, "forkeq", 0.5, n))
-			fresh.Points = append(fresh.Points, kvPoint(freshSys, cfg, "forkeq", 0.5, n))
+			fpt, _ := kvPoint(tmplSys, cfg, "forkeq", 0.5, n)
+			npt, _ := kvPoint(freshSys, cfg, "forkeq", 0.5, n)
+			forked.Points = append(forked.Points, fpt)
+			fresh.Points = append(fresh.Points, npt)
 		}
 		a := render(&Figure{ID: "forkeq", Series: []Series{forked}})
 		b := render(&Figure{ID: "forkeq", Series: []Series{fresh}})
@@ -70,8 +72,8 @@ func TestForkedClusterMatchesFresh(t *testing.T) {
 
 	t.Run("prism-rs", func(t *testing.T) {
 		for _, n := range cfg.ClientCounts {
-			forked := rsPoint(rsSystem{"PRISM-RS", buildPRISMRS}, cfg, "forkeq-rs", 0.4, n)
-			fresh := rsPoint(rsSystem{"PRISM-RS", buildPRISMRSFresh}, cfg, "forkeq-rs", 0.4, n)
+			forked, _ := rsPoint(rsSystem{"PRISM-RS", buildPRISMRS}, cfg, "forkeq-rs", 0.4, n)
+			fresh, _ := rsPoint(rsSystem{"PRISM-RS", buildPRISMRSFresh}, cfg, "forkeq-rs", 0.4, n)
 			if forked != fresh {
 				t.Fatalf("clients=%d: forked %+v != fresh %+v", n, forked, fresh)
 			}
@@ -79,8 +81,8 @@ func TestForkedClusterMatchesFresh(t *testing.T) {
 	})
 
 	t.Run("prism-tx", func(t *testing.T) {
-		forked := txPoint(txSystem{"PRISM-TX", buildPRISMTX}, cfg, "forkeq-tx", 0.8, 32)
-		fresh := txPoint(txSystem{"PRISM-TX", buildPRISMTXFresh}, cfg, "forkeq-tx", 0.8, 32)
+		forked, _ := txPoint(txSystem{"PRISM-TX", buildPRISMTX}, cfg, "forkeq-tx", 0.8, 32)
+		fresh, _ := txPoint(txSystem{"PRISM-TX", buildPRISMTXFresh}, cfg, "forkeq-tx", 0.8, 32)
 		if forked != fresh {
 			t.Fatalf("forked %+v != fresh %+v", forked, fresh)
 		}
@@ -106,11 +108,11 @@ func TestForkWritesInvisibleOutsideFork(t *testing.T) {
 	before := spaceChecksum(t, tmpl.NIC().Snapshot().Space())
 
 	sys := kvSystem{"PRISM-KV", buildPRISMKV}
-	first := kvPoint(sys, cfg, "fork-iso", 0.0, 32) // 100% writes
+	first, _ := kvPoint(sys, cfg, "fork-iso", 0.0, 32) // 100% writes
 	if mid := spaceChecksum(t, tmpl.NIC().Snapshot().Space()); mid != before {
 		t.Fatalf("template bytes changed during a forked run: %#x -> %#x", before, mid)
 	}
-	second := kvPoint(sys, cfg, "fork-iso", 0.0, 32)
+	second, _ := kvPoint(sys, cfg, "fork-iso", 0.0, 32)
 	if first != second {
 		t.Fatalf("repeat run from same template differs: %+v vs %+v", first, second)
 	}
@@ -127,10 +129,10 @@ func TestForkWritesInvisibleOutsideFork(t *testing.T) {
 func TestPilafTemplateBuildDeterministic(t *testing.T) {
 	cfg := tiny()
 	sys := kvSystem{"Pilaf", buildPilaf(model.SoftwarePRISM)}
-	a := kvPoint(sys, cfg, "forkeq-pilaf", 0.5, 32)
+	a, _ := kvPoint(sys, cfg, "forkeq-pilaf", 0.5, 32)
 	sum1 := spaceChecksum(t, pilafTemplate(cfg).NIC().Snapshot().Space())
 	resetTemplateCache()
-	b := kvPoint(sys, cfg, "forkeq-pilaf", 0.5, 32)
+	b, _ := kvPoint(sys, cfg, "forkeq-pilaf", 0.5, 32)
 	sum2 := spaceChecksum(t, pilafTemplate(cfg).NIC().Snapshot().Space())
 	if a != b {
 		t.Fatalf("point from rebuilt template differs: %+v vs %+v", a, b)

@@ -69,19 +69,19 @@ func Fig1(cfg Config) *Figure {
 		lat       time.Duration
 		supported bool
 	}
-	var jobs []func() cell
+	var jobs []func() (cell, Telemetry)
 	for _, d := range deployments {
 		for opIdx, opName := range opNames {
-			jobs = append(jobs, func() cell {
+			jobs = append(jobs, func() (cell, Telemetry) {
 				seed := PointSeed(cfg.Seed, "fig1", d.String(), opName)
 				env := newMicroEnvPrepared(d, model.Direct, seed)
 				lat, supported := env.runOp(opIdx)
-				return cell{lat, supported}
+				return cell{lat, supported}, worldTelemetry(env.e)
 			})
 		}
 	}
-	cells, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	cells, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for di, d := range deployments {
 		s := Series{Name: d.String()}
 		for opIdx, opName := range opNames {
@@ -196,28 +196,31 @@ func Fig2(cfg Config) *Figure {
 		{"PRISM BlueField", model.BlueFieldPRISM, false},
 		{"PRISM HW (proj)", model.ProjectedHardwarePRISM, false},
 	}
-	var jobs []func() time.Duration
+	var jobs []func() (time.Duration, Telemetry)
 	for _, v := range variants {
 		for _, prof := range profiles {
-			jobs = append(jobs, func() time.Duration {
+			jobs = append(jobs, func() (time.Duration, Telemetry) {
 				seed := PointSeed(cfg.Seed, "fig2", v.name, prof.Name)
 				env := newMicroEnvPrepared(v.deploy, prof, seed)
+				var lat time.Duration
 				if v.twoRTT {
 					// Pointer read, then data read: two dependent round trips.
-					return env.measure(func(i int) []wire.Op {
+					lat = env.measure(func(i int) []wire.Op {
 						return []wire.Op{prism.Read(env.reg.Key, env.reg.Base, 8)}
 					}) + env.measure(func(i int) []wire.Op {
 						return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
 					})
+				} else {
+					lat = env.measure(func(i int) []wire.Op {
+						return []wire.Op{prism.ReadIndirect(env.reg.Key, env.reg.Base, microValue)}
+					})
 				}
-				return env.measure(func(i int) []wire.Op {
-					return []wire.Op{prism.ReadIndirect(env.reg.Key, env.reg.Base, microValue)}
-				})
+				return lat, worldTelemetry(env.e)
 			})
 		}
 	}
-	lats, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	lats, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for vi, v := range variants {
 		s := Series{Name: v.name}
 		for pi, prof := range profiles {
@@ -255,30 +258,33 @@ func RPCvsRDMA(cfg Config) *Figure {
 		return env
 	}
 	names := []string{"one-sided READ", "two-sided RPC", "2x one-sided READs"}
-	jobs := []func() time.Duration{
-		func() time.Duration {
+	jobs := []func() (time.Duration, Telemetry){
+		func() (time.Duration, Telemetry) {
 			env := newEnv(names[0])
-			return env.measure(func(i int) []wire.Op {
+			lat := env.measure(func(i int) []wire.Op {
 				return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
 			})
+			return lat, worldTelemetry(env.e)
 		},
-		func() time.Duration {
+		func() (time.Duration, Telemetry) {
 			env := newEnv(names[1])
-			return env.measure(func(i int) []wire.Op {
+			lat := env.measure(func(i int) []wire.Op {
 				return []wire.Op{prism.Send([]byte{1})}
 			})
+			return lat, worldTelemetry(env.e)
 		},
-		func() time.Duration {
+		func() (time.Duration, Telemetry) {
 			env := newEnv(names[2])
-			return env.measure(func(i int) []wire.Op {
+			lat := env.measure(func(i int) []wire.Op {
 				return []wire.Op{prism.Read(env.reg.Key, env.reg.Base, 8)}
 			}) + env.measure(func(i int) []wire.Op {
 				return []wire.Op{prism.Read(env.reg.Key, env.reg.Base+4096, microValue)}
 			})
+			return lat, worldTelemetry(env.e)
 		},
 	}
-	lats, wall := runJobs(cfg.Parallel, jobs)
-	fig.PointWall = wall
+	lats, tels, wall := runPointJobs(cfg.Parallel, jobs)
+	fig.PointWall, fig.PointTel = wall, tels
 	for i, name := range names {
 		lat := lats[i]
 		fig.Series = append(fig.Series, Series{

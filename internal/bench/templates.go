@@ -63,10 +63,22 @@ func resetTemplateCache() {
 	templateCache.Unlock()
 }
 
-// buildNet is the standard measurement fabric (rack profile, calibrated
-// cost model).
+// buildNet is the standard flat measurement fabric (rack profile,
+// calibrated cost model). Template builders use it directly; measurement
+// points go through measureNet so topology knobs apply.
 func buildNet(seed int64) (*sim.Engine, *fabric.Network, model.Params) {
 	p := model.Default().WithNetwork(model.Rack)
+	e := sim.NewEngine(seed)
+	return e, fabric.New(e, p), p
+}
+
+// measureNet is the measurement-point fabric: buildNet plus the config's
+// topology knobs. With Config.CrossRack zero (the default, and what every
+// paper figure uses) it is identical to buildNet — clusters built on it
+// produce byte-identical figures.
+func measureNet(cfg Config, seed int64) (*sim.Engine, *fabric.Network, model.Params) {
+	p := model.Default().WithNetwork(model.Rack)
+	p.CrossRackExtra = cfg.CrossRack
 	e := sim.NewEngine(seed)
 	return e, fabric.New(e, p), p
 }

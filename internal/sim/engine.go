@@ -25,9 +25,19 @@
 // Determinism: events at the same virtual time fire in the order they
 // were scheduled (FIFO tie-break by sequence number), every domain's RNG
 // is seeded from the world seed and the domain id, and barrier merges
-// order cross-domain deliveries by (time, source domain, send sequence).
+// order cross-domain deliveries by (time, source node, send sequence).
 // Two runs with the same seed produce identical traces at any worker
 // count.
+//
+// Lookahead is a matrix, not a scalar: fabrics declare per-pair bounds
+// with SetLookahead (DeclareLookahead sets a uniform default), and the
+// scheduler derives the all-pairs minimum-delay matrix over relay paths
+// (Floyd–Warshall, including round-trip self-cycles). Each window then
+// gives every domain its own horizon — min over senders s of
+// next-event(s) + dist[s][d] — so far-apart pairs run long windows and
+// only genuinely close pairs barrier often. SetScalarWindows(true)
+// restores the historical single-bound rule for A/B measurements; the
+// window rule never changes event semantics, only barrier frequency.
 package sim
 
 import (
@@ -70,6 +80,9 @@ type event struct {
 	seq  uint64
 	fn   func()
 	heap int // index in the heap, -1 when popped/cancelled
+	// tail events run after every ordinary event of the same instant,
+	// regardless of scheduling order (see AtTail).
+	tail bool
 	// gen counts recycles of this event object. Timers snapshot it so a
 	// stale handle to a fired-and-reused event cannot cancel its successor.
 	gen  uint32
@@ -82,6 +95,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].tail != h[j].tail {
+		return !h[i].tail
 	}
 	return h[i].seq < h[j].seq
 }
@@ -113,10 +129,19 @@ type World struct {
 	domains []*Engine
 	workers int
 
-	// lookahead is the minimum cross-domain propagation latency declared
-	// by the fabrics on this world (0 = none declared yet). It bounds how
-	// far a window may run past the global minimum next-event time.
+	// lookahead is the uniform default pair bound set by DeclareLookahead
+	// (0 = none declared). Per-pair bounds from SetLookahead are kept in
+	// edges; dist is the all-pairs minimum over relay paths, rebuilt
+	// lazily (laDirty) at the next barrier.
 	lookahead Duration
+	edges     []laEdge
+	dist      [][]Duration
+	laDirty   bool
+
+	// scalar restores the historical single-bound window rule (the
+	// minimum over every declared bound) for A/B measurements.
+	scalar   bool
+	scalarLA Duration
 
 	// barriers run at every window barrier (and before the first window),
 	// single-threaded, with all domains paused. The fabric uses them to
@@ -128,6 +153,44 @@ type World struct {
 	running bool
 
 	active []*Engine // per-window scratch: domains with runnable events
+	next   []Time    // per-window scratch: each domain's next-event time
+	limits []Time    // per-window scratch: each domain's horizon
+
+	stats WorldStats
+}
+
+// laEdge is one declared directed lookahead bound between two domains.
+type laEdge struct {
+	src, dst int
+	d        Duration
+}
+
+// laInf marks an undeclared pair: no bound, unreachable by any relay
+// path. Kept far below the Duration ceiling so saturating sums cannot
+// overflow inside the shortest-path relaxation.
+const laInf = Duration(1) << 62
+
+// WorldStats counts scheduler work. Windows is the number of executed
+// time windows, Barriers the number of barrier crossings (hook sweeps),
+// CrossDeliveries the number of messages merged across domain
+// boundaries at barriers (intra-domain bypass deliveries are not
+// counted), and WindowSpan/SpanWindows accumulate the length of every
+// window whose horizon was bounded (MeanWindow reports the average).
+type WorldStats struct {
+	Domains         int
+	Windows         int64
+	Barriers        int64
+	CrossDeliveries int64
+	WindowSpan      Duration
+	SpanWindows     int64
+}
+
+// MeanWindow returns the mean bounded-window length, or 0 if none ran.
+func (s WorldStats) MeanWindow() Duration {
+	if s.SpanWindows == 0 {
+		return 0
+	}
+	return s.WindowSpan / Duration(s.SpanWindows)
 }
 
 // NewDomain adds an event domain to the world and returns its Engine
@@ -142,6 +205,7 @@ func (w *World) NewDomain() *Engine {
 	}
 	e := &Engine{w: w, id: id, rng: rand.New(rand.NewSource(seed))}
 	w.domains = append(w.domains, e)
+	w.laDirty = true
 	return e
 }
 
@@ -168,9 +232,11 @@ func (w *World) Workers() int { return w.workers }
 // Domains returns the number of event domains in the world.
 func (w *World) Domains() int { return len(w.domains) }
 
-// DeclareLookahead lower-bounds the window length: no cross-domain
-// message sent at time t can be delivered before t+d. Multiple fabrics
-// may declare; the minimum (clamped to >= 1ns) wins.
+// DeclareLookahead sets the uniform default pair bound: no cross-domain
+// message sent at time t can be delivered before t+d, for every domain
+// pair. Multiple fabrics may declare; the minimum (clamped to >= 1ns)
+// wins. Per-pair bounds tighter than real topology come from
+// SetLookahead.
 func (w *World) DeclareLookahead(d Duration) {
 	if d < 1 {
 		d = 1
@@ -178,6 +244,104 @@ func (w *World) DeclareLookahead(d Duration) {
 	if w.lookahead == 0 || d < w.lookahead {
 		w.lookahead = d
 	}
+	w.laDirty = true
+}
+
+// SetLookahead declares a directed per-pair bound: no message sent by
+// domain src at time t can arrive at dst before t+d. The minimum over
+// all declarations for the pair — and over any relay path through other
+// declared pairs — wins. Declaring src == dst is a no-op (intra-domain
+// traffic needs no lookahead).
+func (w *World) SetLookahead(src, dst *Engine, d Duration) {
+	if src.w != w || dst.w != w {
+		panic("sim: SetLookahead across worlds")
+	}
+	if src == dst {
+		return
+	}
+	if d < 1 {
+		d = 1
+	}
+	w.edges = append(w.edges, laEdge{src: src.id, dst: dst.id, d: d})
+	w.laDirty = true
+}
+
+// SetScalarWindows switches between per-domain matrix horizons (false,
+// the default) and the historical single-bound window rule (true). The
+// two modes produce byte-identical simulation output; only barrier
+// frequency differs. Used for A/B scheduler measurements.
+func (w *World) SetScalarWindows(on bool) { w.scalar = on }
+
+// Seed returns the world seed; per-domain and per-node RNG streams are
+// derived from it.
+func (w *World) Seed() int64 { return w.seed }
+
+// Stats returns a snapshot of the scheduler telemetry counters.
+func (w *World) Stats() WorldStats {
+	s := w.stats
+	s.Domains = len(w.domains)
+	return s
+}
+
+// AddCrossDeliveries is called by fabrics at barriers to account
+// messages merged across a domain boundary.
+func (w *World) AddCrossDeliveries(n int) { w.stats.CrossDeliveries += int64(n) }
+
+// rebuildDist recomputes the all-pairs minimum-delay matrix from the
+// default bound and the declared edges: Floyd–Warshall over relay
+// paths, with dist[i][i] becoming the minimum cycle through i (a domain
+// can only be affected by its own past output after a full round trip).
+// Undeclared, unreachable pairs stay at laInf — no bound at all.
+func (w *World) rebuildDist() {
+	n := len(w.domains)
+	d := w.dist
+	if len(d) != n {
+		d = make([][]Duration, n)
+		for i := range d {
+			d[i] = make([]Duration, n)
+		}
+		w.dist = d
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && w.lookahead > 0 {
+				d[i][j] = w.lookahead
+			} else {
+				d[i][j] = laInf
+			}
+		}
+	}
+	for _, e := range w.edges {
+		if e.src < n && e.dst < n && e.d < d[e.src][e.dst] {
+			d[e.src][e.dst] = e.d
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik >= laInf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dkj := d[k][j]; dkj < laInf && dik+dkj < d[i][j] {
+					d[i][j] = dik + dkj
+				}
+			}
+		}
+	}
+	w.scalarLA = laInf
+	if w.lookahead > 0 {
+		w.scalarLA = w.lookahead
+	}
+	for _, e := range w.edges {
+		if e.d < w.scalarLA {
+			w.scalarLA = e.d
+		}
+	}
+	if w.scalarLA >= laInf {
+		w.scalarLA = 1
+	}
+	w.laDirty = false
 }
 
 // OnBarrier registers fn to run at every window barrier, while all
@@ -201,49 +365,108 @@ func (w *World) run(deadline Time) {
 	w.stopped.Store(false)
 	defer func() { w.running = false }()
 
-	la := w.lookahead
-	if la == 0 {
-		la = 1
-	}
 	single := len(w.domains) == 1
 	for {
 		// Barrier: merge cross-domain mailboxes into destination heaps.
 		// Runs before the window-start computation so flushed deliveries
 		// participate in it, and before the first window so messages sent
-		// from setup code are delivered.
+		// from setup code are delivered (and lookahead declared there is
+		// folded into the matrix before it is consulted).
 		for _, fn := range w.barriers {
 			fn()
 		}
+		w.stats.Barriers++
 		if w.stopped.Load() {
 			break
 		}
+		if w.laDirty {
+			w.rebuildDist()
+		}
 		// Window start W: the global minimum next-event time.
 		start := Never
+		next := w.next[:0]
 		for _, d := range w.domains {
-			if len(d.events) > 0 && d.events[0].at < start {
-				start = d.events[0].at
+			t := Never
+			if len(d.events) > 0 {
+				t = d.events[0].at
+			}
+			next = append(next, t)
+			if t < start {
+				start = t
 			}
 		}
+		w.next = next
 		if start == Never || start > deadline {
 			break
 		}
-		// Window limit (inclusive): events at t <= limit are safe to run
-		// because no cross-domain message generated at t >= W can arrive
-		// before W+lookahead. A single-domain world has no cross traffic,
-		// so the window covers the whole run.
-		limit := deadline
-		if !single {
-			if x := start.Add(la); x-1 < limit {
-				limit = x - 1
+		// A single-domain world has no cross traffic, so the window
+		// covers the whole run.
+		if single {
+			w.domains[0].runWindow(deadline)
+			w.stats.Windows++
+			if w.stopped.Load() {
+				break
 			}
+			continue
 		}
-		if w.workers <= 1 || single {
-			for _, d := range w.domains {
-				d.runWindow(limit)
+		// Per-domain horizon (inclusive limit): domain d may safely run
+		// events at t < min over senders s of next(s) + dist[s][d],
+		// because no message generated at or after next(s) can arrive at
+		// d earlier than that. Unreachable domains are unbounded (only
+		// the deadline stops them). Scalar mode replaces this with the
+		// historical single bound start + min-lookahead for every domain.
+		limits := w.limits[:0]
+		if w.scalar {
+			lim := deadline
+			if x := start.Add(w.scalarLA); x-1 < lim {
+				lim = x - 1
+			}
+			for range w.domains {
+				limits = append(limits, lim)
 			}
 		} else {
-			w.runParallel(limit)
+			for i := range w.domains {
+				h := Never
+				for s := range w.domains {
+					if next[s] == Never {
+						continue
+					}
+					la := w.dist[s][i]
+					if la >= laInf {
+						continue
+					}
+					if c := next[s].Add(la); c < h {
+						h = c
+					}
+				}
+				lim := deadline
+				if h != Never && h-1 < lim {
+					lim = h - 1
+				}
+				limits = append(limits, lim)
+			}
 		}
+		w.limits = limits
+		// Telemetry: the window's effective length is set by the
+		// earliest bounded horizon among domains that actually run.
+		winEnd := Never
+		for i := range w.domains {
+			if next[i] != Never && next[i] <= limits[i] && limits[i] < winEnd {
+				winEnd = limits[i]
+			}
+		}
+		if winEnd != Never {
+			w.stats.WindowSpan += Duration(winEnd - start + 1)
+			w.stats.SpanWindows++
+		}
+		if w.workers <= 1 {
+			for i, d := range w.domains {
+				d.runWindow(limits[i])
+			}
+		} else {
+			w.runParallel()
+		}
+		w.stats.Windows++
 		if w.stopped.Load() {
 			break
 		}
@@ -260,13 +483,14 @@ func (w *World) run(deadline Time) {
 }
 
 // runParallel executes one window with up to w.workers goroutines, each
-// claiming whole domains. Domains never share state within a window, so
-// this is race-free; determinism comes from the barrier merge order, not
-// from scheduling.
-func (w *World) runParallel(limit Time) {
+// claiming whole domains (each to its own horizon in w.limits). Domains
+// never share state within a window, so this is race-free; determinism
+// comes from the barrier merge order, not from scheduling.
+func (w *World) runParallel() {
 	act := w.active[:0]
-	for _, d := range w.domains {
-		if len(d.events) > 0 && d.events[0].at <= limit {
+	for i, d := range w.domains {
+		if len(d.events) > 0 && d.events[0].at <= w.limits[i] {
+			d.limit = w.limits[i]
 			act = append(act, d)
 		}
 	}
@@ -277,7 +501,7 @@ func (w *World) runParallel(limit Time) {
 	}
 	if nw <= 1 {
 		for _, d := range act {
-			d.runWindow(limit)
+			d.runWindow(d.limit)
 		}
 		return
 	}
@@ -299,7 +523,7 @@ func (w *World) runParallel(limit Time) {
 			if i >= len(act) {
 				return
 			}
-			act[i].runWindow(limit)
+			act[i].runWindow(act[i].limit)
 		}
 	}
 	wg.Add(nw)
@@ -331,6 +555,7 @@ type Engine struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+	limit  Time // this window's horizon, set by the world before dispatch
 
 	// free is a free list of fired/cancelled event objects, reused by At
 	// so steady-state scheduling does not allocate. Its length is bounded
@@ -369,6 +594,19 @@ func (e *Engine) Schedule(d Duration, fn func()) Timer {
 
 // At runs fn at virtual instant t (or now, if t is in the past).
 func (e *Engine) At(t Time, fn func()) Timer {
+	return e.at(t, fn, false)
+}
+
+// AtTail runs fn at instant t, after every ordinarily-scheduled event of
+// that instant — including ones not yet scheduled when AtTail is called.
+// The fabric uses this to drain same-instant arrival batches in a
+// canonical order that cannot depend on when the batch members were
+// scheduled (barrier flush vs intra-domain bypass).
+func (e *Engine) AtTail(t Time, fn func()) Timer {
+	return e.at(t, fn, true)
+}
+
+func (e *Engine) at(t Time, fn func(), tail bool) Timer {
 	if t < e.now {
 		t = e.now
 	}
@@ -376,6 +614,7 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.tail = tail
 	e.seq++
 	heap.Push(&e.events, ev)
 	return Timer{e: e, ev: ev, gen: ev.gen}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Regenerates BENCH_topology.json: the topology-aware scheduler A/B on
+# the highest-client-count figure. Both runs share one seed and one
+# physics (the §8-style rack split set by CROSSRACK); only the scheduler
+# differs — the scalar single-bound window rule on ungrouped per-machine
+# domains (the pre-matrix scheduler) versus per-pair matrix horizons
+# with all client machines in one affinity group. The CSVs must be
+# byte-identical; the barrier telemetry must not be (that is the win).
+#
+# Usage: scripts/bench_topology.sh  [env: FIG SCALE CROSSRACK AFFINITY OUT]
+set -e
+
+FIG=${FIG:-fig4}
+SCALE=${SCALE:-}                # e.g. "-keys 4096 -measure 200us" for CI scale
+CROSSRACK=${CROSSRACK:-500ns}
+AFFINITY=${AFFINITY:-11}        # default Config.ClientMachines: one shared domain
+OUT=${OUT:-BENCH_topology.json}
+
+go build -o .topo_prismbench ./cmd/prismbench
+./.topo_prismbench -format csv $SCALE -crossrack "$CROSSRACK" \
+	-scalar-windows -json .topo_scalar.json "$FIG" > .topo_scalar.csv
+./.topo_prismbench -format csv $SCALE -crossrack "$CROSSRACK" \
+	-affinity "$AFFINITY" -json .topo_matrix.json "$FIG" > .topo_matrix.csv
+cmp .topo_scalar.csv .topo_matrix.csv
+
+barriers() {
+	grep -o '"barriers": [0-9]*' "$1" | head -n 1 | grep -o '[0-9]*'
+}
+SB=$(barriers .topo_scalar.json)
+MB=$(barriers .topo_matrix.json)
+RED=$(awk "BEGIN{printf \"%.4f\", 1 - $MB/$SB}")
+
+{
+	printf '{\n'
+	printf '  "figure": "%s",\n' "$FIG"
+	printf '  "crossrack": "%s",\n' "$CROSSRACK"
+	printf '  "affinity": %s,\n' "$AFFINITY"
+	printf '  "csv_identical": true,\n'
+	printf '  "scalar_barriers": %s,\n' "$SB"
+	printf '  "matrix_affinity_barriers": %s,\n' "$MB"
+	printf '  "barrier_reduction": %s,\n' "$RED"
+	printf '  "scalar": '
+	cat .topo_scalar.json
+	printf '  ,\n  "matrix_affinity": '
+	cat .topo_matrix.json
+	printf '}\n'
+} > "$OUT"
+
+rm -f .topo_prismbench .topo_scalar.json .topo_matrix.json .topo_scalar.csv .topo_matrix.csv
+echo "wrote $OUT: $FIG barriers scalar=$SB matrix+affinity=$MB (reduction $RED)"
+awk "BEGIN{exit !($RED >= 0.25)}" || {
+	echo "FAIL: barrier reduction $RED below the 25% floor" >&2
+	exit 1
+}
