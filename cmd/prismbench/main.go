@@ -39,6 +39,9 @@ import (
 // PointTelemetry is the scheduler telemetry of each point in the same
 // order: window/barrier counts are what demonstrate the lookahead
 // matrix and affinity grouping on hosts where wall clock cannot.
+// MeanAllocsPerOp/MeanBytesPerOp average the load-driver points'
+// harness-heap allocation cost (zero-valued points — microbenchmarks —
+// are excluded); attributable only under -parallel 1.
 type figRecord struct {
 	ID               string            `json:"id"`
 	WallSeconds      float64           `json:"wall_seconds"`
@@ -47,6 +50,8 @@ type figRecord struct {
 	Windows          int64             `json:"windows"`
 	Barriers         int64             `json:"barriers"`
 	CrossDeliveries  int64             `json:"cross_deliveries"`
+	MeanAllocsPerOp  float64           `json:"mean_allocs_per_op,omitempty"`
+	MeanBytesPerOp   float64           `json:"mean_bytes_per_op,omitempty"`
 	PointWallSeconds []float64         `json:"point_wall_seconds,omitempty"`
 	PointTelemetry   []bench.Telemetry `json:"point_telemetry,omitempty"`
 }
@@ -217,11 +222,22 @@ func main() {
 			fr.PointWallSeconds = append(fr.PointWallSeconds, w.Seconds())
 		}
 		var meanSum int64
+		var allocSum, byteSum float64
+		allocPts := 0
 		for _, tel := range fig.PointTel {
 			fr.Windows += tel.Windows
 			fr.Barriers += tel.Barriers
 			fr.CrossDeliveries += tel.CrossDeliveries
 			meanSum += tel.MeanWindowNanos
+			if tel.AllocsPerOp > 0 {
+				allocSum += tel.AllocsPerOp
+				byteSum += tel.BytesPerOp
+				allocPts++
+			}
+		}
+		if allocPts > 0 {
+			fr.MeanAllocsPerOp = allocSum / float64(allocPts)
+			fr.MeanBytesPerOp = byteSum / float64(allocPts)
 		}
 		fr.PointTelemetry = fig.PointTel
 		if *verbose {

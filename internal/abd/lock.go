@@ -81,6 +81,13 @@ type LockClient struct {
 
 	// Stats
 	LockRetries int64
+
+	// Per-client scratch. Every phase ends with WaitAll, so no request of
+	// a previous phase is still in flight when a buffer is rewritten
+	// (stale duplicates on a lossy network are dropped by their epoch).
+	casBuf [16]byte
+	imgBuf []byte
+	futs   []*sim.Future[[]wire.Result]
 }
 
 // NewLockClient builds a client over one connection per replica.
@@ -109,13 +116,14 @@ func NewLockClient(id uint16, conns []*rdma.Conn, metas []LockMeta, jitter func(
 func (c *LockClient) acquire(p *sim.Proc, block int64) []int {
 	backoff := c.BackoffMin
 	for {
-		futs := make([]*sim.Future[[]wire.Result], len(c.conns))
+		futs := c.futs[:0]
 		for i := range c.conns {
 			m := &c.metas[i]
-			futs[i] = c.conns[i].IssueAsync([]wire.Op{
-				prism.ClassicCAS(m.Key, m.blockAddr(block), 0, uint64(c.id)),
-			})
+			ops := c.conns[i].Ops(1)
+			ops[0] = prism.ClassicCASBuf(&c.casBuf, m.Key, m.blockAddr(block), 0, uint64(c.id))
+			futs = append(futs, c.conns[i].IssueAsync(ops))
 		}
+		c.futs = futs[:0]
 		// Lock acquisition needs the outcome from every replica we asked
 		// (acquired or not) to know what to release; wait for all.
 		res := sim.WaitAll(p, futs)
@@ -145,25 +153,27 @@ func (c *LockClient) acquire(p *sim.Proc, block int64) []int {
 // release unlocks block at the given replicas (CAS holder -> 0) and waits
 // for completion.
 func (c *LockClient) release(p *sim.Proc, block int64, replicas []int) {
-	futs := make([]*sim.Future[[]wire.Result], 0, len(replicas))
+	futs := c.futs[:0]
 	for _, i := range replicas {
 		m := &c.metas[i]
-		futs = append(futs, c.conns[i].IssueAsync([]wire.Op{
-			prism.ClassicCAS(m.Key, m.blockAddr(block), uint64(c.id), 0),
-		}))
+		ops := c.conns[i].Ops(1)
+		ops[0] = prism.ClassicCASBuf(&c.casBuf, m.Key, m.blockAddr(block), uint64(c.id), 0)
+		futs = append(futs, c.conns[i].IssueAsync(ops))
 	}
+	c.futs = futs[:0]
 	sim.WaitAll(p, futs)
 }
 
 // readLocked reads tag|value from the locked replicas.
 func (c *LockClient) readLocked(p *sim.Proc, block int64, replicas []int) (Tag, []byte, error) {
-	futs := make([]*sim.Future[[]wire.Result], 0, len(replicas))
+	futs := c.futs[:0]
 	for _, i := range replicas {
 		m := &c.metas[i]
-		futs = append(futs, c.conns[i].IssueAsync([]wire.Op{
-			prism.Read(m.Key, m.blockAddr(block)+8, uint64(8+m.BlockSize)),
-		}))
+		ops := c.conns[i].Ops(1)
+		ops[0] = prism.Read(m.Key, m.blockAddr(block)+8, uint64(8+m.BlockSize))
+		futs = append(futs, c.conns[i].IssueAsync(ops))
 	}
+	c.futs = futs[:0]
 	res := sim.WaitAll(p, futs)
 	var maxTag Tag
 	var maxVal []byte
@@ -182,16 +192,20 @@ func (c *LockClient) readLocked(p *sim.Proc, block int64, replicas []int) (Tag, 
 
 // writeLocked writes tag|value in place at the locked replicas.
 func (c *LockClient) writeLocked(p *sim.Proc, block int64, replicas []int, tag Tag, value []byte) error {
-	img := make([]byte, 8+len(value))
+	if cap(c.imgBuf) < 8+len(value) {
+		c.imgBuf = make([]byte, 8+len(value))
+	}
+	img := c.imgBuf[:8+len(value)]
 	prism.PutBE64(img, 0, uint64(tag))
 	copy(img[8:], value)
-	futs := make([]*sim.Future[[]wire.Result], 0, len(replicas))
+	futs := c.futs[:0]
 	for _, i := range replicas {
 		m := &c.metas[i]
-		futs = append(futs, c.conns[i].IssueAsync([]wire.Op{
-			prism.Write(m.Key, m.blockAddr(block)+8, img),
-		}))
+		ops := c.conns[i].Ops(1)
+		ops[0] = prism.Write(m.Key, m.blockAddr(block)+8, img)
+		futs = append(futs, c.conns[i].IssueAsync(ops))
 	}
+	c.futs = futs[:0]
 	res := sim.WaitAll(p, futs)
 	for _, r := range res {
 		if r[0].Status != wire.StatusOK {

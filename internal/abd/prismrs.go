@@ -146,6 +146,18 @@ type Client struct {
 	frees     [][]byte
 	FreeBatch int
 
+	// Cached CAS masks per replica (entry-size dependent). Read-only after
+	// construction, so safe to share with in-flight straggler chains.
+	tagMasks  [][]byte
+	fullMasks [][]byte
+
+	// Reusable storage for the quorum phases' future slices. Only the
+	// slice headers are recycled — the futures themselves stay fresh per
+	// call, because a straggler replica completes its future long after
+	// the quorum returned.
+	readFuts  []*sim.Future[readReply]
+	writeFuts []*sim.Future[int]
+
 	// Stats
 	WriteBacksSkipped int64
 	CASLost           int64 // installs superseded by a newer tag
@@ -156,7 +168,7 @@ func NewClient(id uint16, conns []*rdma.Conn, metas []Meta) *Client {
 	if len(conns) != len(metas) || len(conns) == 0 || len(conns)%2 == 0 {
 		panic("abd: need an odd number of replicas with matching metadata")
 	}
-	return &Client{
+	c := &Client{
 		id:        id,
 		conns:     conns,
 		metas:     metas,
@@ -164,7 +176,17 @@ func NewClient(id uint16, conns []*rdma.Conn, metas []Meta) *Client {
 		frees:     make([][]byte, len(conns)),
 		tmpSlot:   make([]int, len(conns)),
 		FreeBatch: 16,
+		tagMasks:  make([][]byte, len(conns)),
+		fullMasks: make([][]byte, len(conns)),
+		readFuts:  make([]*sim.Future[readReply], len(conns)),
+		writeFuts: make([]*sim.Future[int], len(conns)),
 	}
+	for i := range metas {
+		es := int(metas[i].entrySize())
+		c.tagMasks[i] = prism.FieldMask(es, 0, 8)
+		c.fullMasks[i] = prism.FullMask(es)
+	}
+	return c
 }
 
 type readReply struct {
@@ -178,7 +200,7 @@ type readReply struct {
 // readPhase performs the ABD read phase: an indirect READ of the block's
 // buffer at every replica; first f+1 replies win.
 func (c *Client) readPhase(p *sim.Proc, block int64) (Tag, []byte, error) {
-	futs := make([]*sim.Future[readReply], len(c.conns))
+	futs := c.readFuts
 	for i := range c.conns {
 		i := i
 		m := &c.metas[i]
@@ -189,7 +211,9 @@ func (c *Client) readPhase(p *sim.Proc, block int64) (Tag, []byte, error) {
 		if m.Variable {
 			op = prism.ReadBounded(m.Key, m.entryAddr(block)+8, m.bufSize())
 		}
-		f := c.conns[i].IssueAsync([]wire.Op{op})
+		ops := c.conns[i].Ops(1)
+		ops[0] = op
+		f := c.conns[i].IssueAsync(ops)
 		// Bound to the connection's domain: the completion below runs there.
 		rf := sim.NewFuture[readReply](c.conns[i].Engine())
 		futs[i] = rf
@@ -235,7 +259,7 @@ func (c *Client) writePhase(p *sim.Proc, block int64, tag Tag, value []byte) err
 		return fmt.Errorf("abd: value size %d, want %d", len(value), c.metas[0].BlockSize)
 	}
 	const slots = rdma.ConnTempSize / rdma.TempSlotSize
-	futs := make([]*sim.Future[int], len(c.conns))
+	futs := c.writeFuts
 	for i := range c.conns {
 		i := i
 		m := &c.metas[i]
@@ -244,6 +268,9 @@ func (c *Client) writePhase(p *sim.Proc, block int64, tag Tag, value []byte) err
 		c.tmpSlot[i] = (c.tmpSlot[i] + 1) % slots
 		entrySize := int(m.entrySize())
 
+		// img and pre are deliberately fresh per chain: the client moves on
+		// after f+1 acks, so a straggler replica's chain may still be in
+		// flight referencing them when the next operation starts.
 		img := make([]byte, 8+len(value))
 		prism.PutBE64(img, 0, uint64(tag))
 		copy(img[8:], value)
@@ -255,16 +282,16 @@ func (c *Client) writePhase(p *sim.Proc, block int64, tag Tag, value []byte) err
 			prism.PutLE64(pre, 16, uint64(len(img)))
 		}
 
-		f := conn.IssueAsync([]wire.Op{
-			// 1. WRITE the tag (and bound, in variable mode) to tmp.
-			prism.Write(conn.TempKey, tmp, pre),
-			// 2. ALLOCATE the new version, redirecting its address to
-			//    tmp+8 (immediately after the tag).
-			prism.Conditional(prism.RedirectTo(prism.Allocate(m.FreeList, img), conn.TempKey, tmp+8)),
-			// 3. CAS_GT the metadata entry against *tmp.
-			prism.Conditional(prism.CASIndirectData(m.Key, m.entryAddr(block), wire.CASGt, tmp,
-				prism.FieldMask(entrySize, 0, 8), prism.FullMask(entrySize))),
-		})
+		ops := conn.Ops(3)
+		// 1. WRITE the tag (and bound, in variable mode) to tmp.
+		ops[0] = prism.Write(conn.TempKey, tmp, pre)
+		// 2. ALLOCATE the new version, redirecting its address to
+		//    tmp+8 (immediately after the tag).
+		ops[1] = prism.Conditional(prism.RedirectTo(prism.Allocate(m.FreeList, img), conn.TempKey, tmp+8))
+		// 3. CAS_GT the metadata entry against *tmp.
+		ops[2] = prism.Conditional(prism.CASIndirectData(m.Key, m.entryAddr(block), wire.CASGt, tmp,
+			c.tagMasks[i], c.fullMasks[i]))
+		f := conn.IssueAsync(ops)
 		// Bound to the connection's domain: the completion below runs there.
 		rf := sim.NewFuture[int](conn.Engine())
 		futs[i] = rf
@@ -380,13 +407,17 @@ func (c *Client) flushReplicaFrees(i int) {
 	if len(c.frees[i]) == 0 {
 		return
 	}
+	// The payload is copied out of the batch buffer because the RPC is
+	// fire-and-forget: the buffer refills while it may still be in flight.
 	payload := append([]byte{rpcFree}, c.frees[i]...)
-	c.frees[i] = nil
+	c.frees[i] = c.frees[i][:0]
 	conn := c.conns[i]
 	if c.ctrl != nil {
 		conn = c.ctrl[i]
 	}
-	conn.IssueAsync([]wire.Op{prism.Send(payload)})
+	ops := conn.Ops(1)
+	ops[0] = prism.Send(payload)
+	conn.IssueAsync(ops)
 }
 
 // FlushFrees sends all pending reclamation batches.

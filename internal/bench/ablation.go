@@ -50,7 +50,7 @@ func AblationABDWriteback(cfg Config) *Figure {
 				})
 			}
 			pt := d.run(clients)
-			return pt, worldTelemetry(e)
+			return pt, d.telemetry(e)
 		})
 	}
 	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)
@@ -101,7 +101,7 @@ func AblationKVSlotCache(cfg Config) *Figure {
 				})
 			}
 			pt := d.run(clients)
-			return pt, worldTelemetry(e)
+			return pt, d.telemetry(e)
 		})
 	}
 	pts, tels, wall := runPointJobs(cfg.Parallel, jobs)

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+
+	"prism/internal/sim"
+)
+
+// Alloc-regression guards for the zero-copy datapath. A full simulated
+// PRISM-KV round trip — client op build, fabric delivery, NIC chain
+// execution, response completion — must stay allocation-free up to the
+// small pooled remainder measured here. The ceilings are deliberately
+// above the measured values (GET ≈ 0, PUT ≈ 4 allocs/op at 128-byte
+// values) to absorb runtime jitter, but far below the pre-optimization
+// baseline (GET 10, PUT ≈ 26), so a pooling regression on any layer of
+// the path trips the guard.
+const (
+	maxGetAllocsPerOp = 4
+	maxPutAllocsPerOp = 8
+)
+
+// Both guards amortize testing.AllocsPerRun over 2000 operations inside
+// a single closed-loop client process, after a warmup that fills the
+// connection/request/future pools and the server-side arenas.
+
+func TestGetAllocGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Keys = 1024
+	e, mkClient, place := buildPRISMKV(cfg, 42)
+	st := mkClient(0)
+	var avg float64
+	place(0).Go("guard", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			if _, err := st.Get(p, int64(i)%cfg.Keys); err != nil {
+				t.Errorf("GET: %v", err)
+			}
+		}
+		i := 0
+		avg = testing.AllocsPerRun(2000, func() {
+			if _, err := st.Get(p, int64(i)%cfg.Keys); err != nil {
+				t.Errorf("GET: %v", err)
+			}
+			i++
+		})
+	})
+	e.Run()
+	t.Logf("GET: %.2f allocs/op", avg)
+	if avg > maxGetAllocsPerOp {
+		t.Fatalf("GET allocates %.2f/op, guard is %d/op — a pooling layer regressed", avg, maxGetAllocsPerOp)
+	}
+}
+
+func TestPutAllocGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Keys = 1024
+	e, mkClient, place := buildPRISMKV(cfg, 42)
+	st := mkClient(0)
+	value := make([]byte, cfg.ValueSize)
+	var avg float64
+	place(0).Go("guard", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			if err := st.Put(p, int64(i)%cfg.Keys, value); err != nil {
+				t.Errorf("PUT: %v", err)
+			}
+		}
+		i := 0
+		avg = testing.AllocsPerRun(2000, func() {
+			if err := st.Put(p, int64(i)%cfg.Keys, value); err != nil {
+				t.Errorf("PUT: %v", err)
+			}
+			i++
+		})
+	})
+	e.Run()
+	t.Logf("PUT: %.2f allocs/op", avg)
+	if avg > maxPutAllocsPerOp {
+		t.Fatalf("PUT allocates %.2f/op, guard is %d/op — a pooling layer regressed", avg, maxPutAllocsPerOp)
+	}
+}

@@ -136,7 +136,7 @@ func kvPoint(sys kvSystem, cfg Config, figID string, readFrac float64, nClients 
 		})
 	}
 	pt := d.run(nClients)
-	return pt, worldTelemetry(e)
+	return pt, d.telemetry(e)
 }
 
 // kvCurve sweeps the client ladder for one system and workload mix.
@@ -310,7 +310,7 @@ func rsPoint(sys rsSystem, cfg Config, figID string, theta float64, nClients int
 		})
 	}
 	pt := d.run(nClients)
-	return pt, worldTelemetry(e)
+	return pt, d.telemetry(e)
 }
 
 // Fig6 reproduces Figure 6: PRISM-RS vs lock-based ABD, 50% writes,
@@ -490,7 +490,7 @@ func txPoint(sys txSystem, cfg Config, figID string, theta float64, nClients int
 		})
 	}
 	pt := d.run(nClients)
-	return pt, worldTelemetry(e)
+	return pt, d.telemetry(e)
 }
 
 // Fig9 reproduces Figure 9: PRISM-TX vs FaRM throughput-latency, YCSB-T

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -187,6 +188,29 @@ type Telemetry struct {
 	Barriers        int64 `json:"barriers"`
 	CrossDeliveries int64 `json:"cross_deliveries"`
 	MeanWindowNanos int64 `json:"mean_window_ns"`
+	// AllocsPerOp and BytesPerOp are the harness-process heap allocation
+	// deltas across the point's drive phase (warmup + measure + drain),
+	// divided by measured operations — the datapath's allocation cost as
+	// seen by the Go runtime. The counters are process-wide, so they are
+	// only attributable when points run serially (-parallel 1); under a
+	// point pool, concurrent points bleed into each other's deltas and
+	// the numbers are upper bounds. Zero for points that run no load
+	// driver (microbenchmarks), hence omitempty.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+}
+
+// telemetry snapshots e's scheduler counters and attributes the heap
+// allocation delta recorded by run to the point's measured operations.
+// Point runners that drive a loadDriver report through this; runners
+// without one use worldTelemetry and leave the allocation fields zero.
+func (d *loadDriver) telemetry(e *sim.Engine) Telemetry {
+	tel := worldTelemetry(e)
+	if d.totalOps > 0 {
+		tel.AllocsPerOp = float64(d.deltaMallocs) / float64(d.totalOps)
+		tel.BytesPerOp = float64(d.deltaBytes) / float64(d.totalOps)
+	}
+	return tel
 }
 
 // worldTelemetry snapshots e's world scheduler counters.
@@ -300,6 +324,11 @@ type loadDriver struct {
 	shards  map[*sim.Engine]*driverShard
 	order   []*driverShard // first-spawn order, for a stable merge
 	stopped bool           // written only between windows (barrier or run)
+	// Filled by run: measured ops and the runtime heap-counter deltas
+	// across the drive phase, for Telemetry's allocation fields.
+	totalOps     int64
+	deltaMallocs uint64
+	deltaBytes   uint64
 }
 
 // driverShard is the measurement state owned by one event domain.
@@ -384,9 +413,14 @@ func (d *loadDriver) spawn(dom *sim.Engine, name string, op func(p *sim.Proc) (a
 // in-flight operations so client processes exit cleanly, and summarizes
 // the per-domain shards.
 func (d *loadDriver) run(clients int) Point {
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	d.e.RunUntil(sim.Time(d.cfg.Warmup + d.cfg.Measure))
 	d.stopped = true
 	d.e.Run() // drain in-flight ops; clients observe stopped and exit
+	runtime.ReadMemStats(&msAfter)
+	d.deltaMallocs = msAfter.Mallocs - msBefore.Mallocs
+	d.deltaBytes = msAfter.TotalAlloc - msBefore.TotalAlloc
 	rec := stats.NewLatencyRecorder()
 	var ops, aborts, errs int64
 	var lastEnd sim.Time
@@ -408,6 +442,7 @@ func (d *loadDriver) run(clients int) Point {
 		}
 	}
 	tput := float64(ops) / window.Seconds()
+	d.totalOps = ops
 	return Point{
 		Clients:    clients,
 		Throughput: tput,

@@ -121,7 +121,7 @@ func txClusterPoint(cfg Config, figID, pointKey string, nShards, keysPerTx, clie
 		})
 	}
 	pt := d.run(clients)
-	return pt, worldTelemetry(e)
+	return pt, d.telemetry(e)
 }
 
 // ExtMultiKey measures PRISM-TX with multi-key transactions spanning two

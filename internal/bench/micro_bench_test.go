@@ -26,3 +26,24 @@ func BenchmarkSimulatedGET(b *testing.B) {
 	})
 	e.Run()
 }
+
+// BenchmarkSimulatedPUT is the write-side companion: slot probe plus the
+// out-of-place ALLOCATE/redirect/indirect-CAS install chain, five NIC
+// ops across two round trips.
+func BenchmarkSimulatedPUT(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Keys = 1024
+	e, mkClient, place := buildPRISMKV(cfg, 42)
+	st := mkClient(0)
+	value := make([]byte, cfg.ValueSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	place(0).Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := st.Put(p, int64(i)%cfg.Keys, value); err != nil {
+				panic(err)
+			}
+		}
+	})
+	e.Run()
+}

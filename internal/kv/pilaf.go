@@ -282,6 +282,10 @@ type PilafClient struct {
 
 	// Retries counts CRC-failure GET retries (concurrent PUT races).
 	Retries int64
+
+	// payloadBuf is reusable PUT-RPC scratch: the client is closed-loop
+	// and stale in-flight duplicates are dropped by the request epoch.
+	payloadBuf []byte
 }
 
 // NewPilafClient wraps a connection to a Pilaf server.
@@ -296,7 +300,9 @@ func (c *PilafClient) Get(p *sim.Proc, key int64) ([]byte, error) {
 	retries := 0
 	for probes := int64(0); probes < c.meta.NSlots; probes++ {
 		slotAddr := c.meta.HashBase + memory.Addr(idx*pilafSlotSize)
-		res := c.conn.Issue(p, prism.Read(c.meta.Key, slotAddr, pilafSlotSize))
+		ops := c.conn.Ops(1)
+		ops[0] = prism.Read(c.meta.Key, slotAddr, pilafSlotSize)
+		res := c.conn.Issue(p, ops...)
 		if res[0].Status != wire.StatusOK {
 			return nil, fmt.Errorf("kv: pilaf slot read %v", res[0].Status)
 		}
@@ -313,7 +319,9 @@ func (c *PilafClient) Get(p *sim.Proc, key int64) ([]byte, error) {
 		if !inuse {
 			return nil, ErrNotFound
 		}
-		res = c.conn.Issue(p, prism.Read(c.meta.Key, ptr, length))
+		ops = c.conn.Ops(1)
+		ops[0] = prism.Read(c.meta.Key, ptr, length)
+		res = c.conn.Issue(p, ops...)
 		if res[0].Status != wire.StatusOK {
 			return nil, fmt.Errorf("kv: pilaf entry read %v", res[0].Status)
 		}
@@ -337,11 +345,16 @@ func (c *PilafClient) Get(p *sim.Proc, key int64) ([]byte, error) {
 
 // Put sends the PUT RPC to the server CPU.
 func (c *PilafClient) Put(p *sim.Proc, key int64, value []byte) error {
-	payload := make([]byte, 9+len(value))
+	if cap(c.payloadBuf) < 9+len(value) {
+		c.payloadBuf = make([]byte, 9+len(value))
+	}
+	payload := c.payloadBuf[:9+len(value)]
 	payload[0] = rpcPilafPut
 	binary.BigEndian.PutUint64(payload[1:9], uint64(key))
 	copy(payload[9:], value)
-	res := c.conn.Issue(p, prism.Send(payload))
+	ops := c.conn.Ops(1)
+	ops[0] = prism.Send(payload)
+	res := c.conn.Issue(p, ops...)
 	if res[0].Status != wire.StatusOK || len(res[0].Data) != 1 || res[0].Data[0] != 0 {
 		return fmt.Errorf("kv: pilaf PUT failed")
 	}

@@ -207,6 +207,14 @@ func (s *Server) Load(key int64, value []byte) error {
 	return fmt.Errorf("kv: hash table full loading key %d", key)
 }
 
+// Cached CAS masks for the 24-byte slot layout: compare on the tag
+// field, swap the whole slot. Read-only after init, shared by every
+// client and server domain.
+var (
+	slotTagMask  = prism.FieldMask(slotSize, 0, 8)
+	slotFullMask = prism.FullMask(slotSize)
+)
+
 // Client executes PRISM-KV operations over one connection. Each simulated
 // closed-loop client owns one Client value.
 type Client struct {
@@ -236,6 +244,14 @@ type Client struct {
 	// Stats
 	Probes  int64 // hash probes beyond the first slot
 	CASFail int64 // PUT chains that lost a tag race
+
+	// Per-client scratch for PUT/DELETE images. Safe to reuse across
+	// requests: the client is closed-loop (the previous request's response
+	// arrived before the scratch is rewritten) and any still-in-flight
+	// duplicate of an old request is dropped by its stale epoch.
+	entryBuf []byte
+	preBuf   [slotSize]byte
+	ptrBuf   [8]byte
 }
 
 // NewClient wraps a connection to a PRISM-KV server.
@@ -270,7 +286,9 @@ func (c *Client) Get(p *sim.Proc, key int64) ([]byte, error) {
 	}
 	idx := slotIndex(c.meta.Hash, key, c.meta.NSlots)
 	for probes := int64(0); probes < c.meta.NSlots; probes++ {
-		res := c.conn.Issue(p, prism.ReadBounded(c.meta.Key, c.meta.slotAddr(idx)+8, entrySize(c.meta.MaxValue)))
+		ops := c.conn.Ops(1)
+		ops[0] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(idx)+8, entrySize(c.meta.MaxValue))
+		res := c.conn.Issue(p, ops...)
 		if res[0].Status == wire.StatusNAKAccess {
 			// Null pointer: empty slot terminates the probe sequence.
 			return nil, ErrNotFound
@@ -300,7 +318,7 @@ func (c *Client) Put(p *sim.Proc, key int64, value []byte) error {
 	if len(value) > c.meta.MaxValue {
 		return ErrTooLarge
 	}
-	entry := encodeEntry(key, value)
+	entry := c.encodeEntryScratch(key, value)
 	flID, err := c.meta.classFor(uint64(len(entry)))
 	if err != nil {
 		return err
@@ -317,15 +335,16 @@ func (c *Client) Put(p *sim.Proc, key int64, value []byte) error {
 
 		// tmp layout mirrors the slot: [tag | ptr(redirected) | bound].
 		tmp := c.conn.TempAddr
-		pre := make([]byte, slotSize)
+		pre := c.preBuf[:]
 		prism.PutBE64(pre, 0, tag)
+		prism.PutLE64(pre, 8, 0)
 		prism.PutLE64(pre, 16, uint64(len(entry)))
-		res := c.conn.Issue(p,
-			prism.Write(c.conn.TempKey, tmp, pre),
-			prism.Conditional(prism.RedirectTo(prism.Allocate(flID, entry), c.conn.TempKey, tmp+8)),
-			prism.Conditional(prism.CASIndirectData(c.meta.Key, slot, wire.CASGt, tmp,
-				prism.FieldMask(slotSize, 0, 8), prism.FullMask(slotSize))),
-		)
+		ops := c.conn.Ops(3)
+		ops[0] = prism.Write(c.conn.TempKey, tmp, pre)
+		ops[1] = prism.Conditional(prism.RedirectTo(prism.Allocate(flID, entry), c.conn.TempKey, tmp+8))
+		ops[2] = prism.Conditional(prism.CASIndirectDataBuf(&c.ptrBuf, c.meta.Key, slot, wire.CASGt, tmp,
+			slotTagMask, slotFullMask))
+		res := c.conn.Issue(p, ops...)
 		if res[1].Status == wire.StatusRNR {
 			// Free list transiently empty: push our pending reclamations
 			// to the server immediately and retry after a short backoff
@@ -375,11 +394,13 @@ func (c *Client) Delete(p *sim.Proc, key int64) error {
 	}
 	slot := c.meta.slotAddr(idx)
 	tag := c.nextTag(curTag)
-	data := make([]byte, slotSize)
+	data := c.preBuf[:]
 	prism.PutBE64(data, 0, tag)
-	res := c.conn.Issue(p,
-		prism.CAS(c.meta.Key, slot, wire.CASGt, data, prism.FieldMask(slotSize, 0, 8), prism.FullMask(slotSize)),
-	)
+	prism.PutLE64(data, 8, 0)
+	prism.PutLE64(data, 16, 0)
+	ops := c.conn.Ops(1)
+	ops[0] = prism.CAS(c.meta.Key, slot, wire.CASGt, data, slotTagMask, slotFullMask)
+	res := c.conn.Issue(p, ops...)
 	switch res[0].Status {
 	case wire.StatusOK:
 		oldPtr := prism.LE64(res[0].Data, 8)
@@ -402,10 +423,10 @@ func (c *Client) Delete(p *sim.Proc, key int64) error {
 func (c *Client) getTwoChoice(p *sim.Proc, key int64) ([]byte, error) {
 	s1 := slotIndex(c.meta.Hash, key, c.meta.NSlots)
 	s2 := slotIndex2(key, c.meta.NSlots)
-	res := c.conn.Issue(p,
-		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s1)+8, entrySize(c.meta.MaxValue)),
-		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s2)+8, entrySize(c.meta.MaxValue)),
-	)
+	ops := c.conn.Ops(2)
+	ops[0] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s1)+8, entrySize(c.meta.MaxValue))
+	ops[1] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s2)+8, entrySize(c.meta.MaxValue))
+	res := c.conn.Issue(p, ops...)
 	for _, r := range res {
 		if r.Status != wire.StatusOK {
 			continue // empty slot NAKs on the null pointer
@@ -423,12 +444,12 @@ func (c *Client) getTwoChoice(p *sim.Proc, key int64) ([]byte, error) {
 func (c *Client) findSlotTwoChoice(p *sim.Proc, key int64) (int64, uint64, error) {
 	s1 := slotIndex(c.meta.Hash, key, c.meta.NSlots)
 	s2 := slotIndex2(key, c.meta.NSlots)
-	res := c.conn.Issue(p,
-		prism.Read(c.meta.Key, c.meta.slotAddr(s1), slotSize),
-		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s1)+8, entrySize(c.meta.MaxValue)),
-		prism.Read(c.meta.Key, c.meta.slotAddr(s2), slotSize),
-		prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s2)+8, entrySize(c.meta.MaxValue)),
-	)
+	ops := c.conn.Ops(4)
+	ops[0] = prism.Read(c.meta.Key, c.meta.slotAddr(s1), slotSize)
+	ops[1] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s1)+8, entrySize(c.meta.MaxValue))
+	ops[2] = prism.Read(c.meta.Key, c.meta.slotAddr(s2), slotSize)
+	ops[3] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s2)+8, entrySize(c.meta.MaxValue))
+	res := c.conn.Issue(p, ops...)
 	slots := [2]int64{s1, s2}
 	var emptyIdx int64 = -1
 	var emptyTag uint64
@@ -476,10 +497,10 @@ func (c *Client) findSlot(p *sim.Proc, key int64) (int64, uint64, error) {
 	idx := slotIndex(c.meta.Hash, key, c.meta.NSlots)
 	for probes := int64(0); probes < c.meta.NSlots; probes++ {
 		slot := c.meta.slotAddr(idx)
-		res := c.conn.Issue(p,
-			prism.Read(c.meta.Key, slot, slotSize),
-			prism.ReadBounded(c.meta.Key, slot+8, entrySize(c.meta.MaxValue)),
-		)
+		ops := c.conn.Ops(2)
+		ops[0] = prism.Read(c.meta.Key, slot, slotSize)
+		ops[1] = prism.ReadBounded(c.meta.Key, slot+8, entrySize(c.meta.MaxValue))
+		res := c.conn.Issue(p, ops...)
 		if res[0].Status != wire.StatusOK {
 			return 0, 0, fmt.Errorf("kv: slot read status %v", res[0].Status)
 		}
@@ -520,17 +541,35 @@ func (c *Client) retire(p *sim.Proc, freeList uint32, addr memory.Addr) {
 }
 
 // FlushFrees sends the accumulated reclamation batch without waiting for
-// the acknowledgment (asynchronous, per §6.1).
+// the acknowledgment (asynchronous, per §6.1). The payload is copied out
+// of the batch buffer because the RPC is fire-and-forget: the buffer
+// refills while the request may still be in flight.
 func (c *Client) FlushFrees(p *sim.Proc) {
 	if c.freesCount == 0 {
 		return
 	}
 	payload := append([]byte{rpcFree}, c.frees...)
-	c.frees = nil
+	c.frees = c.frees[:0]
 	c.freesCount = 0
 	conn := c.conn
 	if c.CtrlConn != nil {
 		conn = c.CtrlConn
 	}
-	conn.IssueAsync([]wire.Op{prism.Send(payload)})
+	ops := conn.Ops(1)
+	ops[0] = prism.Send(payload)
+	conn.IssueAsync(ops)
+}
+
+// encodeEntryScratch builds the object buffer image for key=value in the
+// client's reusable scratch (see entryBuf for the reuse-safety argument).
+func (c *Client) encodeEntryScratch(key int64, value []byte) []byte {
+	need := entryHeader + 8 + len(value)
+	if cap(c.entryBuf) < need {
+		c.entryBuf = make([]byte, need)
+	}
+	b := c.entryBuf[:need]
+	binary.LittleEndian.PutUint64(b, 8) // key length (paper: 8-byte keys)
+	binary.BigEndian.PutUint64(b[entryHeader:], uint64(key))
+	copy(b[entryHeader+8:], value)
+	return b
 }

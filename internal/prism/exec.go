@@ -36,10 +36,16 @@ type Executor struct {
 	FreeLists map[uint32]*alloc.FreeList
 
 	// ReadAlloc, when set, returns the n-byte destination buffer for READ
-	// payload copies. The transport installs it around Exec to carve
-	// response payloads out of a connection-owned arena instead of the
-	// heap; the buffer's contents are overwritten in full.
+	// payload copies — and for every other result payload that rides the
+	// response (CAS/FETCH_ADD previous values). The transport installs it
+	// around Exec to carve response payloads out of a connection-owned
+	// arena instead of the heap; the buffer's contents are overwritten in
+	// full.
 	ReadAlloc func(n uint64) []byte
+
+	// casScratch is the executor-owned staging buffer for the swapped-in
+	// CAS value; it is fully consumed within one ExecInto call.
+	casScratch [wire.MaxCASBytes]byte
 }
 
 // NewExecutor returns an executor over space with no free lists.
@@ -125,44 +131,71 @@ func (x *Executor) resolveData(op *wire.Op, length uint64, meta *OpMeta) ([]byte
 	return src, nil
 }
 
+// execEntry is one opcode's dispatch-table row: the semantics function,
+// the cost class for deployment accounting, and whether the opcode itself
+// (independent of flags) requires PRISM extensions.
+type execEntry struct {
+	fn        func(*Executor, *wire.Op, *OpMeta) (wire.Result, error)
+	class     model.OpClass
+	prismOnly bool
+}
+
+// execTable dispatches opcodes without a per-op switch. Unlisted opcodes
+// (OpInvalid, OpSend — two-sided dispatch is the transport's job) resolve
+// to StatusUnsupported.
+var execTable = [...]execEntry{
+	wire.OpRead:       {fn: (*Executor).execRead, class: model.OpRead},
+	wire.OpWrite:      {fn: (*Executor).execWrite, class: model.OpWrite},
+	wire.OpCAS:        {fn: (*Executor).execCAS, class: model.OpCAS},
+	wire.OpClassicCAS: {fn: (*Executor).execClassicCAS, class: model.OpCAS},
+	wire.OpFetchAdd:   {fn: (*Executor).execFetchAdd, class: model.OpCAS},
+	wire.OpAllocate:   {fn: (*Executor).execAllocate, class: model.OpAllocate, prismOnly: true},
+}
+
 // Exec applies op to the server's memory, returning the wire result and
 // cost metadata. Conditional-flag handling (skipping) is the transport's
 // job; Exec always executes.
 func (x *Executor) Exec(op *wire.Op) (wire.Result, OpMeta) {
-	var meta OpMeta
-	meta.PRISMOnly = op.Flags != 0
 	var res wire.Result
-	var err error
-	switch op.Code {
-	case wire.OpRead:
-		meta.Class = model.OpRead
-		res, err = x.execRead(op, &meta)
-	case wire.OpWrite:
-		meta.Class = model.OpWrite
-		res, err = x.execWrite(op, &meta)
-	case wire.OpCAS:
-		meta.Class = model.OpCAS
-		res, err = x.execCAS(op, &meta)
-	case wire.OpClassicCAS:
-		meta.Class = model.OpCAS
-		res, err = x.execClassicCAS(op, &meta)
-	case wire.OpFetchAdd:
-		meta.Class = model.OpCAS
-		res, err = x.execFetchAdd(op, &meta)
-	case wire.OpAllocate:
-		meta.Class = model.OpAllocate
-		meta.PRISMOnly = true
-		res, err = x.execAllocate(op, &meta)
-	default:
-		return wire.Result{Status: wire.StatusUnsupported}, meta
+	var meta OpMeta
+	x.ExecInto(op, &res, &meta)
+	return res, meta
+}
+
+// ExecInto is the allocation-free form of Exec: the result is resolved
+// directly into *res (typically a response's results slot) and the cost
+// metadata into *meta, both fully overwritten.
+func (x *Executor) ExecInto(op *wire.Op, res *wire.Result, meta *OpMeta) {
+	*meta = OpMeta{PRISMOnly: op.Flags != 0}
+	if int(op.Code) >= len(execTable) || execTable[op.Code].fn == nil {
+		*res = wire.Result{Status: wire.StatusUnsupported}
+		return
 	}
+	ent := &execTable[op.Code]
+	meta.Class = ent.class
+	if ent.prismOnly {
+		meta.PRISMOnly = true
+	}
+	r, err := ent.fn(x, op, meta)
 	if err != nil {
 		if errors.Is(err, alloc.ErrEmpty) {
-			return wire.Result{Status: wire.StatusRNR}, meta
+			*res = wire.Result{Status: wire.StatusRNR}
+			return
 		}
-		return wire.Result{Status: wire.StatusNAKAccess}, meta
+		*res = wire.Result{Status: wire.StatusNAKAccess}
+		return
 	}
-	return res, meta
+	*res = r
+}
+
+// resultAlloc returns an n-byte buffer for a result payload that rides
+// the response: arena-carved when the transport installed ReadAlloc,
+// heap-allocated otherwise.
+func (x *Executor) resultAlloc(n uint64) []byte {
+	if x.ReadAlloc != nil {
+		return x.ReadAlloc(n)
+	}
+	return make([]byte, n)
 }
 
 func (x *Executor) execRead(op *wire.Op, meta *OpMeta) (wire.Result, error) {
@@ -294,15 +327,14 @@ func (x *Executor) execCAS(op *wire.Op, meta *OpMeta) (wire.Result, error) {
 
 	// prev is retained (it rides the response), so it must be a copy taken
 	// before the swap mutates the cell cur aliases.
-	prev := make([]byte, width)
+	prev := x.resultAlloc(width)
 	copy(prev, cur)
 
 	ok := compareMasked(op.Mode, cur, data, op.CompareMask)
 	if !ok {
 		return wire.Result{Status: wire.StatusCASFailed, Data: prev}, nil
 	}
-	var nb [wire.MaxCASBytes]byte
-	next := nb[:width]
+	next := x.casScratch[:width]
 	swapMaskedInto(next, cur, data, op.SwapMask)
 	if err := x.Space.Write(op.RKey, addr, next); err != nil {
 		return wire.Result{}, err
@@ -326,15 +358,15 @@ func (x *Executor) execClassicCAS(op *wire.Op, meta *OpMeta) (wire.Result, error
 		return wire.Result{}, err
 	}
 	meta.HostAccesses++
-	var prev [8]byte
-	putLEU64(prev[:], cur)
+	prev := x.resultAlloc(8)
+	putLEU64(prev, cur)
 	if cur != leU64(op.Data[:8]) {
-		return wire.Result{Status: wire.StatusCASFailed, Data: prev[:]}, nil
+		return wire.Result{Status: wire.StatusCASFailed, Data: prev}, nil
 	}
 	if err := x.Space.WriteU64(op.RKey, addr, leU64(op.Data[8:])); err != nil {
 		return wire.Result{}, err
 	}
-	return wire.Result{Status: wire.StatusOK, Data: prev[:]}, nil
+	return wire.Result{Status: wire.StatusOK, Data: prev}, nil
 }
 
 func (x *Executor) execFetchAdd(op *wire.Op, meta *OpMeta) (wire.Result, error) {
@@ -353,9 +385,9 @@ func (x *Executor) execFetchAdd(op *wire.Op, meta *OpMeta) (wire.Result, error) 
 	if err := x.Space.WriteU64(op.RKey, addr, cur+leU64(op.Data)); err != nil {
 		return wire.Result{}, err
 	}
-	var prev [8]byte
-	putLEU64(prev[:], cur)
-	return wire.Result{Status: wire.StatusOK, Data: prev[:]}, nil
+	prev := x.resultAlloc(8)
+	putLEU64(prev, cur)
+	return wire.Result{Status: wire.StatusOK, Data: prev}, nil
 }
 
 // compareMasked evaluates (cur & mask) mode (data & mask), treating the

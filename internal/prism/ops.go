@@ -73,6 +73,16 @@ func CASIndirectData(key memory.RKey, addr memory.Addr, mode wire.CASMode, dataP
 	return op
 }
 
+// CASIndirectDataBuf is CASIndirectData with caller-provided scratch for
+// the 8-byte pointer operand, for zero-allocation hot paths. The scratch
+// must stay untouched until the response arrives.
+func CASIndirectDataBuf(buf *[8]byte, key memory.RKey, addr memory.Addr, mode wire.CASMode, dataPtr memory.Addr, compareMask, swapMask []byte) wire.Op {
+	binary.LittleEndian.PutUint64(buf[:], uint64(dataPtr))
+	op := CAS(key, addr, mode, buf[:], compareMask, swapMask)
+	op.Flags |= wire.FlagDataIndirect
+	return op
+}
+
 // ClassicCAS builds the legacy RDMA 8-byte CAS with separate expect and
 // desired operands (little-endian, as the legacy verb). Available on stock
 // RDMA NICs; the baselines' lock protocols use it.
@@ -81,6 +91,15 @@ func ClassicCAS(key memory.RKey, addr memory.Addr, expect, desired uint64) wire.
 	binary.LittleEndian.PutUint64(data[:8], expect)
 	binary.LittleEndian.PutUint64(data[8:], desired)
 	return wire.Op{Code: wire.OpClassicCAS, RKey: key, Target: addr, Data: data}
+}
+
+// ClassicCASBuf is ClassicCAS with caller-provided scratch for the
+// 16-byte operand pair, for zero-allocation hot paths. The scratch must
+// stay untouched until the response arrives.
+func ClassicCASBuf(buf *[16]byte, key memory.RKey, addr memory.Addr, expect, desired uint64) wire.Op {
+	binary.LittleEndian.PutUint64(buf[:8], expect)
+	binary.LittleEndian.PutUint64(buf[8:], desired)
+	return wire.Op{Code: wire.OpClassicCAS, RKey: key, Target: addr, Data: buf[:]}
 }
 
 // Send builds a two-sided SEND carrying payload (dispatched to the

@@ -77,8 +77,11 @@ type Conn struct {
 	// server's replay-ring depth: a request is only on the wire while its
 	// response can still be replayed, so a retransmitted duplicate can
 	// never re-execute (re-execution of a chain could clobber the shared
-	// temp buffer under a live chain).
+	// temp buffer under a live chain). qhead is the pop cursor: entries
+	// before it are drained, and the slice rewinds to its full capacity
+	// once empty, so the steady state appends into retained storage.
 	queue []*pendingReq
+	qhead int
 
 	// Retransmissions counts timer-driven resends (loss recovery).
 	Retransmissions int64
@@ -87,13 +90,28 @@ type Conn struct {
 	// can be reused for the next issue on this connection. A duplicate of
 	// the old request may still be in flight on a lossy network; the
 	// epoch bumped on reuse lets the server discard it (see wire.Request).
+	// The pooled future is Reset rather than reallocated, and an
+	// ops-scratch slice handed out by Ops is recycled with the request.
 	prFree []*pendingReq
+
+	// prepared is the request whose op scratch the last Ops call handed
+	// out; the next IssueAsync on this connection claims it.
+	prepared *pendingReq
+
+	// wcheck is the scratch for wire-check mode (see SetWireCheck); nil
+	// until the first checked transmission.
+	wcheck *wireState
 }
 
 type pendingReq struct {
 	req   *wire.Request
 	fut   *sim.Future[[]wire.Result]
 	timer sim.Timer
+	// opsOwned marks req.Ops as connection-owned scratch (handed out by
+	// Ops): its capacity is retained and its entries zeroed at recycle.
+	// Caller-owned slices are dropped instead — they must never be handed
+	// back out as scratch.
+	opsOwned bool
 }
 
 // Connect opens a queue pair from the client to the server. Connection
@@ -122,6 +140,38 @@ func (c *Conn) Server() *Server { return c.srv }
 // it, because that is where they will be completed.
 func (c *Conn) Engine() *sim.Engine { return c.client.e }
 
+// Ops returns an n-op scratch slice owned by the connection, zeroed and
+// ready to fill. The caller must hand it to the next IssueAsync/Issue on
+// this connection, which recycles it when the response arrives — the
+// zero-allocation alternative to building a fresh []wire.Op per request.
+// The slice (including payload/mask fields set into it) must not be
+// retained past the response.
+func (c *Conn) Ops(n int) []wire.Op {
+	pr := c.prepared
+	if pr == nil {
+		if m := len(c.prFree); m > 0 {
+			pr = c.prFree[m-1]
+			c.prFree[m-1] = nil
+			c.prFree = c.prFree[:m-1]
+		} else {
+			pr = &pendingReq{req: &wire.Request{}}
+		}
+		c.prepared = pr
+	}
+	ops := pr.req.Ops
+	if !pr.opsOwned || cap(ops) < n {
+		ops = make([]wire.Op, n)
+		pr.opsOwned = true
+	} else {
+		ops = ops[:n]
+		for i := range ops {
+			ops[i] = wire.Op{}
+		}
+	}
+	pr.req.Ops = ops
+	return ops
+}
+
 // IssueAsync transmits a chain of ops and returns a future for the
 // per-op results. Requests beyond the send window queue locally until a
 // slot frees (flow control, as real RC queue pairs bound outstanding
@@ -131,16 +181,27 @@ func (c *Conn) IssueAsync(ops []wire.Op) *sim.Future[[]wire.Result] {
 		panic("rdma: empty request")
 	}
 	var pr *pendingReq
-	if n := len(c.prFree); n > 0 {
+	if p := c.prepared; p != nil && len(p.req.Ops) > 0 && &ops[0] == &p.req.Ops[0] {
+		// The caller filled the scratch handed out by Ops.
+		pr = p
+		c.prepared = nil
+		pr.req.Conn, pr.req.Seq, pr.req.Ops = c.id, c.seq, ops
+		pr.req.Epoch++ // invalidate in-flight duplicates of the old incarnation
+	} else if n := len(c.prFree); n > 0 {
 		pr = c.prFree[n-1]
 		c.prFree[n-1] = nil
 		c.prFree = c.prFree[:n-1]
 		pr.req.Conn, pr.req.Seq, pr.req.Ops = c.id, c.seq, ops
 		pr.req.Epoch++ // invalidate in-flight duplicates of the old incarnation
+		pr.opsOwned = false
 	} else {
 		pr = &pendingReq{req: &wire.Request{Conn: c.id, Seq: c.seq, Ops: ops}}
 	}
-	pr.fut = sim.NewFuture[[]wire.Result](c.client.e)
+	if pr.fut == nil {
+		pr.fut = sim.NewFuture[[]wire.Result](c.client.e)
+	} else {
+		pr.fut.Reset()
+	}
 	c.seq++
 	c.queue = append(c.queue, pr)
 	c.drainQueue()
@@ -154,8 +215,8 @@ func (c *Conn) IssueAsync(ops []wire.Op) *sim.Future[[]wire.Result] {
 // resources indexed by seq mod window (temp-buffer slots) are never
 // shared by two live requests.
 func (c *Conn) drainQueue() {
-	for len(c.queue) > 0 {
-		pr := c.queue[0]
+	for c.qhead < len(c.queue) {
+		pr := c.queue[c.qhead]
 		if len(c.pending) > 0 {
 			min := ^uint64(0)
 			for s := range c.pending {
@@ -167,16 +228,26 @@ func (c *Conn) drainQueue() {
 				return
 			}
 		}
-		c.queue = c.queue[1:]
+		c.queue[c.qhead] = nil
+		c.qhead++
 		c.pending[pr.req.Seq] = pr
 		c.transmit(pr.req)
 		if c.client.net.Params().LossRate > 0 {
 			c.armRetransmit(pr)
 		}
 	}
+	// Drained: rewind so future appends reuse the retained storage.
+	c.queue = c.queue[:0]
+	c.qhead = 0
 }
 
 func (c *Conn) transmit(req *wire.Request) {
+	if wireCheck {
+		if c.wcheck == nil {
+			c.wcheck = &wireState{}
+		}
+		c.wcheck.checkRequest(req)
+	}
 	c.client.net.Send(fabric.Message{
 		From:    c.client.node,
 		To:      c.srv.node,
@@ -225,10 +296,20 @@ func (c *Client) onMessage(m fabric.Message) {
 	delete(conn.pending, resp.Seq)
 	pr.timer.Stop()
 	fut := pr.fut
-	// Recycle the request object for the next issue on this connection.
-	// Any in-flight duplicate is invalidated by the epoch bump on reuse.
-	pr.req.Ops = nil
-	pr.fut = nil
+	// Recycle the request object — future and op scratch included — for
+	// the next issue on this connection. Any in-flight duplicate is
+	// invalidated by the epoch bump on reuse. Connection-owned op scratch
+	// keeps its capacity with the entries zeroed (dropping payload refs);
+	// caller-owned slices are dropped entirely.
+	if pr.opsOwned {
+		ops := pr.req.Ops
+		for i := range ops {
+			ops[i] = wire.Op{}
+		}
+		pr.req.Ops = ops[:0]
+	} else {
+		pr.req.Ops = nil
+	}
 	conn.prFree = append(conn.prFree, pr)
 	conn.drainQueue() // a window slot may have freed
 	fut.Complete(resp.Results)

@@ -125,6 +125,25 @@ type serverConn struct {
 	payload   [replayDepth][]byte
 	curSlot   int
 	readAlloc func(n uint64) []byte
+
+	// Chain-execution state for the request currently being served. RC
+	// queue pairs serve one request at a time (busy serializes them), so a
+	// single set per connection suffices; stepFn/finishFn are built once at
+	// connect so the verb hot path schedules no per-request closures.
+	chainReq  *wire.Request
+	chainResp *wire.Response
+	chainIdx  int
+	chainTok  uint64
+	stepFn    func()
+	finishFn  func()
+	// opMeta is per-connection scratch for ExecInto's out-parameter: the
+	// indirect dispatch defeats escape analysis, so a chainStep local
+	// would be a heap allocation per op.
+	opMeta prism.OpMeta
+
+	// wcheck is the scratch for wire-check mode (see SetWireCheck); nil
+	// until the first checked transmission.
+	wcheck *wireState
 }
 
 // replayDepth bounds both the response cache and the client send window;
@@ -345,6 +364,8 @@ func (s *Server) connect(client *fabric.Node) (id uint64, temp memory.Addr, temp
 	sc := &serverConn{id: id, client: client, lastOK: true, tempAddr: s.allocConnTemp()}
 	sc.tempOnNIC = id < OnNICMemoryBytes/ConnTempSize
 	sc.readAlloc = func(n uint64) []byte { return sc.carvePayload(sc.curSlot, n) }
+	sc.stepFn = func() { s.chainStep(sc) }
+	sc.finishFn = func() { s.finishChain(sc) }
 	for i := range sc.replaySeq {
 		sc.replaySeq[i] = ^uint64(0)
 	}
@@ -437,7 +458,9 @@ func (s *Server) supports(req *wire.Request) bool {
 	}
 }
 
-// serveVerbs runs a (possibly chained) one-sided request.
+// serveVerbs runs a (possibly chained) one-sided request. The chain state
+// lives on the connection and advances via the prebuilt stepFn/finishFn,
+// so the steady-state verb path allocates nothing.
 func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 	s.RequestsServed++
 	if !s.supports(req) {
@@ -445,13 +468,13 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 		for i := range resp.Results {
 			resp.Results[i] = wire.Result{Status: wire.StatusUnsupported}
 		}
-		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
+		sc.chainReq, sc.chainResp = req, resp
+		s.e.Schedule(s.baseProc, sc.finishFn)
 		return
 	}
 
 	opTok := s.quiescer.OpStart()
 	resp := s.acquireResp(sc, req.Seq, len(req.Ops))
-	results := resp.Results
 	sc.curSlot = int(req.Seq % replayDepth)
 
 	// Fixed per-request costs and core-pool queueing by deployment.
@@ -467,15 +490,26 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 		requestOverhead = s.p.BFProcOverhead
 	}
 
-	// interOp spaces chain steps so concurrent chains interleave, as on a
-	// real NIC where each op is a separate pipeline traversal.
-	const interOp = 100 * time.Nanosecond
+	sc.chainReq, sc.chainResp, sc.chainIdx, sc.chainTok = req, resp, 0, opTok
+	s.e.Schedule(preDelay+requestOverhead, sc.stepFn)
+}
 
-	var runOp func(i int)
-	runOp = func(i int) {
+// interOp spaces chain steps so concurrent chains interleave, as on a
+// real NIC where each op is a separate pipeline traversal.
+const interOp = 100 * time.Nanosecond
+
+// chainStep executes the next op of the connection's current chain.
+// Conditionally skipped ops fall through to the next op at the same
+// instant (the loop), exactly as the recursive formulation did.
+func (s *Server) chainStep(sc *serverConn) {
+	req, resp := sc.chainReq, sc.chainResp
+	results := resp.Results
+	for {
+		i := sc.chainIdx
 		if i == len(req.Ops) {
-			s.quiescer.OpEnd(opTok)
-			s.e.Schedule(s.baseProc-preDelay, func() { s.finish(sc, resp) })
+			s.quiescer.OpEnd(sc.chainTok)
+			preDelay := s.baseProc / 2
+			s.e.Schedule(s.baseProc-preDelay, sc.finishFn)
 			return
 		}
 		op := &req.Ops[i]
@@ -487,30 +521,38 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 					Code: op.Code, Flags: op.Flags, Status: wire.StatusNotExecuted,
 				})
 			}
-			runOp(i + 1)
-			return
+			sc.chainIdx = i + 1
+			continue
 		}
 		// READ payloads ride the response until the slot retires; carve
 		// them from the slot's arena instead of the heap.
 		s.exec.ReadAlloc = sc.readAlloc
-		res, meta := s.exec.Exec(op)
+		s.exec.ExecInto(op, &results[i], &sc.opMeta)
 		s.exec.ReadAlloc = nil
 		s.OpsExecuted++
-		sc.lastOK = res.Status.OK()
-		results[i] = res
+		sc.lastOK = results[i].Status.OK()
 		if s.tracer != nil {
 			s.tracer(TraceEvent{
 				At: s.e.Now(), Domain: s.e.DomainID(), Conn: sc.id, Seq: req.Seq, OpIdx: i,
-				Code: op.Code, Flags: op.Flags, Status: res.Status,
+				Code: op.Code, Flags: op.Flags, Status: results[i].Status,
 			})
 		}
-		delay := s.opExtra(sc, op, meta)
+		delay := s.opExtra(sc, op, sc.opMeta)
 		if i+1 < len(req.Ops) {
 			delay += interOp
 		}
-		s.e.Schedule(delay, func() { runOp(i + 1) })
+		sc.chainIdx = i + 1
+		s.e.Schedule(delay, sc.stepFn)
+		return
 	}
-	s.e.Schedule(preDelay+requestOverhead, func() { runOp(0) })
+}
+
+// finishChain hands the finished chain's response to finish and clears
+// the per-connection chain state.
+func (s *Server) finishChain(sc *serverConn) {
+	resp := sc.chainResp
+	sc.chainReq, sc.chainResp = nil, nil
+	s.finish(sc, resp)
 }
 
 // opExtra is the per-op latency the deployment adds beyond the base verb
@@ -607,6 +649,12 @@ func (s *Server) finish(sc *serverConn, resp *wire.Response) {
 }
 
 func (s *Server) respond(sc *serverConn, resp *wire.Response) {
+	if wireCheck {
+		if sc.wcheck == nil {
+			sc.wcheck = &wireState{}
+		}
+		sc.wcheck.checkResponse(resp)
+	}
 	s.net.Send(fabric.Message{
 		From:    s.node,
 		To:      sc.client,

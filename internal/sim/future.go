@@ -2,12 +2,17 @@ package sim
 
 // Future is a one-shot value produced at some virtual instant. Processes
 // block on it with Wait; callback code chains on it with OnComplete.
-// A Future must be completed at most once.
+// A Future must be completed at most once (but see Reset).
 type Future[T any] struct {
 	e       *Engine
 	done    bool
 	val     T
 	waiters []func(T)
+	// waitProc is the single parked Wait-er, kept out of waiters so the
+	// common Issue/Wait round trip registers no closure. Resumed after the
+	// callbacks, which matches the old registration order: no caller mixes
+	// OnComplete and Wait on one future.
+	waitProc *Proc
 }
 
 // NewFuture returns an incomplete future bound to e.
@@ -28,11 +33,32 @@ func (f *Future[T]) Complete(v T) {
 	}
 	f.done = true
 	f.val = v
+	// Detach every waiter before firing any of them: a callback (or the
+	// resumed process) may recycle this future via Reset and register new
+	// waiters for its next incarnation.
 	ws := f.waiters
 	f.waiters = nil
+	wp := f.waitProc
+	f.waitProc = nil
 	for _, w := range ws {
 		w(v)
 	}
+	if wp != nil {
+		wp.resumeIn(f.e)
+	}
+}
+
+// Reset returns a completed future to the pending state so its owner can
+// reuse the allocation for the next request. It panics on a pending
+// future (waiters could be stranded). The caller must ensure no one still
+// holds the future expecting the old value.
+func (f *Future[T]) Reset() {
+	if !f.done {
+		panic("sim: Reset on pending Future")
+	}
+	var zero T
+	f.done = false
+	f.val = zero
 }
 
 // Done reports whether the future has been completed.
@@ -63,7 +89,13 @@ func (f *Future[T]) Wait(p *Proc) T {
 	if f.done {
 		return f.val
 	}
-	f.OnComplete(func(T) { p.resumeIn(f.e) })
+	if f.waitProc == nil {
+		f.waitProc = p
+	} else {
+		// A second process waiting on the same future is rare; fall back to
+		// the closure path rather than widening the struct.
+		f.OnComplete(func(T) { p.resumeIn(f.e) })
+	}
 	p.park()
 	return f.val
 }

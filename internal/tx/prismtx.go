@@ -15,6 +15,16 @@ import (
 
 const rpcFree byte = 1
 
+// Cached CAS masks for the validation and commit layouts. Read-only after
+// init, shared by every client and shard domain.
+var (
+	pwprFullMask = prism.FullMask(16)        // (PW,PR) pair
+	prOnlyMask   = prism.FieldMask(16, 8, 8) // swap PR
+	pwOnlyMask   = prism.FieldMask(16, 0, 8) // compare/swap PW
+	cOnlyMask    = prism.FieldMask(24, 0, 8) // compare (or swap) C
+	cEntryMask   = prism.FullMask(24)        // swap [C|addr|bound]
+)
+
 // ShardOptions sizes a PRISM-TX shard.
 type ShardOptions struct {
 	NSlots       int64
@@ -127,6 +137,35 @@ type Client struct {
 	// Stats
 	Commits int64
 	Aborts  int64
+
+	// Reusable per-client scratch for Commit. Every phase ends in WaitAll
+	// (nothing of this client is in flight when a buffer is rewritten) and
+	// stale duplicates on a lossy network are dropped by their epoch, so
+	// the storage can be recycled across transactions. dataArena carves the
+	// CAS operand and version images of one commit; concurrent chains of a
+	// single wave each carve disjoint blocks.
+	valBuf    []valKey
+	futBuf    []*sim.Future[[]wire.Result]
+	shardBuf  []int
+	dataArena []byte
+}
+
+// carve returns an n-byte zeroed block from the client's commit arena.
+// Growth relocates the arena, but previously carved blocks stay valid on
+// the old backing array (they are never written through the arena again).
+func (c *Client) carve(n int) []byte {
+	off := len(c.dataArena)
+	if cap(c.dataArena) < off+n {
+		nb := make([]byte, off, 2*(off+n)+64)
+		copy(nb, c.dataArena)
+		c.dataArena = nb
+	}
+	c.dataArena = c.dataArena[:off+n]
+	b := c.dataArena[off : off+n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
 }
 
 // NewClient builds a transaction client over the given shards.
@@ -202,10 +241,10 @@ func (t *Tx) Read(p *sim.Proc, key int64) ([]byte, error) {
 	sh := c.shardOf(key)
 	m := &c.metas[sh]
 	slot := c.slotOf(key, sh)
-	res := c.conns[sh].Issue(p,
-		prism.Read(m.Key, slot+offC, 8),
-		prism.ReadBounded(m.Key, slot+offAddr, bufSize(m.MaxValue)),
-	)
+	ops := c.conns[sh].Ops(2)
+	ops[0] = prism.Read(m.Key, slot+offC, 8)
+	ops[1] = prism.ReadBounded(m.Key, slot+offAddr, bufSize(m.MaxValue))
+	res := c.conns[sh].Issue(p, ops...)
 	if res[1].Status == wire.StatusNAKAccess {
 		return nil, ErrNotFound
 	}
@@ -273,7 +312,8 @@ func (t *Tx) Commit(p *sim.Proc) (Timestamp, error) {
 	}
 
 	// --- Prepare phase: one chain per key, all shards in parallel.
-	var keys []valKey
+	c.dataArena = c.dataArena[:0]
+	keys := c.valBuf[:0]
 	for _, k := range t.order {
 		rc, hasRead := t.reads[k]
 		keys = append(keys, valKey{key: k, isWrite: true, rc: rc, hasRead: hasRead})
@@ -283,21 +323,31 @@ func (t *Tx) Commit(p *sim.Proc) (Timestamp, error) {
 			keys = append(keys, valKey{key: k, rc: rc, hasRead: true})
 		}
 	}
+	c.valBuf = keys
 
-	futs := make([]*sim.Future[[]wire.Result], len(keys))
-	for i, vk := range keys {
+	futs := c.futBuf[:0]
+	for _, vk := range keys {
 		sh := c.shardOf(vk.key)
 		slot := c.slotOf(vk.key, sh)
 		m := &c.metas[sh]
-		var ops []wire.Op
+		nOps := 0
+		if vk.hasRead {
+			nOps++
+		}
+		if vk.isWrite {
+			nOps++
+		}
+		ops := c.conns[sh].Ops(nOps)
+		oi := 0
 		if vk.hasRead {
 			// Read validation (§8.2): single CAS checking RC|TS > PW|PR
 			// over the 16-byte (PW,PR) pair, swapping PR only.
-			data := make([]byte, 16)
+			data := c.carve(16)
 			prism.PutBE64(data, 0, uint64(vk.rc))
 			prism.PutBE64(data, 8, uint64(ts))
-			ops = append(ops, prism.CAS(m.Key, slot+offPW, wire.CASGt, data,
-				prism.FullMask(16), prism.FieldMask(16, 8, 8)))
+			ops[oi] = prism.CAS(m.Key, slot+offPW, wire.CASGt, data,
+				pwprFullMask, prOnlyMask)
+			oi++
 		}
 		if vk.isWrite {
 			// Write validation: CAS TS > PW swapping PW; the returned
@@ -307,17 +357,18 @@ func (t *Tx) Commit(p *sim.Proc) (Timestamp, error) {
 			// to validate the writes") — skipping it when the read check
 			// failed keeps PW from being raised by a transaction that is
 			// doomed anyway, which is what keeps contended keys live.
-			data := make([]byte, 16)
+			data := c.carve(16)
 			prism.PutBE64(data, 0, uint64(ts))
 			op := prism.CAS(m.Key, slot+offPW, wire.CASGt, data,
-				prism.FieldMask(16, 0, 8), prism.FieldMask(16, 0, 8))
+				pwOnlyMask, pwOnlyMask)
 			if vk.hasRead {
 				op = prism.Conditional(op)
 			}
-			ops = append(ops, op)
+			ops[oi] = op
 		}
-		futs[i] = c.conns[sh].IssueAsync(ops)
+		futs = append(futs, c.conns[sh].IssueAsync(ops))
 	}
+	c.futBuf = futs[:0]
 	results := sim.WaitAll(p, futs)
 
 	ok := true
@@ -382,8 +433,8 @@ func (t *Tx) Commit(p *sim.Proc) (Timestamp, error) {
 		const slotsPerConn = rdma.ConnTempSize / rdma.TempSlotSize
 		remaining := t.order
 		for len(remaining) > 0 {
-			wfuts := make([]*sim.Future[[]wire.Result], 0, len(remaining))
-			shards := make([]int, 0, len(remaining))
+			wfuts := c.futBuf[:0]
+			shards := c.shardBuf[:0]
 			slotInUse := make(map[int]int) // shard -> temp slots taken this wave
 			var deferred []int64
 			for _, key := range remaining {
@@ -398,20 +449,26 @@ func (t *Tx) Commit(p *sim.Proc) (Timestamp, error) {
 				m := &c.metas[sh]
 				conn := c.conns[sh]
 				slot := c.slotOf(key, sh)
-				img := encodeVersion(ts, key, value)
+				img := c.carve(int(bufSize(len(value))))
+				fillVersion(img, ts, key, value)
 
 				tmp := conn.TempAddr + memory.Addr(slotIdx*rdma.TempSlotSize)
-				pre := make([]byte, 24) // [C | addr(redirected) | bound]
+				pre := c.carve(24) // [C | addr(redirected) | bound]
 				prism.PutBE64(pre, 0, uint64(ts))
 				prism.PutLE64(pre, 16, uint64(len(img)))
-				wfuts = append(wfuts, conn.IssueAsync([]wire.Op{
-					prism.Write(conn.TempKey, tmp, pre),
-					prism.Conditional(prism.RedirectTo(prism.Allocate(m.FreeList, img), conn.TempKey, tmp+8)),
-					prism.Conditional(prism.CASIndirectData(m.Key, slot+offC, wire.CASGt, tmp,
-						prism.FieldMask(24, 0, 8), prism.FullMask(24))),
-				}))
+				ptrBuf := c.carve(8)
+				prism.PutLE64(ptrBuf, 0, uint64(tmp))
+				ops := conn.Ops(3)
+				ops[0] = prism.Write(conn.TempKey, tmp, pre)
+				ops[1] = prism.Conditional(prism.RedirectTo(prism.Allocate(m.FreeList, img), conn.TempKey, tmp+8))
+				casOp := prism.CAS(m.Key, slot+offC, wire.CASGt, ptrBuf, cOnlyMask, cEntryMask)
+				casOp.Flags |= wire.FlagDataIndirect
+				ops[2] = prism.Conditional(casOp)
+				wfuts = append(wfuts, conn.IssueAsync(ops))
 				shards = append(shards, sh)
 			}
+			c.futBuf = wfuts[:0]
+			c.shardBuf = shards[:0]
 			wres := sim.WaitAll(p, wfuts)
 			for i, res := range wres {
 				switch res[2].Status {
@@ -445,7 +502,7 @@ func (t *Tx) Commit(p *sim.Proc) (Timestamp, error) {
 // future readers (§8.2).
 func (t *Tx) abort(p *sim.Proc, ts Timestamp, keys []valKey, results [][]wire.Result) {
 	c := t.c
-	var futs []*sim.Future[[]wire.Result]
+	futs := c.futBuf[:0]
 	for i, vk := range keys {
 		if !vk.isWrite {
 			continue
@@ -460,13 +517,13 @@ func (t *Tx) abort(p *sim.Proc, ts Timestamp, keys []valKey, results [][]wire.Re
 		sh := c.shardOf(vk.key)
 		m := &c.metas[sh]
 		slot := c.slotOf(vk.key, sh)
-		data := make([]byte, 24)
+		data := c.carve(24)
 		prism.PutBE64(data, 0, uint64(ts))
-		futs = append(futs, c.conns[sh].IssueAsync([]wire.Op{
-			prism.CAS(m.Key, slot+offC, wire.CASGt, data,
-				prism.FieldMask(24, 0, 8), prism.FieldMask(24, 0, 8)),
-		}))
+		ops := c.conns[sh].Ops(1)
+		ops[0] = prism.CAS(m.Key, slot+offC, wire.CASGt, data, cOnlyMask, cOnlyMask)
+		futs = append(futs, c.conns[sh].IssueAsync(ops))
 	}
+	c.futBuf = futs[:0]
 	if len(futs) > 0 {
 		sim.WaitAll(p, futs)
 	}
@@ -490,13 +547,17 @@ func (c *Client) UseControlConns(ctrl []*rdma.Conn) {
 func (c *Client) maybeFlushFrees() {
 	for i, pending := range c.frees {
 		if len(pending)/8 >= c.FreeBatch {
+			// Copied out of the batch buffer: the RPC is fire-and-forget
+			// and the buffer refills while it may still be in flight.
 			payload := append([]byte{rpcFree}, pending...)
-			c.frees[i] = nil
+			c.frees[i] = c.frees[i][:0]
 			conn := c.conns[i]
 			if c.ctrl != nil {
 				conn = c.ctrl[i]
 			}
-			conn.IssueAsync([]wire.Op{prism.Send(payload)})
+			ops := conn.Ops(1)
+			ops[0] = prism.Send(payload)
+			conn.IssueAsync(ops)
 		}
 	}
 }

@@ -78,7 +78,11 @@ func (r *reader) u64() uint64 {
 	return v
 }
 
-func (r *reader) bytes() []byte {
+// bytes decodes a length-prefixed byte string. alias=false returns a
+// fresh copy; alias=true returns a view borrowing the input buffer
+// (capacity-clamped so appends cannot scribble past it). Either way a
+// zero-length string decodes to nil.
+func (r *reader) bytes(alias bool) []byte {
 	n := r.u32()
 	if r.err != nil {
 		return nil
@@ -90,17 +94,23 @@ func (r *reader) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, r.b[r.off:])
+	var out []byte
+	if alias {
+		out = r.b[r.off : r.off+int(n) : r.off+int(n)]
+	} else {
+		out = make([]byte, n)
+		copy(out, r.b[r.off:])
+	}
 	r.off += int(n)
 	return out
 }
 
-// EncodeRequest serializes a request. The layout is fixed-width headers
+// AppendRequest appends req's serialization to dst and returns the
+// extended buffer (append-style, so callers bring their own scratch; the
+// encoded length is RequestWireSize). The layout is fixed-width headers
 // plus length-prefixed byte strings; field order matches decode.
-func EncodeRequest(req *Request) []byte {
-	b := make([]byte, 0, 64+inlineLen(req))
-	b = putU64(b, req.Conn)
+func AppendRequest(dst []byte, req *Request) []byte {
+	b := putU64(dst, req.Conn)
 	b = putU64(b, req.Seq)
 	b = putU32(b, req.Epoch)
 	b = putU32(b, uint32(len(req.Ops)))
@@ -119,6 +129,11 @@ func EncodeRequest(req *Request) []byte {
 	return b
 }
 
+// EncodeRequest serializes a request into a fresh buffer.
+func EncodeRequest(req *Request) []byte {
+	return AppendRequest(make([]byte, 0, 24+inlineLen(req)), req)
+}
+
 func inlineLen(req *Request) int {
 	n := 0
 	for i := range req.Ops {
@@ -129,18 +144,23 @@ func inlineLen(req *Request) int {
 	return n
 }
 
-// DecodeRequest parses a request encoded by EncodeRequest.
-func DecodeRequest(b []byte) (*Request, error) {
+// decodeRequestInto parses b into req, reusing req.Ops' capacity. With
+// alias set, Data/CompareMask/SwapMask are views borrowing b.
+func decodeRequestInto(req *Request, b []byte, alias bool) error {
 	r := &reader{b: b}
-	req := &Request{Conn: r.u64(), Seq: r.u64(), Epoch: r.u32()}
+	req.Conn, req.Seq, req.Epoch = r.u64(), r.u64(), r.u32()
 	n := r.u32()
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if n > 64 {
-		return nil, fmt.Errorf("%w: chain of %d ops", ErrBadMessage, n)
+		return fmt.Errorf("%w: chain of %d ops", ErrBadMessage, n)
 	}
-	req.Ops = make([]Op, n)
+	if req.Ops == nil || uint32(cap(req.Ops)) < n {
+		req.Ops = make([]Op, n)
+	} else {
+		req.Ops = req.Ops[:n]
+	}
 	for i := range req.Ops {
 		op := &req.Ops[i]
 		op.Code = OpCode(r.u8())
@@ -149,25 +169,45 @@ func DecodeRequest(b []byte) (*Request, error) {
 		op.RKey = memory.RKey(r.u32())
 		op.Target = memory.Addr(r.u64())
 		op.Len = r.u64()
-		op.Data = r.bytes()
-		op.CompareMask = r.bytes()
-		op.SwapMask = r.bytes()
+		op.Data = r.bytes(alias)
+		op.CompareMask = r.bytes(alias)
+		op.SwapMask = r.bytes(alias)
 		op.FreeList = r.u32()
 		op.RedirectTo = memory.Addr(r.u64())
 	}
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if r.off != len(b) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(b)-r.off)
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(b)-r.off)
+	}
+	return nil
+}
+
+// DecodeRequest parses a request encoded by EncodeRequest. All payload
+// fields are fresh copies, independent of b.
+func DecodeRequest(b []byte) (*Request, error) {
+	req := &Request{}
+	if err := decodeRequestInto(req, b, false); err != nil {
+		return nil, err
 	}
 	return req, nil
 }
 
-// EncodeResponse serializes a response.
-func EncodeResponse(resp *Response) []byte {
-	b := make([]byte, 0, 32)
-	b = putU64(b, resp.Conn)
+// DecodeRequestAlias parses b into req without copying payloads: each
+// op's Data/CompareMask/SwapMask alias b, and req.Ops reuses its prior
+// capacity. The views are valid only while b's backing memory is — for
+// transport buffers, until the owning arena slot or pooled object is
+// recycled (its epoch bumps, see Request.Epoch). Callers that retain a
+// payload across that lifetime must copy it out.
+func DecodeRequestAlias(req *Request, b []byte) error {
+	return decodeRequestInto(req, b, true)
+}
+
+// AppendResponse appends resp's serialization to dst and returns the
+// extended buffer (the encoded length is ResponseWireSize).
+func AppendResponse(dst []byte, resp *Response) []byte {
+	b := putU64(dst, resp.Conn)
 	b = putU64(b, resp.Seq)
 	b = putU32(b, resp.Epoch)
 	b = putU32(b, uint32(len(resp.Results)))
@@ -180,31 +220,59 @@ func EncodeResponse(resp *Response) []byte {
 	return b
 }
 
-// DecodeResponse parses a response encoded by EncodeResponse.
-func DecodeResponse(b []byte) (*Response, error) {
+// EncodeResponse serializes a response into a fresh buffer.
+func EncodeResponse(resp *Response) []byte {
+	return AppendResponse(make([]byte, 0, ResponseWireSize(resp)), resp)
+}
+
+// decodeResponseInto parses b into resp, reusing resp.Results' capacity.
+// With alias set, result Data fields are views borrowing b.
+func decodeResponseInto(resp *Response, b []byte, alias bool) error {
 	r := &reader{b: b}
-	resp := &Response{Conn: r.u64(), Seq: r.u64(), Epoch: r.u32()}
+	resp.Conn, resp.Seq, resp.Epoch = r.u64(), r.u64(), r.u32()
 	n := r.u32()
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if n > 64 {
-		return nil, fmt.Errorf("%w: %d results", ErrBadMessage, n)
+		return fmt.Errorf("%w: %d results", ErrBadMessage, n)
 	}
-	resp.Results = make([]Result, n)
+	if resp.Results == nil || uint32(cap(resp.Results)) < n {
+		resp.Results = make([]Result, n)
+	} else {
+		resp.Results = resp.Results[:n]
+	}
 	for i := range resp.Results {
 		res := &resp.Results[i]
 		res.Status = Status(r.u8())
 		res.Addr = memory.Addr(r.u64())
-		res.Data = r.bytes()
+		res.Data = r.bytes(alias)
 	}
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if r.off != len(b) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(b)-r.off)
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(b)-r.off)
+	}
+	return nil
+}
+
+// DecodeResponse parses a response encoded by EncodeResponse. All result
+// payloads are fresh copies, independent of b.
+func DecodeResponse(b []byte) (*Response, error) {
+	resp := &Response{}
+	if err := decodeResponseInto(resp, b, false); err != nil {
+		return nil, err
 	}
 	return resp, nil
+}
+
+// DecodeResponseAlias parses b into resp without copying payloads: each
+// result's Data aliases b, and resp.Results reuses its prior capacity.
+// The same lifetime rule as DecodeRequestAlias applies: the views die
+// when b's owner (arena slot / pooled object) recycles it.
+func DecodeResponseAlias(resp *Response, b []byte) error {
+	return decodeResponseInto(resp, b, true)
 }
 
 // RequestWireSize returns the encoded size of req without materializing the

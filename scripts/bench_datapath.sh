@@ -1,0 +1,79 @@
+#!/bin/sh
+# Regenerates BENCH_datapath.json: the zero-copy datapath before/after
+# record. "before" is the pre-optimization tree, measured once with the
+# same benchmark and committed here as constants (wall clock from
+# BENCH_snapshot.json); "after" is measured on the current tree: the
+# simulated GET/PUT microbenchmarks (ns/op, B/op, allocs/op via
+# -benchmem) plus a serial all-figures run whose harness-heap per-op
+# cost prismbench -json now reports as telemetry.
+#
+# The GET alloc count is also asserted against the same ceiling the
+# tier-1 alloc guard enforces (internal/bench/alloc_guard_test.go), so
+# the committed artifact can never claim a number the guard would fail.
+#
+# Usage: scripts/bench_datapath.sh  [env: FIG SCALE OUT]
+set -e
+
+FIG=${FIG:-all}
+SCALE=${SCALE:-}                # e.g. "-keys 2048 -measure 300us" for CI scale
+OUT=${OUT:-BENCH_datapath.json}
+GET_ALLOC_CEILING=4             # keep in lockstep with maxGetAllocsPerOp
+
+# Pre-optimization measurements (seed tree, same flags, same host class).
+BEFORE_GET_NS=3555
+BEFORE_GET_BYTES=416
+BEFORE_GET_ALLOCS=10
+BEFORE_TOTAL_WALL=76.9
+
+go test ./internal/bench -run '^$' -bench 'BenchmarkSimulated(GET|PUT)' \
+	-benchmem -benchtime 2000x > .dp_bench.txt
+field() { awk -v bench="$1" -v col="$2" '$1 ~ bench {print $col}' .dp_bench.txt; }
+GET_NS=$(field '^BenchmarkSimulatedGET' 3)
+GET_B=$(field '^BenchmarkSimulatedGET' 5)
+GET_A=$(field '^BenchmarkSimulatedGET' 7)
+PUT_NS=$(field '^BenchmarkSimulatedPUT' 3)
+PUT_B=$(field '^BenchmarkSimulatedPUT' 5)
+PUT_A=$(field '^BenchmarkSimulatedPUT' 7)
+
+go build -o .dp_prismbench ./cmd/prismbench
+./.dp_prismbench -format csv $SCALE -json .dp_run.json "$FIG" > .dp_figures.csv
+TOTAL=$(grep -o '"total_wall_seconds": [0-9.]*' .dp_run.json | grep -o '[0-9.]*$')
+# Mean harness allocation cost over the load-driver figures (points that
+# report the telemetry), per completed operation.
+meanof() {
+	grep -o "\"$1\": [0-9.]*" .dp_run.json | grep -o '[0-9.]*$' |
+		awk '{s+=$1; n++} END {if (n) printf "%.3f", s/n; else print 0}'
+}
+MEAN_A=$(meanof mean_allocs_per_op)
+MEAN_B=$(meanof mean_bytes_per_op)
+
+{
+	printf '{\n'
+	printf '  "figure": "%s",\n' "$FIG"
+	printf '  "get_alloc_ceiling": %s,\n' "$GET_ALLOC_CEILING"
+	printf '  "before": {\n'
+	printf '    "get_ns_per_op": %s,\n' "$BEFORE_GET_NS"
+	printf '    "get_bytes_per_op": %s,\n' "$BEFORE_GET_BYTES"
+	printf '    "get_allocs_per_op": %s,\n' "$BEFORE_GET_ALLOCS"
+	printf '    "serial_all_figures_wall_seconds": %s\n' "$BEFORE_TOTAL_WALL"
+	printf '  },\n'
+	printf '  "after": {\n'
+	printf '    "get_ns_per_op": %s,\n' "$GET_NS"
+	printf '    "get_bytes_per_op": %s,\n' "$GET_B"
+	printf '    "get_allocs_per_op": %s,\n' "$GET_A"
+	printf '    "put_ns_per_op": %s,\n' "$PUT_NS"
+	printf '    "put_bytes_per_op": %s,\n' "$PUT_B"
+	printf '    "put_allocs_per_op": %s,\n' "$PUT_A"
+	printf '    "serial_figures_wall_seconds": %s,\n' "$TOTAL"
+	printf '    "figure_mean_allocs_per_op": %s,\n' "$MEAN_A"
+	printf '    "figure_mean_bytes_per_op": %s\n' "$MEAN_B"
+	printf '  }\n'
+	printf '}\n'
+} > "$OUT"
+
+rm -f .dp_prismbench .dp_bench.txt .dp_run.json .dp_figures.csv
+echo "wrote $OUT: GET $GET_A allocs/op, $GET_B B/op, ${GET_NS}ns/op (was $BEFORE_GET_ALLOCS/$BEFORE_GET_BYTES/$BEFORE_GET_NS); $FIG wall ${TOTAL}s"
+awk "BEGIN{exit !($GET_A <= $GET_ALLOC_CEILING)}" || {
+	echo "FAIL: GET allocates $GET_A/op, above the $GET_ALLOC_CEILING/op guard" >&2
+	exit 1
+}
