@@ -38,7 +38,9 @@ import (
 // point pool are amortizing (diagnostic only; never part of the CSV).
 // PointTelemetry is the scheduler telemetry of each point in the same
 // order: window/barrier counts are what demonstrate the lookahead
-// matrix and affinity grouping on hosts where wall clock cannot.
+// matrix and affinity grouping on hosts where wall clock cannot. The
+// burst/wheel counters (events, bursts, timer fires/stops, cascades)
+// are summed over points; MeanBurstLen is the figure-wide ratio.
 // MeanAllocsPerOp/MeanBytesPerOp average the load-driver points'
 // harness-heap allocation cost (zero-valued points — microbenchmarks —
 // are excluded); attributable only under -parallel 1.
@@ -50,6 +52,12 @@ type figRecord struct {
 	Windows          int64             `json:"windows"`
 	Barriers         int64             `json:"barriers"`
 	CrossDeliveries  int64             `json:"cross_deliveries"`
+	EventsExecuted   int64             `json:"events_executed"`
+	Bursts           int64             `json:"bursts"`
+	MeanBurstLen     float64           `json:"mean_burst_len"`
+	TimerFires       int64             `json:"timer_fires"`
+	TimerStops       int64             `json:"timer_stops"`
+	WheelCascades    int64             `json:"wheel_cascades"`
 	MeanAllocsPerOp  float64           `json:"mean_allocs_per_op,omitempty"`
 	MeanBytesPerOp   float64           `json:"mean_bytes_per_op,omitempty"`
 	PointWallSeconds []float64         `json:"point_wall_seconds,omitempty"`
@@ -228,12 +236,20 @@ func main() {
 			fr.Windows += tel.Windows
 			fr.Barriers += tel.Barriers
 			fr.CrossDeliveries += tel.CrossDeliveries
+			fr.EventsExecuted += tel.EventsExecuted
+			fr.Bursts += tel.Bursts
+			fr.TimerFires += tel.TimerFires
+			fr.TimerStops += tel.TimerStops
+			fr.WheelCascades += tel.WheelCascades
 			meanSum += tel.MeanWindowNanos
 			if tel.AllocsPerOp > 0 {
 				allocSum += tel.AllocsPerOp
 				byteSum += tel.BytesPerOp
 				allocPts++
 			}
+		}
+		if fr.Bursts > 0 {
+			fr.MeanBurstLen = float64(fr.EventsExecuted) / float64(fr.Bursts)
 		}
 		if allocPts > 0 {
 			fr.MeanAllocsPerOp = allocSum / float64(allocPts)
@@ -245,8 +261,9 @@ func main() {
 			if n := len(fig.PointTel); n > 0 {
 				meanWin = time.Duration(meanSum / int64(n))
 			}
-			fmt.Fprintf(os.Stderr, "prismbench: %s: %d points, windows=%d barriers=%d cross-deliveries=%d mean-window=%v wall=%.1fs\n",
-				fig.ID, len(fig.PointTel), fr.Windows, fr.Barriers, fr.CrossDeliveries, meanWin, wall)
+			fmt.Fprintf(os.Stderr, "prismbench: %s: %d points, windows=%d barriers=%d cross-deliveries=%d mean-window=%v events=%d mean-burst=%.2f timer-fires=%d timer-stops=%d cascades=%d wall=%.1fs\n",
+				fig.ID, len(fig.PointTel), fr.Windows, fr.Barriers, fr.CrossDeliveries, meanWin,
+				fr.EventsExecuted, fr.MeanBurstLen, fr.TimerFires, fr.TimerStops, fr.WheelCascades, wall)
 		}
 		rec.Figures = append(rec.Figures, fr)
 		rec.TotalWallSeconds += wall

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"testing"
+	"time"
 
 	"prism/internal/sim"
 )
@@ -47,6 +48,49 @@ func TestGetAllocGuard(t *testing.T) {
 	t.Logf("GET: %.2f allocs/op", avg)
 	if avg > maxGetAllocsPerOp {
 		t.Fatalf("GET allocates %.2f/op, guard is %d/op — a pooling layer regressed", avg, maxGetAllocsPerOp)
+	}
+}
+
+// TestSchedulerAllocGuard pins the scheduler's own steady state at zero:
+// once the per-domain event pool and burst buffers are warm, a
+// schedule/fire cycle through the timer wheel and burst loop — including
+// the common retransmission-guard shape of a far timer stopped before it
+// fires — must not allocate at all. The event pool, wheel slots, and
+// burst queues are all reused storage; any allocation here is a
+// regression in the scheduler hot path itself, upstream of every
+// datapath number the other guards watch.
+func TestSchedulerAllocGuard(t *testing.T) {
+	e := sim.NewEngine(7)
+	fired := 0
+	tick := func() { fired++ }
+	// Warm up: fill the event pool and size the burst buffers, spanning
+	// enough instants to touch coarse wheel levels and cascades.
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, tick)
+		e.Schedule(time.Duration(i)*time.Microsecond, tick)
+		guard := e.Schedule(time.Duration(i)*time.Microsecond+time.Millisecond, tick)
+		e.AtTail(e.Now().Add(time.Duration(i)*time.Microsecond), tick)
+		guard.Stop()
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(2000, func() {
+		// One steady-state scheduler cycle: a near event that fires, a
+		// same-instant tail stage behind it, and a far guard timer that is
+		// scheduled and stopped without firing.
+		e.Schedule(3*time.Microsecond, tick)
+		e.AtTail(e.Now().Add(3*time.Microsecond), tick)
+		guard := e.Schedule(900*time.Microsecond, tick)
+		if !guard.Stop() {
+			t.Error("pending guard timer did not stop")
+		}
+		e.Run()
+	})
+	if fired == 0 {
+		t.Fatal("warmup fired no events")
+	}
+	t.Logf("scheduler cycle: %.2f allocs/op (%d warmup fires)", avg, fired)
+	if avg > 0 {
+		t.Fatalf("scheduler steady state allocates %.2f/op, guard is 0/op — the wheel or burst path regressed", avg)
 	}
 }
 

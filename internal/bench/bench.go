@@ -188,6 +188,16 @@ type Telemetry struct {
 	Barriers        int64 `json:"barriers"`
 	CrossDeliveries int64 `json:"cross_deliveries"`
 	MeanWindowNanos int64 `json:"mean_window_ns"`
+	// Burst/wheel counters (see sim.WorldStats): events fired, drained
+	// instants (EventsExecuted/Bursts is the amortization ratio), fired
+	// events that transited the timer wheel, timers cancelled before
+	// firing, and wheel cascade re-files.
+	EventsExecuted int64   `json:"events_executed"`
+	Bursts         int64   `json:"bursts"`
+	MeanBurstLen   float64 `json:"mean_burst_len"`
+	TimerFires     int64   `json:"timer_fires"`
+	TimerStops     int64   `json:"timer_stops"`
+	WheelCascades  int64   `json:"wheel_cascades"`
 	// AllocsPerOp and BytesPerOp are the harness-process heap allocation
 	// deltas across the point's drive phase (warmup + measure + drain),
 	// divided by measured operations — the datapath's allocation cost as
@@ -222,6 +232,12 @@ func worldTelemetry(e *sim.Engine) Telemetry {
 		Barriers:        st.Barriers,
 		CrossDeliveries: st.CrossDeliveries,
 		MeanWindowNanos: int64(st.MeanWindow()),
+		EventsExecuted:  st.EventsExecuted,
+		Bursts:          st.Bursts,
+		MeanBurstLen:    st.MeanBurstLen(),
+		TimerFires:      st.TimerFires,
+		TimerStops:      st.TimerStops,
+		WheelCascades:   st.WheelCascades,
 	}
 }
 

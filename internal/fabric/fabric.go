@@ -74,6 +74,15 @@ type Node struct {
 	inbox   []*flight
 	drainFn func()
 
+	// stageAt/stageTail chain this node's same-instant barrier deliveries
+	// into one staging event per (node, instant) instead of one per
+	// message: flush links each further flight for the instant onto the
+	// chain already scheduled. Chains are built and forgotten within a
+	// single flush (stageTail is cleared before it returns), so they
+	// never alias the bypass path or a later barrier.
+	stageAt   sim.Time
+	stageTail *flight
+
 	// lossRng samples message drops. It is per node — not per domain — so
 	// the draw sequence each sender sees is the same whether the node has
 	// its own domain or shares one with other machines. Lazily built from
@@ -140,6 +149,11 @@ type Network struct {
 	groups map[int]*sim.Engine // affinity group id → shared domain
 	merge  []crossEntry        // barrier scratch, reused across flushes
 
+	// touched lists the nodes with an open staging chain during the
+	// current flush, so their chain heads can be cleared before it
+	// returns. Scratch, reused across flushes.
+	touched []*Node
+
 	// laDeclared is how many nodes had lookahead edges declared at the
 	// last flush; a mismatch with len(nodes) re-declares the full matrix.
 	laDeclared int
@@ -184,17 +198,23 @@ func (n *Node) recycleFlight(f *flight) {
 }
 
 // runStage executes at the arrival instant on the destination's domain.
-// It only parks the flight in the node's inbox; the actual rx submission
-// happens in runDrain at the tail of the instant, once every arrival of
-// the instant has been staged, so that submission order is decided by
-// (source node, send sequence) rather than by event scheduling order —
-// which varies with domain grouping.
+// It only parks the flight (and, for barrier traffic, every further
+// flight flush chained behind it for this instant) in the node's inbox;
+// the actual rx submission happens in runDrain at the tail of the
+// instant, once every arrival of the instant has been staged, so that
+// submission order is decided by (source node, send sequence) rather
+// than by event scheduling order — which varies with domain grouping.
 func (f *flight) runStage() {
 	to := f.owner
 	if len(to.inbox) == 0 {
 		to.dom.AtTail(to.dom.Now(), to.drainFn)
 	}
-	to.inbox = append(to.inbox, f)
+	for g := f; g != nil; {
+		nx := g.next
+		g.next = nil
+		to.inbox = append(to.inbox, g)
+		g = nx
+	}
 }
 
 // runDrain submits the instant's staged arrivals to the rx port in
@@ -409,12 +429,33 @@ func (n *Network) flush() {
 			en.m.To.MsgsDropped++
 			continue
 		}
-		f := en.m.To.newFlight(en.m, en.ser)
+		dst := en.m.To
+		f := dst.newFlight(en.m, en.ser)
 		f.src = en.src
 		f.seq = en.seq
-		en.m.To.dom.At(en.at, f.stage)
+		// One staging event per (destination, instant): the first flight
+		// for the pair is scheduled; later ones chain behind it in merge
+		// order, and runStage walks the chain. Entries share an instant
+		// only within one contiguous time run of the sorted buffer, so a
+		// chain never reopens after the scan moves past its instant.
+		if dst.stageTail != nil && dst.stageAt == en.at {
+			dst.stageTail.next = f
+			dst.stageTail = f
+		} else {
+			if dst.stageTail == nil {
+				n.touched = append(n.touched, dst)
+			}
+			dst.stageAt = en.at
+			dst.stageTail = f
+			dst.dom.At(en.at, f.stage)
+		}
 		delivered++
 	}
+	for i, dst := range n.touched {
+		dst.stageTail = nil
+		n.touched[i] = nil
+	}
+	n.touched = n.touched[:0]
 	n.e.World().AddCrossDeliveries(delivered)
 	for i := range buf {
 		buf[i] = crossEntry{}

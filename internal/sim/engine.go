@@ -41,7 +41,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -76,49 +75,53 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 func (t Time) String() string { return Duration(t).String() }
 
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	heap int // index in the heap, -1 when popped/cancelled
+	at  Time
+	seq uint64
+	fn  func()
 	// tail events run after every ordinary event of the same instant,
 	// regardless of scheduling order (see AtTail).
 	tail bool
 	// gen counts recycles of this event object. Timers snapshot it so a
 	// stale handle to a fired-and-reused event cannot cancel its successor.
-	gen  uint32
-	next *event // free-list link while recycled
+	gen uint32
+	// state says where the event currently lives (see evIdle and
+	// friends); level and slot locate it in the wheel while state is
+	// evWheel. fromWheel marks burst members that transited the wheel,
+	// for the timer_fires counter (burst-direct same-instant events never
+	// touch the wheel).
+	state     uint8
+	level     uint8
+	slot      uint8
+	fromWheel bool
+	// Wheel slot list links; next doubles as the free-list link while
+	// the event is recycled.
+	prev, next *event
 }
 
-type eventHeap []*event
+// Event locations, kept in event.state so Timer.Stop knows how to cancel.
+const (
+	evIdle     uint8 = iota // fired, cancelled, or on the free list
+	evWheel                 // linked into a wheel slot
+	evOverflow              // parked on the wheel's overflow list
+	evBurst                 // staged in the current instant's burst buffers
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].tail != h[j].tail {
-		return !h[i].tail
-	}
-	return h[i].seq < h[j].seq
+// burst is the reusable per-domain buffer one instant's events drain
+// into: ordinary events and tail events in separate seq-ordered queues,
+// consumed front to back. Same-instant events scheduled while the burst
+// executes append behind the cursor (their seq is larger than anything
+// pending), so one pass replays the exact (ordinary-by-seq, then
+// tail-by-seq) order the event heap used to produce — with the heap
+// maintenance paid once per instant instead of once per event.
+type burst struct {
+	ord, tail         []*event
+	ordHead, tailHead int
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heap = i
-	h[j].heap = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.heap = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.heap = -1
-	*h = old[:n-1]
-	return e
+
+func (b *burst) reset() {
+	b.ord = b.ord[:0]
+	b.tail = b.tail[:0]
+	b.ordHead, b.tailHead = 0, 0
 }
 
 // World coordinates a set of event domains through conservative
@@ -176,6 +179,15 @@ const laInf = Duration(1) << 62
 // boundaries at barriers (intra-domain bypass deliveries are not
 // counted), and WindowSpan/SpanWindows accumulate the length of every
 // window whose horizon was bounded (MeanWindow reports the average).
+//
+// The burst/wheel counters attribute per-event scheduler cost:
+// EventsExecuted is events fired, Bursts the number of drained instants
+// (MeanBurstLen reports the amortization ratio), TimerFires the fired
+// events that transited the wheel (the remainder were same-instant
+// burst-direct schedules that never paid wheel maintenance), TimerStops
+// the timers cancelled before firing (O(1) wheel unlinks), and
+// WheelCascades the events re-filed to a finer wheel level when a
+// domain's clock crossed a coarse slot boundary.
 type WorldStats struct {
 	Domains         int
 	Windows         int64
@@ -183,6 +195,12 @@ type WorldStats struct {
 	CrossDeliveries int64
 	WindowSpan      Duration
 	SpanWindows     int64
+
+	EventsExecuted int64
+	Bursts         int64
+	TimerFires     int64
+	TimerStops     int64
+	WheelCascades  int64
 }
 
 // MeanWindow returns the mean bounded-window length, or 0 if none ran.
@@ -191,6 +209,15 @@ func (s WorldStats) MeanWindow() Duration {
 		return 0
 	}
 	return s.WindowSpan / Duration(s.SpanWindows)
+}
+
+// MeanBurstLen returns the mean number of events executed per drained
+// instant, or 0 if nothing ran.
+func (s WorldStats) MeanBurstLen() float64 {
+	if s.Bursts == 0 {
+		return 0
+	}
+	return float64(s.EventsExecuted) / float64(s.Bursts)
 }
 
 // NewDomain adds an event domain to the world and returns its Engine
@@ -276,10 +303,19 @@ func (w *World) SetScalarWindows(on bool) { w.scalar = on }
 // derived from it.
 func (w *World) Seed() int64 { return w.seed }
 
-// Stats returns a snapshot of the scheduler telemetry counters.
+// Stats returns a snapshot of the scheduler telemetry counters,
+// aggregating the domain-local burst/wheel counters. Call it between
+// runs or at barriers (domains mutate their counters while executing).
 func (w *World) Stats() WorldStats {
 	s := w.stats
 	s.Domains = len(w.domains)
+	for _, d := range w.domains {
+		s.EventsExecuted += d.statEvents
+		s.Bursts += d.statBursts
+		s.TimerFires += d.statFires
+		s.TimerStops += d.statStops
+		s.WheelCascades += d.wheel.cascades
+	}
 	return s
 }
 
@@ -386,10 +422,7 @@ func (w *World) run(deadline Time) {
 		start := Never
 		next := w.next[:0]
 		for _, d := range w.domains {
-			t := Never
-			if len(d.events) > 0 {
-				t = d.events[0].at
-			}
+			t := d.wheel.next()
 			next = append(next, t)
 			if t < start {
 				start = t
@@ -489,7 +522,7 @@ func (w *World) run(deadline Time) {
 func (w *World) runParallel() {
 	act := w.active[:0]
 	for i, d := range w.domains {
-		if len(d.events) > 0 && d.events[0].at <= w.limits[i] {
+		if t := d.wheel.next(); t != Never && t <= w.limits[i] {
 			d.limit = w.limits[i]
 			act = append(act, d)
 		}
@@ -552,15 +585,29 @@ type Engine struct {
 	id  int
 	now Time
 
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
-	limit  Time // this window's horizon, set by the world before dispatch
+	seq   uint64
+	rng   *rand.Rand
+	limit Time // this window's horizon, set by the world before dispatch
+
+	// wheel holds the pending events; burst is the reusable buffer one
+	// instant's events drain into for execution. inBurst routes
+	// same-instant schedules straight into the executing burst, and
+	// pendingN tracks scheduled-but-unfired events for Pending.
+	wheel    wheel
+	burst    burst
+	inBurst  bool
+	pendingN int
 
 	// free is a free list of fired/cancelled event objects, reused by At
 	// so steady-state scheduling does not allocate. Its length is bounded
 	// by the maximum number of simultaneously pending events.
 	free *event
+
+	// Domain-local scheduler telemetry, aggregated by World.Stats.
+	statEvents int64 // events fired
+	statBursts int64 // instants drained
+	statFires  int64 // fired events that transited the wheel
+	statStops  int64 // timers cancelled before firing
 }
 
 // NewEngine returns a fresh world's root domain, with its virtual clock
@@ -616,7 +663,21 @@ func (e *Engine) at(t Time, fn func(), tail bool) Timer {
 	ev.fn = fn
 	ev.tail = tail
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.pendingN++
+	if e.inBurst && t == e.now {
+		// Scheduled for the instant currently executing: append behind
+		// the burst cursor instead of paying a wheel round trip. seq is
+		// larger than anything pending, so the queues stay seq-sorted.
+		ev.state = evBurst
+		ev.fromWheel = false
+		if tail {
+			e.burst.tail = append(e.burst.tail, ev)
+		} else {
+			e.burst.ord = append(e.burst.ord, ev)
+		}
+	} else {
+		e.wheel.insert(ev)
+	}
 	return Timer{e: e, ev: ev, gen: ev.gen}
 }
 
@@ -635,6 +696,9 @@ func (e *Engine) alloc() *event {
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
+	ev.state = evIdle
+	ev.fromWheel = false
+	ev.prev = nil
 	ev.next = e.free
 	e.free = ev
 }
@@ -650,12 +714,28 @@ type Timer struct {
 // Stop cancels the event if it has not fired. It reports whether the event
 // was still pending. It must be called from the owning domain's context.
 func (t Timer) Stop() bool {
-	if t.ev == nil || t.ev.gen != t.gen || t.ev.heap < 0 {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen {
 		return false
 	}
-	heap.Remove(&t.e.events, t.ev.heap)
-	t.e.recycle(t.ev)
-	return true
+	e := t.e
+	switch ev.state {
+	case evWheel, evOverflow:
+		e.wheel.remove(ev)
+		e.pendingN--
+		e.statStops++
+		e.recycle(ev)
+		return true
+	case evBurst:
+		// Already staged for the executing instant but not yet fired:
+		// cancel in place; the burst loop skips and recycles it.
+		ev.fn = nil
+		ev.state = evIdle
+		e.pendingN--
+		e.statStops++
+		return true
+	}
+	return false
 }
 
 // Stop halts the run loop after the current event completes. Pending
@@ -673,27 +753,87 @@ func (e *Engine) Run() { e.RunUntil(Never) }
 // (and any events remain), or at the time of its last event otherwise.
 func (e *Engine) RunUntil(deadline Time) { e.w.run(deadline) }
 
-// runWindow executes this domain's events up to and including limit.
+// runWindow executes this domain's events up to and including limit, one
+// burst per instant: the wheel drains everything at the head instant
+// into the burst buffers and the loop replays them — plus any
+// same-instant events they schedule — in one pass, amortizing wheel
+// maintenance and the horizon check across the burst.
 func (e *Engine) runWindow(limit Time) {
 	w := e.w
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.at > limit {
+	b := &e.burst
+	for {
+		t := e.wheel.next()
+		if t == Never || t > limit {
 			return
 		}
 		if w.stopped.Load() {
 			return
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		fn := next.fn
-		e.recycle(next) // before fn: events scheduled inside fn reuse it
-		fn()
+		if e.wheel.collect(t, b) == 0 {
+			continue // stale cached minimum (cancelled); rescan
+		}
+		e.now = t
+		e.inBurst = true
+		executed := 0
+		for {
+			if w.stopped.Load() {
+				e.unwindBurst()
+				break
+			}
+			var ev *event
+			if b.ordHead < len(b.ord) {
+				ev = b.ord[b.ordHead]
+				b.ord[b.ordHead] = nil
+				b.ordHead++
+			} else if b.tailHead < len(b.tail) {
+				ev = b.tail[b.tailHead]
+				b.tail[b.tailHead] = nil
+				b.tailHead++
+			} else {
+				break
+			}
+			if ev.fn == nil {
+				e.recycle(ev) // cancelled while staged in the burst
+				continue
+			}
+			if ev.fromWheel {
+				e.statFires++
+			}
+			fn := ev.fn
+			e.recycle(ev) // before fn: events scheduled inside fn reuse it
+			e.pendingN--
+			fn()
+			executed++
+		}
+		e.inBurst = false
+		b.reset()
+		e.statEvents += int64(executed)
+		e.statBursts++
+		if w.stopped.Load() {
+			return
+		}
+	}
+}
+
+// unwindBurst returns the not-yet-fired remainder of the executing burst
+// to the wheel when Stop halts the run mid-instant, so those events stay
+// pending exactly as unfired heap events used to.
+func (e *Engine) unwindBurst() {
+	b := &e.burst
+	for _, q := range [2][]*event{b.ord[b.ordHead:], b.tail[b.tailHead:]} {
+		for _, ev := range q {
+			if ev.fn == nil {
+				e.recycle(ev) // cancelled while staged
+				continue
+			}
+			e.wheel.count-- // insert re-counts
+			e.wheel.insert(ev)
+		}
 	}
 }
 
 // Pending reports the number of events scheduled in this domain.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pendingN }
 
 // LiveProcs reports the number of processes that have started but not
 // finished (parked processes included) across the whole world. Useful

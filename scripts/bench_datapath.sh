@@ -64,7 +64,7 @@ MEAN_B=$(meanof mean_bytes_per_op)
 	printf '    "put_ns_per_op": %s,\n' "$PUT_NS"
 	printf '    "put_bytes_per_op": %s,\n' "$PUT_B"
 	printf '    "put_allocs_per_op": %s,\n' "$PUT_A"
-	printf '    "serial_figures_wall_seconds": %s,\n' "$TOTAL"
+	printf '    "serial_all_figures_wall_seconds": %s,\n' "$TOTAL"
 	printf '    "figure_mean_allocs_per_op": %s,\n' "$MEAN_A"
 	printf '    "figure_mean_bytes_per_op": %s\n' "$MEAN_B"
 	printf '  }\n'

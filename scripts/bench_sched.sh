@@ -1,0 +1,70 @@
+#!/bin/sh
+# Regenerates BENCH_sched.json: the burst-mode + timer-wheel scheduler
+# before/after record. "before" is the PR 5 tree (per-event heap pops,
+# per-message AtTail inserts), measured once with the same command on the
+# same host class and committed here as a constant; "after" is the
+# current tree: one serial all-figures run whose wall clock and
+# per-figure burst/timer telemetry prismbench -json now reports
+# (events_executed, bursts, mean_burst_len, timer_fires, timer_stops,
+# wheel_cascades).
+#
+# The improvement percentage is only computed for a full-scale run
+# (SCALE empty): the "before" constant was measured at full scale, so
+# comparing a CI-scale run against it would be meaningless.
+#
+# Usage: scripts/bench_sched.sh  [env: FIG SCALE OUT]
+set -e
+
+FIG=${FIG:-all}
+SCALE=${SCALE:-}                # e.g. "-keys 4096 -measure 200us" for CI scale
+OUT=${OUT:-BENCH_sched.json}
+
+# Pre-optimization measurement (PR 5 tree, same flags, same host class).
+BEFORE_TOTAL_WALL=65.37
+
+go build -o .sched_prismbench ./cmd/prismbench
+./.sched_prismbench -format csv $SCALE -json .sched_run.json "$FIG" > .sched_figures.csv
+TOTAL=$(grep -o '"total_wall_seconds": [0-9.]*' .sched_run.json | grep -o '[0-9.]*$')
+
+# Per-figure scheduler counters: each figures[] entry leads with its
+# "id"; take the first occurrence of each counter after it, so the
+# per-point telemetry objects (same key names, deeper in the entry)
+# are not double-counted.
+FIGS=$(awk '
+	/"id":/ {
+		if (open) printf "%s},\n", line
+		match($0, /"id": "[^"]*"/)
+		id = substr($0, RSTART+7, RLENGTH-8)
+		line = sprintf("    {\"id\": \"%s\"", id)
+		open = 1
+		delete seen
+	}
+	open && match($0, /"(wall_seconds|events_executed|bursts|mean_burst_len|timer_fires|timer_stops|wheel_cascades)": [0-9.]+/) {
+		kv = substr($0, RSTART, RLENGTH)
+		split(kv, p, ":")
+		if (!(p[1] in seen)) { seen[p[1]] = 1; line = line ", " kv }
+	}
+	END { if (open) printf "%s}\n", line }
+' .sched_run.json)
+
+{
+	printf '{\n'
+	printf '  "figure": "%s",\n' "$FIG"
+	printf '  "before": {\n'
+	printf '    "serial_all_figures_wall_seconds": %s\n' "$BEFORE_TOTAL_WALL"
+	printf '  },\n'
+	printf '  "after": {\n'
+	printf '    "serial_all_figures_wall_seconds": %s\n' "$TOTAL"
+	printf '  },\n'
+	if [ -z "$SCALE" ]; then
+		printf '  "improvement_pct": %s,\n' \
+			"$(awk "BEGIN{printf \"%.1f\", 100*(1 - $TOTAL/$BEFORE_TOTAL_WALL)}")"
+	fi
+	printf '  "figures": [\n'
+	printf '%s\n' "$FIGS"
+	printf '  ]\n'
+	printf '}\n'
+} > "$OUT"
+
+rm -f .sched_prismbench .sched_run.json .sched_figures.csv
+echo "wrote $OUT: $FIG wall ${TOTAL}s (before ${BEFORE_TOTAL_WALL}s at full scale)"
