@@ -22,7 +22,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench ./internal/sim ./internal/fabric ./internal/rdma
+	$(GO) test -race ./internal/bench ./internal/sim ./internal/fabric ./internal/rdma \
+		./internal/transport ./internal/kv
 
 # Allocation microbenchmarks for the simulator hot path.
 bench:

@@ -1,7 +1,13 @@
-// Command prismkv is an interactive demo of PRISM-KV: a REPL over a
-// simulated server where every command runs the real protocol (indirect
-// bounded READs, ALLOCATE/WRITE/CAS chains) and reports the simulated
-// round-trip cost.
+// Command prismkv is an interactive demo of PRISM-KV: a REPL where
+// every command runs the real protocol (indirect bounded READs,
+// ALLOCATE/WRITE/CAS chains) and reports the round-trip cost.
+//
+// By default commands run against a simulated server and latencies are
+// simulated. With -connect it speaks to a live prismd over tcp or a
+// unix socket instead, and latencies are wall-clock:
+//
+//	prismkv -connect /tmp/prism.sock
+//	prismkv -connect 127.0.0.1:7171
 //
 // Commands:
 //
@@ -11,9 +17,10 @@
 //	stats               server counters
 //	quit
 //
-// Flags select the NIC deployment and network profile, so the same
-// operations can be compared across PRISM-SW / projected-hardware /
-// BlueField data paths and rack/cluster/datacenter networks.
+// Flags select the NIC deployment and network profile (simulated mode),
+// so the same operations can be compared across PRISM-SW /
+// projected-hardware / BlueField data paths and rack/cluster/datacenter
+// networks.
 package main
 
 import (
@@ -24,57 +31,62 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"prism"
 	"prism/internal/kv"
 	"prism/internal/model"
 	"prism/internal/sim"
+	"prism/internal/transport"
 )
 
+// ops abstracts the REPL's backend: simulated cluster or live server.
+// Each call returns the operation's cost as reported by that backend.
+type ops interface {
+	put(key int64, value []byte) (time.Duration, error)
+	get(key int64) ([]byte, time.Duration, error)
+	del(key int64) (time.Duration, error)
+	stats() string
+	costNote() string // e.g. "simulated" vs "wall clock"
+}
+
 func main() {
-	deployFlag := flag.String("deploy", "sw", "NIC deployment: sw, hw-proj, bluefield")
-	netFlag := flag.String("net", "rack", "network profile: direct, rack, cluster, datacenter")
-	nKeys := flag.Int64("keys", 1024, "hash table slots")
+	connect := flag.String("connect", "", "live prismd address (unix path or host:port); default is the simulator")
+	deployFlag := flag.String("deploy", "sw", "NIC deployment: sw, hw-proj, bluefield (simulated mode)")
+	netFlag := flag.String("net", "rack", "network profile: direct, rack, cluster, datacenter (simulated mode)")
+	nKeys := flag.Int64("keys", 1024, "hash table slots (simulated mode)")
 	flag.Parse()
 
-	var deploy prism.Deployment
-	switch *deployFlag {
-	case "sw":
-		deploy = prism.SoftwarePRISM
-	case "hw-proj":
-		deploy = prism.ProjectedHardwarePRISM
-	case "bluefield":
-		deploy = prism.BlueFieldPRISM
-	default:
-		fmt.Fprintln(os.Stderr, "prismkv: unknown deployment (PRISM needs sw, hw-proj, or bluefield)")
-		os.Exit(2)
-	}
-	var network prism.SwitchProfile
-	switch *netFlag {
-	case "direct":
-		network = prism.Direct
-	case "rack":
-		network = prism.Rack
-	case "cluster":
-		network = prism.Cluster
-	case "datacenter":
-		network = prism.Datacenter
-	default:
-		fmt.Fprintln(os.Stderr, "prismkv: unknown network profile")
-		os.Exit(2)
+	var backend ops
+	if *connect != "" {
+		live, err := newLiveOps(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prismkv:", err)
+			os.Exit(1)
+		}
+		defer live.tc.Close()
+		backend = live
+		fmt.Printf("PRISM-KV REPL — live server at %s (latencies are wall clock)\n", *connect)
+	} else {
+		simBackend, banner, err := newSimOps(*deployFlag, *netFlag, *nKeys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prismkv:", err)
+			os.Exit(2)
+		}
+		backend = simBackend
+		fmt.Println(banner)
 	}
 
-	c := prism.NewCluster(prism.ClusterConfig{Seed: 1, Network: &network})
-	srv := c.NewServer("kv", deploy)
-	store, err := prism.NewKVServer(srv, prism.KVOptions(*nKeys, 1024))
-	if err != nil {
+	if err := repl(backend); err != nil {
 		fmt.Fprintln(os.Stderr, "prismkv:", err)
 		os.Exit(1)
 	}
-	client := prism.NewKVClient(c.NewClientMachine("repl").Connect(srv), store.Meta(), 1)
+}
 
-	fmt.Printf("PRISM-KV REPL — deployment %v, network %s (all latencies are simulated)\n",
-		deploy, network.Name)
+// repl reads commands until quit or EOF (ctrl-D exits cleanly). A
+// backend error that is not a per-command protocol miss — a dead
+// connection, for example — ends the session with that error.
+func repl(backend ops) error {
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for scanner.Scan() {
@@ -84,18 +96,22 @@ func main() {
 			fmt.Print("> ")
 			continue
 		}
-		cmd := fields[0]
+		cmd, args := fields[0], fields[1:]
 		if cmd == "quit" || cmd == "exit" {
-			return
+			return nil
 		}
-		// Each command runs as one simulated process; the engine advances
-		// only while commands execute.
-		runOp(c, client, srv, cmd, fields[1:])
+		if err := runOp(backend, cmd, args); err != nil {
+			return err
+		}
 		fmt.Print("> ")
 	}
+	fmt.Println() // EOF: leave the shell on a fresh line
+	return scanner.Err()
 }
 
-func runOp(c *prism.ClusterSim, client *prism.KVClient, srv *prism.Server, cmd string, args []string) {
+// runOp executes one command. Protocol-level misses (not found, bad
+// input) print and return nil; transport failures return the error.
+func runOp(backend ops, cmd string, args []string) error {
 	parseKey := func() (int64, bool) {
 		if len(args) < 1 {
 			fmt.Println("need a key")
@@ -108,56 +124,176 @@ func runOp(c *prism.ClusterSim, client *prism.KVClient, srv *prism.Server, cmd s
 		}
 		return k, true
 	}
-	c.Go("cmd", func(p *sim.Proc) {
-		start := p.Now()
-		switch cmd {
-		case "put":
-			k, ok := parseKey()
-			if !ok {
-				return
-			}
-			if len(args) < 2 {
-				fmt.Println("need a value")
-				return
-			}
-			val := strings.Join(args[1:], " ")
-			if err := client.Put(p, k, []byte(val)); err != nil {
-				fmt.Println("error:", err)
-				return
-			}
-			fmt.Printf("OK (%v simulated: probe RT + chained ALLOCATE/WRITE/CAS RT)\n", p.Now().Sub(start))
-		case "get":
-			k, ok := parseKey()
-			if !ok {
-				return
-			}
-			v, err := client.Get(p, k)
-			if errors.Is(err, kv.ErrNotFound) {
-				fmt.Printf("(not found) (%v simulated)\n", p.Now().Sub(start))
-				return
-			}
-			if err != nil {
-				fmt.Println("error:", err)
-				return
-			}
-			fmt.Printf("%q (%v simulated: one indirect bounded READ)\n", v, p.Now().Sub(start))
-		case "del":
-			k, ok := parseKey()
-			if !ok {
-				return
-			}
-			if err := client.Delete(p, k); err != nil {
-				fmt.Println("error:", err)
-				return
-			}
-			fmt.Printf("OK (%v simulated)\n", p.Now().Sub(start))
-		case "stats":
-			fmt.Printf("server: %d requests served, %d ops executed, clock %v\n",
-				srv.RequestsServed, srv.OpsExecuted, p.Now())
-			_ = model.Default()
-		default:
-			fmt.Println("commands: put <k> <v> | get <k> | del <k> | stats | quit")
+	switch cmd {
+	case "put":
+		k, ok := parseKey()
+		if !ok {
+			return nil
 		}
-	})
-	c.Run()
+		if len(args) < 2 {
+			fmt.Println("need a value")
+			return nil
+		}
+		val := strings.Join(args[1:], " ")
+		d, err := backend.put(k, []byte(val))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK (%v %s: probe RT + chained ALLOCATE/WRITE/CAS RT)\n", d, backend.costNote())
+	case "get":
+		k, ok := parseKey()
+		if !ok {
+			return nil
+		}
+		v, d, err := backend.get(k)
+		if errors.Is(err, kv.ErrNotFound) {
+			fmt.Printf("(not found) (%v %s)\n", d, backend.costNote())
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q (%v %s: one indirect bounded READ)\n", v, d, backend.costNote())
+	case "del":
+		k, ok := parseKey()
+		if !ok {
+			return nil
+		}
+		d, err := backend.del(k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK (%v %s)\n", d, backend.costNote())
+	case "stats":
+		fmt.Println(backend.stats())
+	default:
+		fmt.Println("commands: put <k> <v> | get <k> | del <k> | stats | quit")
+	}
+	return nil
 }
+
+// simOps runs commands on the simulated cluster; each command is one
+// simulated process and the engine advances only while it executes.
+type simOps struct {
+	c      *prism.ClusterSim
+	client *prism.KVClient
+	srv    *prism.Server
+}
+
+func newSimOps(deployFlag, netFlag string, nKeys int64) (*simOps, string, error) {
+	var deploy prism.Deployment
+	switch deployFlag {
+	case "sw":
+		deploy = prism.SoftwarePRISM
+	case "hw-proj":
+		deploy = prism.ProjectedHardwarePRISM
+	case "bluefield":
+		deploy = prism.BlueFieldPRISM
+	default:
+		return nil, "", errors.New("unknown deployment (PRISM needs sw, hw-proj, or bluefield)")
+	}
+	var network prism.SwitchProfile
+	switch netFlag {
+	case "direct":
+		network = prism.Direct
+	case "rack":
+		network = prism.Rack
+	case "cluster":
+		network = prism.Cluster
+	case "datacenter":
+		network = prism.Datacenter
+	default:
+		return nil, "", errors.New("unknown network profile")
+	}
+	c := prism.NewCluster(prism.ClusterConfig{Seed: 1, Network: &network})
+	srv := c.NewServer("kv", deploy)
+	store, err := prism.NewKVServer(srv, prism.KVOptions(nKeys, 1024))
+	if err != nil {
+		return nil, "", err
+	}
+	client := prism.NewKVClient(c.NewClientMachine("repl").Connect(srv), store.Meta(), 1)
+	banner := fmt.Sprintf("PRISM-KV REPL — deployment %v, network %s (all latencies are simulated)",
+		deploy, network.Name)
+	return &simOps{c: c, client: client, srv: srv}, banner, nil
+}
+
+// run executes fn as one simulated process and returns the simulated
+// time it took.
+func (s *simOps) run(fn func(p *sim.Proc) error) (time.Duration, error) {
+	var d time.Duration
+	var err error
+	s.c.Go("cmd", func(p *sim.Proc) {
+		start := p.Now()
+		err = fn(p)
+		d = p.Now().Sub(start)
+	})
+	s.c.Run()
+	return d, err
+}
+
+func (s *simOps) put(key int64, value []byte) (time.Duration, error) {
+	return s.run(func(p *sim.Proc) error { return s.client.Put(p, key, value) })
+}
+
+func (s *simOps) get(key int64) ([]byte, time.Duration, error) {
+	var v []byte
+	d, err := s.run(func(p *sim.Proc) error {
+		var err error
+		v, err = s.client.Get(p, key)
+		return err
+	})
+	return v, d, err
+}
+
+func (s *simOps) del(key int64) (time.Duration, error) {
+	return s.run(func(p *sim.Proc) error { return s.client.Delete(p, key) })
+}
+
+func (s *simOps) stats() string {
+	_ = model.Default()
+	return fmt.Sprintf("server: %d requests served, %d ops executed",
+		s.srv.RequestsServed, s.srv.OpsExecuted)
+}
+
+func (s *simOps) costNote() string { return "simulated" }
+
+// liveOps runs commands against a prismd over a real socket.
+type liveOps struct {
+	tc   *transport.Client
+	kvc  *kv.LiveClient
+	addr string
+}
+
+func newLiveOps(addr string) (*liveOps, error) {
+	tc, kvc, err := kv.DialLive(addr, 1)
+	if err != nil {
+		return nil, fmt.Errorf("connect %s: %w", addr, err)
+	}
+	return &liveOps{tc: tc, kvc: kvc, addr: addr}, nil
+}
+
+func (l *liveOps) put(key int64, value []byte) (time.Duration, error) {
+	start := time.Now()
+	err := l.kvc.Put(key, value)
+	return time.Since(start), err
+}
+
+func (l *liveOps) get(key int64) ([]byte, time.Duration, error) {
+	start := time.Now()
+	v, err := l.kvc.Get(key)
+	return v, time.Since(start), err
+}
+
+func (l *liveOps) del(key int64) (time.Duration, error) {
+	start := time.Now()
+	err := l.kvc.Delete(key)
+	return time.Since(start), err
+}
+
+func (l *liveOps) stats() string {
+	m := l.kvc.Meta()
+	return fmt.Sprintf("live server at %s: %d slots, hash mode %d, max value %d bytes",
+		l.addr, m.NSlots, m.Hash, m.MaxValue)
+}
+
+func (l *liveOps) costNote() string { return "wall clock" }

@@ -1,0 +1,171 @@
+// Command prismload drives concurrent load against a live prismd
+// server and reports throughput and latency percentiles. Each client is
+// a goroutine owning one logical connection (queue pair); many clients
+// multiplex over a small pool of sockets, RDMAvisor-style, so "-clients
+// 1000 -sockets 8" means a thousand concurrent closed-loop clients on
+// eight file descriptors.
+//
+//	prismload -addr /tmp/prism.sock -clients 1000 -duration 10s -json out.json
+//
+// The key space should be preloaded (prismd -load) so reads hit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prism/internal/kv"
+	"prism/internal/stats"
+	"prism/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server address (unix path or host:port)")
+	clients := flag.Int("clients", 100, "concurrent closed-loop clients (logical connections)")
+	sockets := flag.Int("sockets", 8, "sockets to multiplex clients over")
+	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
+	keys := flag.Int64("keys", 4096, "key space (should be preloaded)")
+	valueSize := flag.Int("value", 128, "value size for writes (bytes)")
+	reads := flag.Float64("reads", 0.95, "fraction of operations that are GETs")
+	wirecheck := flag.Bool("wirecheck", false, "verify every frame round-trips the codec canonically")
+	jsonPath := flag.String("json", "", "write the result JSON here (default stdout)")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "prismload: need -addr")
+		os.Exit(2)
+	}
+	if *sockets < 1 {
+		*sockets = 1
+	}
+	if *sockets > *clients {
+		*sockets = *clients
+	}
+	transport.SetWireCheck(*wirecheck)
+
+	// Dial the socket pool and fetch the store metadata once.
+	pool := make([]*transport.Client, *sockets)
+	for i := range pool {
+		tc, err := transport.Dial(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prismload: dial %s: %v\n", *addr, err)
+			os.Exit(1)
+		}
+		defer tc.Close()
+		pool[i] = tc
+	}
+	metaConn, err := pool[0].Connect()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prismload: connect:", err)
+		os.Exit(1)
+	}
+	meta, err := kv.FetchMeta(metaConn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prismload: fetch meta:", err)
+		os.Exit(1)
+	}
+	if *keys > meta.NSlots {
+		fmt.Fprintf(os.Stderr, "prismload: -keys %d exceeds server's %d slots\n", *keys, meta.NSlots)
+		os.Exit(1)
+	}
+
+	// Open every logical connection up front so the measured window is
+	// pure data path.
+	conns := make([]*transport.Conn, *clients)
+	for i := range conns {
+		cn, err := pool[i%*sockets].Connect()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prismload: connect client %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		conns[i] = cn
+	}
+
+	var (
+		ops      atomic.Int64
+		errCount atomic.Int64
+		wg       sync.WaitGroup
+	)
+	recorders := make([]*stats.LatencyRecorder, *clients)
+	value := make([]byte, *valueSize)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		rec := stats.NewLatencyRecorder()
+		recorders[i] = rec
+		kvc := kv.NewLiveClient(conns[i], meta, uint16(i+1))
+		rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				key := rng.Int63n(*keys)
+				opStart := time.Now()
+				var err error
+				if rng.Float64() < *reads {
+					_, err = kvc.Get(key)
+					if err == kv.ErrNotFound {
+						err = nil // an unloaded key is a valid miss
+					}
+				} else {
+					err = kvc.Put(key, value)
+				}
+				if err != nil {
+					errCount.Add(1)
+					return // transport down or protocol error: stop this client
+				}
+				rec.Record(time.Since(opStart))
+				ops.Add(1)
+			}
+			kvc.FlushFrees()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := stats.NewLatencyRecorder()
+	for _, rec := range recorders {
+		merged.Merge(rec)
+	}
+	result := map[string]any{
+		"addr":        *addr,
+		"clients":     *clients,
+		"sockets":     *sockets,
+		"duration_s":  elapsed.Seconds(),
+		"reads":       *reads,
+		"value_bytes": *valueSize,
+		"ops":         ops.Load(),
+		"ops_per_sec": float64(ops.Load()) / elapsed.Seconds(),
+		"p50_us":      float64(merged.Median()) / 1e3,
+		"p99_us":      float64(merged.P99()) / 1e3,
+		"errors":      errCount.Load(),
+		"num_cpu":     runtime.NumCPU(),
+		"wirecheck":   *wirecheck,
+	}
+	out, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prismload:", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "prismload:", err)
+			os.Exit(1)
+		}
+	}
+	os.Stdout.Write(out)
+	if errCount.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"prism/internal/prism"
 	"prism/internal/rdma"
 	"prism/internal/sim"
+	"prism/internal/transport"
 	"prism/internal/wire"
 )
 
@@ -17,6 +18,10 @@ import (
 const (
 	rpcFree byte = iota + 1
 	rpcPilafPut
+	// rpcMeta returns the server's encoded Meta, so live clients fetch
+	// the control-plane description over the wire instead of sharing
+	// process memory with the server (see live.go).
+	rpcMeta
 )
 
 // Options configures a PRISM-KV server.
@@ -48,6 +53,11 @@ func DefaultOptions(n int64, valueSize int) Options {
 // the NIC data path; the host CPU only registers memory and recycles
 // buffers.
 type Server struct {
+	// host is the transport the store is provisioned on: the simulated
+	// NIC (rdma.Server) or a live socket server (transport.Server).
+	host transport.Host
+	// rs is the simulated NIC when the store runs in the simulator, nil
+	// on a live transport. Capture/NIC are simulator-only.
 	rs   *rdma.Server
 	meta Meta
 	opts Options
@@ -55,6 +65,9 @@ type Server struct {
 	// garbage-collection-style reclamation scan (§3.2's alternative to
 	// client-driven reclamation).
 	classRegions []classRegion
+	// metaBuf is the rpcMeta reply scratch; RPC dispatch is serialized by
+	// the transport (one server domain in the simulator, rpcMu live).
+	metaBuf []byte
 }
 
 type classRegion struct {
@@ -64,9 +77,20 @@ type classRegion struct {
 	count   int
 }
 
-// NewServer provisions PRISM-KV on the given NIC.
+// NewServer provisions PRISM-KV on the given simulated NIC.
 func NewServer(rs *rdma.Server, opts Options) (*Server, error) {
-	space := rs.Space()
+	s, err := NewServerOn(rs, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.rs = rs
+	return s, nil
+}
+
+// NewServerOn provisions PRISM-KV on any transport host — the simulated
+// NIC or a live socket server.
+func NewServerOn(host transport.Host, opts Options) (*Server, error) {
+	space := host.Space()
 	hashRegion, err := space.Register(uint64(opts.NSlots) * slotSize)
 	if err != nil {
 		return nil, fmt.Errorf("kv: hash table registration: %w", err)
@@ -95,13 +119,13 @@ func NewServer(rs *rdma.Server, opts Options) (*Server, error) {
 		for b := 0; b < opts.BuffersPerClass; b++ {
 			fl.Post(region.Base + memory.Addr(uint64(b)*bufSize))
 		}
-		rs.AddFreeList(fl)
+		host.AddFreeList(fl)
 		meta.FreeLists = append(meta.FreeLists, FreeListInfo{ID: id, BufSize: bufSize})
 		regions = append(regions, classRegion{flID: id, base: region.Base, bufSize: bufSize, count: opts.BuffersPerClass})
 	}
-	rs.SetConnTempKey(hashRegion.Key)
-	s := &Server{rs: rs, meta: meta, opts: opts, classRegions: regions}
-	rs.SetRPCHandler(s.handleRPC)
+	host.SetConnTempKey(hashRegion.Key)
+	s := &Server{host: host, meta: meta, opts: opts, classRegions: regions}
+	host.SetRPCHandler(s.handleRPC)
 	return s, nil
 }
 
@@ -126,12 +150,15 @@ func (s *Server) handleRPC(payload []byte) ([]byte, time.Duration) {
 		for len(rest) >= 12 {
 			fl := binary.LittleEndian.Uint32(rest)
 			addr := memory.Addr(binary.LittleEndian.Uint64(rest[4:]))
-			s.rs.RecycleBuffer(fl, addr)
+			s.host.RecycleBuffer(fl, addr)
 			rest = rest[12:]
 			n++
 		}
 		// Recycling is cheap bookkeeping; charge ~100ns per buffer.
 		return []byte{0}, time.Duration(n) * 100 * time.Nanosecond
+	case rpcMeta:
+		s.metaBuf = appendMeta(s.metaBuf[:0], &s.meta)
+		return s.metaBuf, 0
 	default:
 		return nil, 0
 	}
@@ -146,11 +173,16 @@ func (s *Server) Load(key int64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	buf, err := s.rs.FreeList(flID).Pop()
+	// Hold the space guard across the whole load so bulk loading is safe
+	// while a live transport is already serving connections (uncontended —
+	// and free — in the single-threaded simulator).
+	space := s.host.Space()
+	space.Guard().Lock()
+	defer space.Guard().Unlock()
+	buf, err := s.host.FreeList(flID).Pop()
 	if err != nil {
 		return fmt.Errorf("kv: load out of buffers: %w", err)
 	}
-	space := s.rs.Space()
 	if err := space.Write(s.meta.Key, buf, entry); err != nil {
 		return err
 	}

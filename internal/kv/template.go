@@ -41,6 +41,7 @@ func (t *Template) NIC() *rdma.ServerTemplate { return t.nic }
 func NewServerFromTemplate(net *fabric.Network, name string, deploy model.Deployment, t *Template) *Server {
 	rs := rdma.NewServerFromTemplate(net, name, deploy, t.nic)
 	s := &Server{
+		host:         rs,
 		rs:           rs,
 		meta:         t.meta,
 		opts:         t.opts,

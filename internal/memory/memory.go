@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // RKey is a remote protection key returned by registration, required on
@@ -57,6 +58,16 @@ func (r *Region) Contains(addr Addr, n uint64) bool {
 
 // Space is one server's memory: a set of registered regions in a single
 // virtual address space. The zero value is not usable; call NewSpace.
+//
+// Concurrency: a Space is not goroutine-safe — even read paths mutate
+// the region cache, and Peek hands out views that a concurrent Write
+// could race with. Single-goroutine users (the simulator binds each
+// server's space to one event domain) need no locking. Concurrent users
+// (the live socket transport) must hold Guard across each whole PRISM
+// primitive — not just each Space call — because one primitive spans
+// several calls whose intermediate views must stay stable (CAS peeks
+// the current value, copies the previous image, then writes the swapped
+// one). Registration mutates the region table and takes the same guard.
 type Space struct {
 	regions []*Region // sorted by Base
 	nextKey RKey
@@ -67,7 +78,17 @@ type Space struct {
 	// skip the binary search. Forked spaces get their own Region objects,
 	// so the cache never leaks across a fork boundary.
 	last *Region
+
+	// guard is the space's concurrency lock; see the type comment. Each
+	// Space (including forks) owns its own lock.
+	guard sync.Mutex
 }
+
+// Guard returns the space's concurrency lock. Callers that share the
+// space across goroutines hold it across each whole primitive (executor
+// ExecInto call), each registration, and each free-list operation on
+// buffers inside the space. The simulator never takes it.
+func (s *Space) Guard() *sync.Mutex { return &s.guard }
 
 // NewSpace returns an empty memory space. Address 0 is never allocated so
 // that 0 can serve as the null pointer.

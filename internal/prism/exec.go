@@ -31,6 +31,17 @@ import (
 )
 
 // Executor applies PRISM operations to one server's memory.
+//
+// Concurrency: the dispatch table is immutable package state, so any
+// number of executors run concurrently — but one Executor is
+// single-goroutine (casScratch and ReadAlloc are per-call scratch), and
+// the Space and free lists it touches are not goroutine-safe. Servers
+// with concurrent connections give each connection its own Executor
+// over the shared Space/FreeLists and hold Space.Guard across each
+// ExecInto call: per-primitive locking is exactly the paper's atomicity
+// contract (each primitive atomic, chains not atomic as a whole — §3.3,
+// §3.5). The simulator executes every op for a server on that server's
+// event domain and needs neither.
 type Executor struct {
 	Space     *memory.Space
 	FreeLists map[uint32]*alloc.FreeList

@@ -6,6 +6,7 @@ import (
 	"prism/internal/fabric"
 	"prism/internal/memory"
 	"prism/internal/sim"
+	"prism/internal/transport"
 	"prism/internal/wire"
 )
 
@@ -61,57 +62,42 @@ func (c *Client) Domain() *sim.Engine { return c.e }
 // Conn is a reliable connection (queue pair) to one server. Not safe for
 // use by multiple simulation processes at once; give each closed-loop
 // client its own Conn, as real applications give each thread its own QP.
+//
+// The issue/complete machinery — pooled epoch-stamped request records,
+// connection-owned op scratch, and the strict send window — lives in
+// transport.Window, shared with the live stream transports; this type
+// binds it to the simulated fabric with a pooled future per request and
+// a retransmit timer on lossy networks. The window depth is the
+// server's replay-ring depth: a request is only on the wire while its
+// response can still be replayed, so a retransmitted duplicate can
+// never re-execute (re-execution of a chain could clobber the shared
+// temp buffer under a live chain).
 type Conn struct {
 	client *Client
 	srv    *Server
 	id     uint64
-	seq    uint64
 
 	// TempAddr/TempKey locate this connection's temporary buffer on the
 	// server, the redirect target for chains (§3.4).
 	TempAddr memory.Addr
 	TempKey  memory.RKey
 
-	pending map[uint64]*pendingReq
-	// queue holds requests awaiting a send-window slot. The window is the
-	// server's replay-ring depth: a request is only on the wire while its
-	// response can still be replayed, so a retransmitted duplicate can
-	// never re-execute (re-execution of a chain could clobber the shared
-	// temp buffer under a live chain). qhead is the pop cursor: entries
-	// before it are drained, and the slice rewinds to its full capacity
-	// once empty, so the steady state appends into retained storage.
-	queue []*pendingReq
-	qhead int
+	win *transport.Window[simPending]
 
 	// Retransmissions counts timer-driven resends (loss recovery).
 	Retransmissions int64
-
-	// prFree pools request objects: once a request's response arrives it
-	// can be reused for the next issue on this connection. A duplicate of
-	// the old request may still be in flight on a lossy network; the
-	// epoch bumped on reuse lets the server discard it (see wire.Request).
-	// The pooled future is Reset rather than reallocated, and an
-	// ops-scratch slice handed out by Ops is recycled with the request.
-	prFree []*pendingReq
-
-	// prepared is the request whose op scratch the last Ops call handed
-	// out; the next IssueAsync on this connection claims it.
-	prepared *pendingReq
 
 	// wcheck is the scratch for wire-check mode (see SetWireCheck); nil
 	// until the first checked transmission.
 	wcheck *wireState
 }
 
-type pendingReq struct {
-	req   *wire.Request
+// simPending is the sim transport's per-entry completion state: the
+// pooled future (Reset rather than reallocated on entry reuse) and the
+// retransmit timer armed on lossy networks.
+type simPending struct {
 	fut   *sim.Future[[]wire.Result]
 	timer sim.Timer
-	// opsOwned marks req.Ops as connection-owned scratch (handed out by
-	// Ops): its capacity is retained and its entries zeroed at recycle.
-	// Caller-owned slices are dropped instead — they must never be handed
-	// back out as scratch.
-	opsOwned bool
 }
 
 // Connect opens a queue pair from the client to the server. Connection
@@ -126,8 +112,8 @@ func (c *Client) Connect(srv *Server) *Conn {
 		id:       id,
 		TempAddr: temp,
 		TempKey:  tempKey,
-		pending:  make(map[uint64]*pendingReq),
 	}
+	conn.win = transport.NewWindow[simPending](id, replayDepth, conn.transmitEntry)
 	c.conns[connKey{node: srv.node, id: id}] = conn
 	return conn
 }
@@ -146,31 +132,7 @@ func (c *Conn) Engine() *sim.Engine { return c.client.e }
 // zero-allocation alternative to building a fresh []wire.Op per request.
 // The slice (including payload/mask fields set into it) must not be
 // retained past the response.
-func (c *Conn) Ops(n int) []wire.Op {
-	pr := c.prepared
-	if pr == nil {
-		if m := len(c.prFree); m > 0 {
-			pr = c.prFree[m-1]
-			c.prFree[m-1] = nil
-			c.prFree = c.prFree[:m-1]
-		} else {
-			pr = &pendingReq{req: &wire.Request{}}
-		}
-		c.prepared = pr
-	}
-	ops := pr.req.Ops
-	if !pr.opsOwned || cap(ops) < n {
-		ops = make([]wire.Op, n)
-		pr.opsOwned = true
-	} else {
-		ops = ops[:n]
-		for i := range ops {
-			ops[i] = wire.Op{}
-		}
-	}
-	pr.req.Ops = ops
-	return ops
-}
+func (c *Conn) Ops(n int) []wire.Op { return c.win.Ops(n) }
 
 // IssueAsync transmits a chain of ops and returns a future for the
 // per-op results. Requests beyond the send window queue locally until a
@@ -180,65 +142,23 @@ func (c *Conn) IssueAsync(ops []wire.Op) *sim.Future[[]wire.Result] {
 	if len(ops) == 0 {
 		panic("rdma: empty request")
 	}
-	var pr *pendingReq
-	if p := c.prepared; p != nil && len(p.req.Ops) > 0 && &ops[0] == &p.req.Ops[0] {
-		// The caller filled the scratch handed out by Ops.
-		pr = p
-		c.prepared = nil
-		pr.req.Conn, pr.req.Seq, pr.req.Ops = c.id, c.seq, ops
-		pr.req.Epoch++ // invalidate in-flight duplicates of the old incarnation
-	} else if n := len(c.prFree); n > 0 {
-		pr = c.prFree[n-1]
-		c.prFree[n-1] = nil
-		c.prFree = c.prFree[:n-1]
-		pr.req.Conn, pr.req.Seq, pr.req.Ops = c.id, c.seq, ops
-		pr.req.Epoch++ // invalidate in-flight duplicates of the old incarnation
-		pr.opsOwned = false
+	e := c.win.Prepare(ops)
+	if e.X.fut == nil {
+		e.X.fut = sim.NewFuture[[]wire.Result](c.client.e)
 	} else {
-		pr = &pendingReq{req: &wire.Request{Conn: c.id, Seq: c.seq, Ops: ops}}
+		e.X.fut.Reset()
 	}
-	if pr.fut == nil {
-		pr.fut = sim.NewFuture[[]wire.Result](c.client.e)
-	} else {
-		pr.fut.Reset()
-	}
-	c.seq++
-	c.queue = append(c.queue, pr)
-	c.drainQueue()
-	return pr.fut
+	c.win.Enqueue(e)
+	return e.X.fut
 }
 
-// drainQueue transmits queued requests while the window allows. The
-// window is strict on the sequence range — request N is only on the wire
-// when N-replayDepth has been acknowledged — so (a) the server's replay
-// ring always covers every in-flight request and (b) per-connection
-// resources indexed by seq mod window (temp-buffer slots) are never
-// shared by two live requests.
-func (c *Conn) drainQueue() {
-	for c.qhead < len(c.queue) {
-		pr := c.queue[c.qhead]
-		if len(c.pending) > 0 {
-			min := ^uint64(0)
-			for s := range c.pending {
-				if s < min {
-					min = s
-				}
-			}
-			if pr.req.Seq >= min+replayDepth {
-				return
-			}
-		}
-		c.queue[c.qhead] = nil
-		c.qhead++
-		c.pending[pr.req.Seq] = pr
-		c.transmit(pr.req)
-		if c.client.net.Params().LossRate > 0 {
-			c.armRetransmit(pr)
-		}
+// transmitEntry is the window's transmit hook: put the request on the
+// fabric and, if the network can lose it, arm the retransmit timer.
+func (c *Conn) transmitEntry(e *transport.Entry[simPending]) {
+	c.transmit(e.Req)
+	if c.client.net.Params().LossRate > 0 {
+		c.armRetransmit(e)
 	}
-	// Drained: rewind so future appends reuse the retained storage.
-	c.queue = c.queue[:0]
-	c.qhead = 0
 }
 
 func (c *Conn) transmit(req *wire.Request) {
@@ -257,14 +177,14 @@ func (c *Conn) transmit(req *wire.Request) {
 	})
 }
 
-func (c *Conn) armRetransmit(pr *pendingReq) {
-	pr.timer = c.client.e.Schedule(c.client.net.Params().RetransmitTimeout, func() {
-		if pr.fut.Done() {
+func (c *Conn) armRetransmit(e *transport.Entry[simPending]) {
+	e.X.timer = c.client.e.Schedule(c.client.net.Params().RetransmitTimeout, func() {
+		if e.X.fut.Done() {
 			return
 		}
 		c.Retransmissions++
-		c.transmit(pr.req)
-		c.armRetransmit(pr)
+		c.transmit(e.Req)
+		c.armRetransmit(e)
 	})
 }
 
@@ -289,28 +209,15 @@ func (c *Client) onMessage(m fabric.Message) {
 	if !ok {
 		panic(fmt.Sprintf("rdma: response for unknown connection %d from %s", resp.Conn, m.From.Name()))
 	}
-	pr, ok := conn.pending[resp.Seq]
-	if !ok {
+	e := conn.win.Take(resp.Seq)
+	if e == nil {
 		return // duplicate response (original + replayed retransmission)
 	}
-	delete(conn.pending, resp.Seq)
-	pr.timer.Stop()
-	fut := pr.fut
-	// Recycle the request object — future and op scratch included — for
-	// the next issue on this connection. Any in-flight duplicate is
-	// invalidated by the epoch bump on reuse. Connection-owned op scratch
-	// keeps its capacity with the entries zeroed (dropping payload refs);
-	// caller-owned slices are dropped entirely.
-	if pr.opsOwned {
-		ops := pr.req.Ops
-		for i := range ops {
-			ops[i] = wire.Op{}
-		}
-		pr.req.Ops = ops[:0]
-	} else {
-		pr.req.Ops = nil
-	}
-	conn.prFree = append(conn.prFree, pr)
-	conn.drainQueue() // a window slot may have freed
+	e.X.timer.Stop()
+	fut := e.X.fut
+	// Recycle the request record — future and op scratch included — for
+	// the next issue on this connection; see transport.Window.Recycle.
+	conn.win.Recycle(e)
+	conn.win.Drain() // a window slot may have freed
 	fut.Complete(resp.Results)
 }

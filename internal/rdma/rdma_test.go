@@ -620,9 +620,9 @@ func TestArenaRecycleUnderRetransmission(t *testing.T) {
 	if v.srv.RespReused == 0 {
 		t.Fatal("response arena never recycled under loss (pooling disabled?)")
 	}
-	if len(v.conn.prFree) == 0 {
+	if v.conn.win.Pooled() == 0 {
 		t.Fatal("request pool empty after drain: requests not recycled under loss")
 	}
 	t.Logf("retransmissions=%d respReused=%d reqPool=%d",
-		v.conn.Retransmissions, v.srv.RespReused, len(v.conn.prFree))
+		v.conn.Retransmissions, v.srv.RespReused, v.conn.win.Pooled())
 }

@@ -17,6 +17,7 @@ import (
 	"prism/internal/model"
 	"prism/internal/prism"
 	"prism/internal/sim"
+	"prism/internal/transport"
 	"prism/internal/wire"
 )
 
@@ -45,8 +46,14 @@ const defaultRecvCredits = 4096
 
 // RPCHandler processes a two-sided request on the server CPU. It returns
 // the reply payload and any extra CPU time the handler consumed beyond the
-// base dispatch cost (charged to the RPC core pool).
-type RPCHandler func(payload []byte) (reply []byte, extraCPU time.Duration)
+// base dispatch cost (charged to the RPC core pool). The type is shared
+// with the live stream transports so one application handler provisions
+// on either the simulated or the socket server.
+type RPCHandler = transport.RPCHandler
+
+// The simulated server is one of the transports applications provision
+// on; the others are the live socket servers (transport.Server).
+var _ transport.Host = (*Server)(nil)
 
 // Server is one machine's NIC endpoint plus the server-side state of the
 // deployments: memory, free lists, dedicated PRISM cores, and RPC cores.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"prism/internal/transport"
 	"prism/internal/wire"
 )
 
@@ -21,8 +22,13 @@ var wireCheck bool
 
 // SetWireCheck toggles wire-check mode for subsequently transmitted
 // messages. Not safe to flip while a multi-domain simulation is running;
-// set it before Engine.Run.
-func SetWireCheck(on bool) { wireCheck = on }
+// set it before Engine.Run. The switch forwards to the live stream
+// transports (transport.SetWireCheck), so one call covers every
+// transport a process uses.
+func SetWireCheck(on bool) {
+	wireCheck = on
+	transport.SetWireCheck(on)
+}
 
 // wireState is the per-connection scratch wire-check encodes into and
 // decodes from. Per connection, so domain-parallel simulations check

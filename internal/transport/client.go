@@ -1,0 +1,380 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"prism/internal/memory"
+	"prism/internal/wire"
+)
+
+// liveWindowDepth bounds outstanding requests per logical connection.
+// Streams deliver exactly-once so there is no replay ring to cover; the
+// window only bounds client-side pipelining (and keeps the shared temp
+// buffer's slot discipline identical to the simulated transport).
+const liveWindowDepth = 64
+
+// ErrClientClosed reports an operation on a closed client.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// Client is a live PRISM client endpoint: one stream socket carrying
+// any number of logical connections (queue pairs). A demux goroutine
+// routes response frames to their issuing connection; issues from many
+// goroutines interleave on the socket. Safe for concurrent use, but an
+// individual Conn is single-owner, like a queue pair.
+type Client struct {
+	nc net.Conn
+	fr *FrameReader
+
+	wmu sync.Mutex // serializes frame writes (and the send-side wirecheck)
+	fw  *FrameWriter
+	wcS *wireCheckState // send side, under wmu
+
+	mu    sync.Mutex // guards conns and err
+	conns map[uint64]*Conn
+	errv  error
+
+	connectMu sync.Mutex // serializes Connect handshakes
+	acceptCh  chan acceptInfo
+	down      chan struct{} // closed when the socket dies
+	downOnce  sync.Once
+
+	resp wire.Response   // demux alias-decode scratch
+	wcR  *wireCheckState // receive side, demux only
+}
+
+type acceptInfo struct {
+	id       uint64
+	tempAddr memory.Addr
+	tempKey  memory.RKey
+}
+
+// Network guesses the network for an address: addresses containing a
+// path separator are unix socket paths, everything else is tcp.
+func Network(addr string) string {
+	if strings.ContainsRune(addr, '/') {
+		return "unix"
+	}
+	return "tcp"
+}
+
+// Dial connects to a live server at addr, inferring tcp vs unix from
+// the address shape (see Network).
+func Dial(addr string) (*Client, error) {
+	return DialNetwork(Network(addr), addr)
+}
+
+// DialNetwork connects to a live server and performs the protocol
+// handshake.
+func DialNetwork(network, addr string) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:       nc,
+		fr:       NewFrameReader(nc),
+		fw:       NewFrameWriter(nc),
+		conns:    make(map[uint64]*Conn),
+		acceptCh: make(chan acceptInfo, 1),
+		down:     make(chan struct{}),
+	}
+	if err := c.fw.Send(frameHello, helloMagic); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	kind, _, err := c.fr.Next()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if kind != frameWelcome {
+		nc.Close()
+		return nil, fmt.Errorf("transport: unexpected handshake frame 0x%02x", kind)
+	}
+	go c.demux()
+	return c, nil
+}
+
+// Err returns the error that took the client down, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errv
+}
+
+// fail records the first fatal error and closes the socket; the demux
+// goroutine observes the closed socket and fails outstanding requests.
+// The error is recorded before any waiter can be signaled, so an issuer
+// that finds errv nil under a connection lock is guaranteed its entry
+// will be seen by the teardown sweep.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.errv == nil {
+		c.errv = err
+	}
+	c.mu.Unlock()
+	c.downOnce.Do(func() { close(c.down) })
+	c.nc.Close()
+}
+
+// Close tears the client down; outstanding issues fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return nil
+}
+
+// Connect opens a logical connection (queue pair) on the socket.
+func (c *Client) Connect() (*Conn, error) {
+	c.connectMu.Lock()
+	defer c.connectMu.Unlock()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	c.wmu.Lock()
+	err := c.fw.Send(frameConnect, nil)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	select {
+	case a := <-c.acceptCh:
+		cn := &Conn{c: c, id: a.id, TempAddr: a.tempAddr, TempKey: a.tempKey}
+		cn.win = NewWindow[liveWait](a.id, liveWindowDepth, cn.transmit)
+		c.mu.Lock()
+		c.conns[a.id] = cn
+		c.mu.Unlock()
+		return cn, nil
+	case <-c.down:
+		return nil, c.Err()
+	}
+}
+
+// Conn is a logical connection to the server. Like a real queue pair —
+// and like the simulated rdma.Conn — it is single-owner: one goroutine
+// issues on it at a time (the demux goroutine completes into it under
+// the connection lock).
+type Conn struct {
+	c  *Client
+	id uint64
+
+	// TempAddr/TempKey locate this connection's temporary buffer on the
+	// server, the redirect target for chains (§3.4).
+	TempAddr memory.Addr
+	TempKey  memory.RKey
+
+	mu  sync.Mutex // guards win (owner goroutine vs demux)
+	win *Window[liveWait]
+}
+
+// liveWait is the live transport's per-entry completion state: a
+// reusable one-slot channel the issuer blocks on, and entry-owned
+// storage the demux goroutine copies results into (the alias-decoded
+// response borrows the socket read buffer, which the next frame
+// overwrites).
+type liveWait struct {
+	done    chan error
+	results []wire.Result
+	data    []byte
+	async   bool
+}
+
+// store copies results (whose Data alias the socket read buffer) into
+// entry-owned storage.
+func (lw *liveWait) store(results []wire.Result) {
+	need := 0
+	for i := range results {
+		need += len(results[i].Data)
+	}
+	if cap(lw.data) < need {
+		lw.data = make([]byte, need)
+	}
+	lw.data = lw.data[:need]
+	if cap(lw.results) < len(results) {
+		lw.results = make([]wire.Result, len(results))
+	}
+	lw.results = lw.results[:len(results)]
+	off := 0
+	for i := range results {
+		r := &results[i]
+		var d []byte
+		if len(r.Data) > 0 {
+			d = lw.data[off : off+len(r.Data)]
+			copy(d, r.Data)
+			off += len(r.Data)
+		}
+		lw.results[i] = wire.Result{Status: r.Status, Addr: r.Addr, Data: d}
+	}
+}
+
+// Ops returns an n-op scratch slice owned by the connection, zeroed and
+// ready to fill — hand it to the next Issue on this connection (see
+// transport.Window.Ops).
+func (cn *Conn) Ops(n int) []wire.Op {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.win.Ops(n)
+}
+
+// Issue transmits a chain of ops and blocks until the response arrives.
+// The returned results (including payload views) are valid until the
+// next issue on this connection, matching the simulated transport's
+// borrowing contract.
+func (cn *Conn) Issue(ops []wire.Op) ([]wire.Result, error) {
+	e, err := cn.enqueue(ops, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-e.X.done; err != nil {
+		return nil, err
+	}
+	return e.X.results, nil
+}
+
+// IssueAsync transmits ops fire-and-forget: the response is consumed by
+// the demux goroutine and discarded (reclamation batches and other
+// best-effort traffic). Transport errors are reported by the next
+// synchronous Issue.
+func (cn *Conn) IssueAsync(ops []wire.Op) error {
+	_, err := cn.enqueue(ops, true)
+	return err
+}
+
+func (cn *Conn) enqueue(ops []wire.Op, async bool) (*Entry[liveWait], error) {
+	if len(ops) == 0 {
+		return nil, errors.New("transport: empty request")
+	}
+	cn.mu.Lock()
+	if err := cn.c.Err(); err != nil {
+		cn.mu.Unlock()
+		return nil, err
+	}
+	e := cn.win.Prepare(ops)
+	if e.X.done == nil {
+		e.X.done = make(chan error, 1)
+	}
+	e.X.async = async
+	cn.win.Enqueue(e)
+	cn.mu.Unlock()
+	return e, nil
+}
+
+// transmit is the window's transmit hook; called with cn.mu held.
+func (cn *Conn) transmit(e *Entry[liveWait]) {
+	c := cn.c
+	c.wmu.Lock()
+	if WireCheckEnabled() {
+		if c.wcS == nil {
+			c.wcS = &wireCheckState{}
+		}
+		c.wcS.checkRequestRoundTrip(e.Req)
+	}
+	err := c.fw.SendRequest(e.Req)
+	c.wmu.Unlock()
+	if err != nil {
+		// The entry is already pending; closing the socket wakes the demux
+		// goroutine, whose teardown sweep fails it.
+		c.fail(err)
+	}
+}
+
+// demux routes incoming frames: accept frames to the waiting Connect,
+// responses to their issuing connection. On socket death it fails every
+// outstanding request.
+func (c *Client) demux() {
+	for {
+		kind, body, err := c.fr.Next()
+		if err != nil {
+			c.teardown(err)
+			return
+		}
+		switch kind {
+		case frameAccept:
+			id, ta, tk, err := decodeAccept(body)
+			if err != nil {
+				c.teardown(err)
+				return
+			}
+			select {
+			case c.acceptCh <- acceptInfo{id: id, tempAddr: ta, tempKey: tk}:
+			default:
+				c.teardown(errors.New("transport: unsolicited accept frame"))
+				return
+			}
+		case frameResponse:
+			if err := wire.DecodeResponseAlias(&c.resp, body); err != nil {
+				c.teardown(err)
+				return
+			}
+			if WireCheckEnabled() {
+				if c.wcR == nil {
+					c.wcR = &wireCheckState{}
+				}
+				c.wcR.checkResponseBytes(&c.resp, body)
+			}
+			c.mu.Lock()
+			cn := c.conns[c.resp.Conn]
+			c.mu.Unlock()
+			if cn == nil {
+				c.teardown(fmt.Errorf("transport: response for unknown connection %d", c.resp.Conn))
+				return
+			}
+			cn.complete(&c.resp)
+		default:
+			c.teardown(fmt.Errorf("transport: unexpected frame 0x%02x", kind))
+			return
+		}
+	}
+}
+
+// complete hands a response to its entry: copy results into entry-owned
+// storage, recycle, refill the window, wake the issuer.
+func (cn *Conn) complete(resp *wire.Response) {
+	cn.mu.Lock()
+	e := cn.win.Take(resp.Seq)
+	if e == nil {
+		cn.mu.Unlock()
+		return // stream transports never duplicate; tolerate anyway
+	}
+	async := e.X.async
+	if !async {
+		e.X.store(resp.Results)
+	}
+	cn.win.Recycle(e)
+	cn.win.Drain()
+	cn.mu.Unlock()
+	if !async {
+		e.X.done <- nil
+	}
+}
+
+// teardown records the fatal error and fails every outstanding request
+// on every connection.
+func (c *Client) teardown(err error) {
+	c.fail(err)
+	err = c.Err() // first error wins
+	c.mu.Lock()
+	conns := make([]*Conn, 0, len(c.conns))
+	for _, cn := range c.conns {
+		conns = append(conns, cn)
+	}
+	c.mu.Unlock()
+	var waiters []*Entry[liveWait]
+	for _, cn := range conns {
+		cn.mu.Lock()
+		cn.win.Drop(func(e *Entry[liveWait]) {
+			if !e.X.async {
+				waiters = append(waiters, e)
+			}
+		})
+		cn.mu.Unlock()
+	}
+	for _, e := range waiters {
+		e.X.done <- err
+	}
+}

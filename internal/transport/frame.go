@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"prism/internal/memory"
+	"prism/internal/wire"
+)
+
+// Stream framing. A frame is
+//
+//	u32 LE length | u8 kind | payload
+//
+// where length counts the kind byte plus the payload. Request and
+// response payloads are the canonical internal/wire encodings; control
+// frames (hello/welcome/connect/accept) use the fixed layouts below.
+// The framer never allocates in steady state: FrameWriter appends into
+// one reusable buffer and issues a single Write per frame, FrameReader
+// reads into one reusable buffer that the returned payload (and any
+// alias-decoded message) borrows until the next call.
+const (
+	frameHello    = 0x01 // client → server, once per socket: magic + version
+	frameWelcome  = 0x02 // server → client: hello accepted
+	frameConnect  = 0x03 // client → server: open a logical connection
+	frameAccept   = 0x04 // server → client: conn id, temp addr, temp key
+	frameRequest  = 0x05 // client → server: wire.Request
+	frameResponse = 0x06 // server → client: wire.Response
+)
+
+// helloMagic identifies the protocol and its version. A server refuses
+// sockets that do not lead with it, so a stray client of some other
+// protocol fails fast instead of desyncing the framer.
+var helloMagic = []byte("PRSM\x01")
+
+// MaxFrame bounds a frame's length prefix. A request is at most 64 ops
+// of ≤1 MiB inline payload+masks each (wire.maxInline), so 16 MiB
+// rejects nothing the codec would accept for sane op counts while
+// keeping a corrupt or hostile length prefix from ballooning the read
+// buffer.
+const MaxFrame = 16 << 20
+
+var (
+	// ErrFrameTooBig reports a length prefix above MaxFrame (or an
+	// attempt to send one).
+	ErrFrameTooBig = errors.New("transport: frame exceeds MaxFrame")
+	// ErrBadFrame reports a structurally invalid frame: a zero length
+	// prefix or a control payload of the wrong shape.
+	ErrBadFrame = errors.New("transport: malformed frame")
+)
+
+// FrameReader reads length-prefixed frames from a stream. Not safe for
+// concurrent use; each socket gets its own.
+type FrameReader struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte // reused frame body storage
+}
+
+// NewFrameReader returns a framer over r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Next reads one frame and returns its kind and payload. The payload
+// aliases the reader's internal buffer and is valid only until the next
+// call. A clean end of stream at a frame boundary returns io.EOF; a
+// stream truncated mid-frame returns io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() (kind byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	if n == 0 {
+		return 0, nil, ErrBadFrame
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooBig
+	}
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // length prefix promised a body
+		}
+		return 0, nil, err
+	}
+	return fr.buf[0], fr.buf[1:], nil
+}
+
+// FrameWriter writes length-prefixed frames to a stream. Not safe for
+// concurrent use; callers sharing a socket serialize sends themselves.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte // reused encode buffer: prefix + kind + payload
+}
+
+// NewFrameWriter returns a framer over w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// send frames buf (already holding prefix placeholder + kind + payload),
+// patching the length, as a single Write.
+func (fw *FrameWriter) send() error {
+	if len(fw.buf)-4 > MaxFrame {
+		return ErrFrameTooBig
+	}
+	binary.LittleEndian.PutUint32(fw.buf, uint32(len(fw.buf)-4))
+	_, err := fw.w.Write(fw.buf)
+	return err
+}
+
+// Send writes a control frame with the given kind and payload.
+func (fw *FrameWriter) Send(kind byte, payload []byte) error {
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, kind)
+	fw.buf = append(fw.buf, payload...)
+	return fw.send()
+}
+
+// SendRequest encodes req with the canonical codec and writes it as one
+// frame. Allocation-free in steady state: the encode buffer is reused
+// across calls.
+func (fw *FrameWriter) SendRequest(req *wire.Request) error {
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, frameRequest)
+	fw.buf = wire.AppendRequest(fw.buf, req)
+	return fw.send()
+}
+
+// SendResponse encodes resp and writes it as one frame.
+func (fw *FrameWriter) SendResponse(resp *wire.Response) error {
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, frameResponse)
+	fw.buf = wire.AppendResponse(fw.buf, resp)
+	return fw.send()
+}
+
+// Accept frame payload: conn id u64 LE | temp addr u64 LE | temp key
+// u32 LE.
+const acceptLen = 8 + 8 + 4
+
+func appendAccept(dst []byte, id uint64, tempAddr memory.Addr, tempKey memory.RKey) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tempAddr))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(tempKey))
+	return dst
+}
+
+func decodeAccept(b []byte) (id uint64, tempAddr memory.Addr, tempKey memory.RKey, err error) {
+	if len(b) != acceptLen {
+		return 0, 0, 0, fmt.Errorf("%w: accept frame is %d bytes, want %d", ErrBadFrame, len(b), acceptLen)
+	}
+	id = binary.LittleEndian.Uint64(b)
+	tempAddr = memory.Addr(binary.LittleEndian.Uint64(b[8:]))
+	tempKey = memory.RKey(binary.LittleEndian.Uint32(b[16:]))
+	return id, tempAddr, tempKey, nil
+}

@@ -1,0 +1,460 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prism/internal/alloc"
+	"prism/internal/memory"
+	"prism/internal/prism"
+	"prism/internal/wire"
+)
+
+// Host is the server-side provisioning surface every transport's server
+// implements: registered memory, free lists for ALLOCATE, the shared
+// rkey for per-connection temp buffers, the two-sided RPC hook, and
+// quiescent buffer reclamation (§3.2). Applications (PRISM-KV and
+// friends) provision against this interface, so one store runs on the
+// simulated NIC (rdma.Server) or a live socket server (Server here)
+// unchanged.
+type Host interface {
+	Space() *memory.Space
+	AddFreeList(fl *alloc.FreeList)
+	FreeList(id uint32) *alloc.FreeList
+	SetConnTempKey(key memory.RKey)
+	SetRPCHandler(h RPCHandler)
+	RecycleBuffer(freeList uint32, addr memory.Addr)
+	Quiesce(fn func())
+}
+
+// ConnTempSize/TempSlotSize mirror the simulated NIC's per-connection
+// temporary-buffer provisioning (rdma.ConnTempSize): the redirect
+// target for chains, carved into TempSlotSize chain slots.
+const (
+	ConnTempSize = 256
+	TempSlotSize = 32
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins draining.
+var ErrServerClosed = errors.New("transport: server closed")
+
+// Server is a live PRISM NIC endpoint over stream sockets (tcp or
+// unix). Each accepted socket gets its own goroutine, framer, executor,
+// and scratch; logical connections (queue pairs) multiplex over sockets
+// RDMAvisor-style, so thousands of clients share a few file
+// descriptors. Shared state — the memory space, free lists, the
+// quiescer, and the connection-temp region — is serialized on the
+// space's guard, held across each whole primitive (see memory.Space and
+// prism.Executor): requests on one socket serve in arrival order, ops
+// from different sockets interleave per primitive, which is exactly the
+// paper's atomicity contract for chains (§3.3, §3.5).
+type Server struct {
+	space     *memory.Space
+	freeLists map[uint32]*alloc.FreeList
+	quiescer  *alloc.Quiescer
+	handler   RPCHandler
+
+	// rpcMu serializes RPC handler invocations: handlers keep per-server
+	// scratch (reply buffers, decode state) sized for the simulator's
+	// one-domain-per-server execution. Lock order: rpcMu before the
+	// space guard (handlers call RecycleBuffer, which takes the guard).
+	rpcMu sync.Mutex
+
+	// mu guards the accept-side bookkeeping: listeners, sockets, the
+	// logical-connection counter, temp-region carving, and draining.
+	mu         sync.Mutex
+	tempKey    memory.RKey
+	tempRegion *memory.Region
+	tempUsed   uint64
+	nextConn   uint64
+	listeners  []net.Listener
+	socks      map[*srvSock]struct{}
+	draining   bool
+	wg         sync.WaitGroup
+
+	// Stats (atomic: bumped by every socket goroutine).
+	RequestsServed atomic.Int64
+	OpsExecuted    atomic.Int64
+	ConnsAccepted  atomic.Int64
+}
+
+// NewServer returns a live server over a fresh memory space, ready for
+// application provisioning (Host) and then Serve.
+func NewServer() *Server {
+	return &Server{
+		space:     memory.NewSpace(),
+		freeLists: make(map[uint32]*alloc.FreeList),
+		quiescer:  alloc.NewQuiescer(),
+		socks:     make(map[*srvSock]struct{}),
+	}
+}
+
+// Space exposes the server's memory for registration and CPU-side
+// access. CPU-side access concurrent with serving must hold
+// Space().Guard.
+func (s *Server) Space() *memory.Space { return s.space }
+
+// AddFreeList registers a free list with the NIC for ALLOCATE. Call
+// during provisioning, before Serve.
+func (s *Server) AddFreeList(fl *alloc.FreeList) {
+	if _, dup := s.freeLists[fl.ID]; dup {
+		panic(fmt.Sprintf("transport: duplicate free list id %d", fl.ID))
+	}
+	s.freeLists[fl.ID] = fl
+}
+
+// FreeList returns a registered free list.
+func (s *Server) FreeList(id uint32) *alloc.FreeList { return s.freeLists[id] }
+
+// SetRPCHandler installs the two-sided dispatch target.
+func (s *Server) SetRPCHandler(h RPCHandler) { s.handler = h }
+
+// SetConnTempKey selects the protection domain in which per-connection
+// temporary buffers are allocated. Must be called before the first
+// connection.
+func (s *Server) SetConnTempKey(key memory.RKey) {
+	if s.tempRegion != nil {
+		panic("transport: SetConnTempKey after connections exist")
+	}
+	s.tempKey = key
+}
+
+// TempKey returns the rkey protecting connection temp buffers.
+func (s *Server) TempKey() memory.RKey { return s.tempKey }
+
+// RecycleBuffer returns a client-released buffer to its free list once
+// all in-flight operations drain (§3.2's reuse rule). Safe to call from
+// RPC handlers and application goroutines.
+func (s *Server) RecycleBuffer(freeList uint32, addr memory.Addr) {
+	fl, ok := s.freeLists[freeList]
+	if !ok {
+		panic(fmt.Sprintf("transport: recycle to unknown free list %d", freeList))
+	}
+	g := s.space.Guard()
+	g.Lock()
+	fl.Recycle(addr)
+	fl.FlushWhenQuiet(s.quiescer)
+	g.Unlock()
+}
+
+// Quiesce runs fn once every operation currently in flight has
+// completed (immediately when idle). fn runs with the space guard held.
+func (s *Server) Quiesce(fn func()) {
+	g := s.space.Guard()
+	g.Lock()
+	s.quiescer.AfterQuiesce(fn)
+	g.Unlock()
+}
+
+// allocConnTemp carves a per-connection temp buffer, registering a new
+// backing region when the current one fills. Caller holds s.mu; the
+// space guard is taken for the registration only.
+func (s *Server) allocConnTemp() memory.Addr {
+	const regionBufs = 1024
+	if s.tempRegion == nil || s.tempUsed+ConnTempSize > s.tempRegion.Len {
+		g := s.space.Guard()
+		g.Lock()
+		var r *memory.Region
+		var err error
+		if s.tempKey != 0 {
+			r, err = s.space.RegisterShared(s.tempKey, ConnTempSize*regionBufs)
+		} else {
+			r, err = s.space.Register(ConnTempSize * regionBufs)
+			if err == nil {
+				s.tempKey = r.Key
+			}
+		}
+		g.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("transport: temp region registration failed: %v", err))
+		}
+		s.tempRegion = r
+		s.tempUsed = 0
+	}
+	addr := s.tempRegion.Base + memory.Addr(s.tempUsed)
+	s.tempUsed += ConnTempSize
+	return addr
+}
+
+// Serve accepts connections on l until Shutdown. It always closes l
+// before returning, and returns ErrServerClosed after a drain.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			l.Close()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sk := &srvSock{s: s, nc: nc, fr: NewFrameReader(nc), fw: NewFrameWriter(nc)}
+		sk.exec = &prism.Executor{Space: s.space, FreeLists: s.freeLists}
+		sk.exec.ReadAlloc = sk.carve
+		sk.conns = make(map[uint64]*liveConn)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			l.Close()
+			return ErrServerClosed
+		}
+		s.socks[sk] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go sk.loop()
+	}
+}
+
+// Shutdown drains the server: listeners close immediately, sockets
+// finish the request they are serving (responses flush), idle sockets
+// close as soon as their blocked read is interrupted, and a client
+// caught mid-frame loses the connection. If the drain has not finished
+// after grace, remaining sockets are force-closed. Safe to call more
+// than once.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	ls := s.listeners
+	s.listeners = nil
+	for sk := range s.socks {
+		// Interrupt blocked reads; the loop exits after finishing the
+		// frame in hand.
+		sk.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for sk := range s.socks {
+			sk.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// liveConn is one logical connection (queue pair) multiplexed on a
+// socket. The conditional-flag state follows the simulated server's:
+// lastOK tracks the last executed op's status; skipped ops leave it
+// unchanged, so consecutive conditionals all skip (§3.4).
+type liveConn struct {
+	id       uint64
+	tempAddr memory.Addr
+	lastOK   bool
+}
+
+// srvSock is one accepted socket: framers, a private executor over the
+// shared space, decode/encode scratch, and the logical connections
+// opened on it. All fields are owned by the socket's goroutine; shared
+// state is reached only under the space guard (primitives, free lists,
+// quiescer) or s.mu (registry).
+type srvSock struct {
+	s     *Server
+	nc    net.Conn
+	fr    *FrameReader
+	fw    *FrameWriter
+	exec  *prism.Executor
+	conns map[uint64]*liveConn
+
+	req     wire.Request  // alias-decodes into fr's buffer
+	resp    wire.Response // response under construction
+	results []wire.Result // reused results storage
+	payload []byte        // response payload arena, reset per request
+	opMeta  prism.OpMeta  // ExecInto out-param scratch (escape analysis)
+	wc      *wireCheckState
+	greeted bool
+}
+
+func (sk *srvSock) wcheck() *wireCheckState {
+	if sk.wc == nil {
+		sk.wc = &wireCheckState{}
+	}
+	return sk.wc
+}
+
+// carve allocates n bytes from the socket's response payload arena
+// (the executor's ReadAlloc hook). When the arena must grow, earlier
+// carvings keep the old backing array alive and the request continues
+// on the new one.
+func (sk *srvSock) carve(n uint64) []byte {
+	buf := sk.payload
+	if uint64(cap(buf)-len(buf)) < n {
+		c := 2 * cap(buf)
+		if c < int(n) {
+			c = int(n)
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		buf = make([]byte, 0, c)
+	}
+	off := len(buf)
+	buf = buf[:off+int(n)]
+	sk.payload = buf
+	return buf[off:]
+}
+
+func (sk *srvSock) loop() {
+	defer func() {
+		sk.nc.Close()
+		sk.s.mu.Lock()
+		delete(sk.s.socks, sk)
+		sk.s.mu.Unlock()
+		sk.s.wg.Done()
+	}()
+	for {
+		kind, body, err := sk.fr.Next()
+		if err != nil {
+			return // EOF, peer reset, or a drain-interrupted read
+		}
+		if !sk.greeted {
+			// The first frame must be the protocol hello.
+			if kind != frameHello || string(body) != string(helloMagic) {
+				return
+			}
+			sk.greeted = true
+			if sk.fw.Send(frameWelcome, nil) != nil {
+				return
+			}
+			continue
+		}
+		switch kind {
+		case frameConnect:
+			if sk.handleConnect() != nil {
+				return
+			}
+		case frameRequest:
+			if sk.serveRequest(body) != nil {
+				return
+			}
+		default:
+			return // protocol error
+		}
+	}
+}
+
+// handleConnect opens a logical connection and replies with its id and
+// temp-buffer coordinates.
+func (sk *srvSock) handleConnect() error {
+	s := sk.s
+	s.mu.Lock()
+	id := s.nextConn
+	s.nextConn++
+	temp := s.allocConnTemp()
+	key := s.tempKey
+	s.mu.Unlock()
+	sk.conns[id] = &liveConn{id: id, tempAddr: temp, lastOK: true}
+	s.ConnsAccepted.Add(1)
+	var scratch [acceptLen]byte
+	return sk.fw.Send(frameAccept, appendAccept(scratch[:0], id, temp, key))
+}
+
+// serveRequest decodes, executes, and answers one request frame.
+func (sk *srvSock) serveRequest(body []byte) error {
+	s := sk.s
+	if err := wire.DecodeRequestAlias(&sk.req, body); err != nil {
+		return err
+	}
+	if WireCheckEnabled() {
+		sk.wcheck().checkRequestBytes(&sk.req, body)
+	}
+	lc, ok := sk.conns[sk.req.Conn]
+	if !ok {
+		return fmt.Errorf("transport: request on unknown connection %d", sk.req.Conn)
+	}
+	s.RequestsServed.Add(1)
+
+	req := &sk.req
+	nops := len(req.Ops)
+	if cap(sk.results) < nops {
+		sk.results = make([]wire.Result, nops)
+	}
+	results := sk.results[:nops]
+	for i := range results {
+		results[i] = wire.Result{}
+	}
+	sk.payload = sk.payload[:0]
+
+	if nops == 1 && req.Ops[0].Code == wire.OpSend {
+		sk.serveRPC(req, results)
+	} else {
+		sk.serveVerbs(lc, req, results)
+	}
+
+	sk.resp.Conn, sk.resp.Seq, sk.resp.Epoch, sk.resp.Results = req.Conn, req.Seq, req.Epoch, results
+	if WireCheckEnabled() {
+		sk.wcheck().checkResponseRoundTrip(&sk.resp)
+	}
+	return sk.fw.SendResponse(&sk.resp)
+}
+
+// serveVerbs executes a (possibly chained) one-sided request, holding
+// the space guard per primitive — not across the chain — per the
+// paper's atomicity rules.
+func (sk *srvSock) serveVerbs(lc *liveConn, req *wire.Request, results []wire.Result) {
+	s := sk.s
+	g := s.space.Guard()
+	g.Lock()
+	tok := s.quiescer.OpStart()
+	g.Unlock()
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		if op.Flags.Has(wire.FlagConditional) && !lc.lastOK {
+			results[i] = wire.Result{Status: wire.StatusNotExecuted}
+			continue
+		}
+		g.Lock()
+		sk.exec.ExecInto(op, &results[i], &sk.opMeta)
+		g.Unlock()
+		s.OpsExecuted.Add(1)
+		lc.lastOK = results[i].Status.OK()
+	}
+	g.Lock()
+	s.quiescer.OpEnd(tok)
+	g.Unlock()
+}
+
+// serveRPC dispatches a two-sided request to the application handler.
+// The reply is copied into the socket's arena under rpcMu, because
+// handlers reuse their reply scratch across calls.
+func (sk *srvSock) serveRPC(req *wire.Request, results []wire.Result) {
+	s := sk.s
+	if s.handler == nil {
+		results[0] = wire.Result{Status: wire.StatusUnsupported}
+		return
+	}
+	s.rpcMu.Lock()
+	reply, _ := s.handler(req.Ops[0].Data)
+	var data []byte
+	if len(reply) > 0 {
+		data = sk.carve(uint64(len(reply)))
+		copy(data, reply)
+	}
+	s.rpcMu.Unlock()
+	results[0] = wire.Result{Status: wire.StatusOK, Data: data}
+}

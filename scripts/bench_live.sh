@@ -1,0 +1,69 @@
+#!/bin/sh
+# Regenerates BENCH_live.json: the live-transport record. Starts a real
+# prismd on a unix socket, preloads the key space, drives CLIENTS
+# concurrent closed-loop Go clients (logical connections multiplexed
+# over SOCKETS file descriptors) with prismload, captures throughput and
+# latency percentiles, then SIGTERMs the server and asserts a clean
+# graceful drain (exit 0).
+#
+# Usage: scripts/bench_live.sh  [env: CLIENTS SOCKETS DURATION KEYS VALUE READS OUT]
+set -e
+
+CLIENTS=${CLIENTS:-1000}
+SOCKETS=${SOCKETS:-8}
+DURATION=${DURATION:-5s}
+KEYS=${KEYS:-4096}
+VALUE=${VALUE:-128}
+READS=${READS:-0.95}
+OUT=${OUT:-BENCH_live.json}
+SOCK=${SOCK:-/tmp/prism-bench.$$.sock}
+
+go build -o .live_prismd ./cmd/prismd
+go build -o .live_prismload ./cmd/prismload
+
+cleanup() {
+	[ -n "$PRISMD_PID" ] && kill "$PRISMD_PID" 2>/dev/null
+	rm -f .live_prismd .live_prismload "$SOCK"
+}
+trap cleanup EXIT
+
+./.live_prismd -unix "$SOCK" -keys "$KEYS" -value "$VALUE" -load "$KEYS" &
+PRISMD_PID=$!
+
+# Wait for the socket to appear (the preload runs first).
+i=0
+while [ ! -S "$SOCK" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		echo "FAIL: prismd never opened $SOCK" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+./.live_prismload -addr "$SOCK" -clients "$CLIENTS" -sockets "$SOCKETS" \
+	-duration "$DURATION" -keys "$KEYS" -value "$VALUE" -reads "$READS" \
+	-json "$OUT"
+
+# Graceful drain: SIGTERM must produce a clean exit 0.
+kill -TERM "$PRISMD_PID"
+if ! wait "$PRISMD_PID"; then
+	echo "FAIL: prismd did not drain cleanly on SIGTERM" >&2
+	exit 1
+fi
+PRISMD_PID=
+
+jfield() { grep -o "\"$1\": [0-9.]*" "$OUT" | grep -o '[0-9.]*$'; }
+OPS=$(jfield ops_per_sec)
+ERRS=$(jfield errors)
+P50=$(jfield p50_us)
+P99=$(jfield p99_us)
+echo "wrote $OUT: $CLIENTS clients over $SOCKETS sockets, $OPS ops/s, p50 ${P50}us, p99 ${P99}us, $ERRS errors"
+awk "BEGIN{exit !($ERRS == 0)}" || {
+	echo "FAIL: $ERRS client errors during the live run" >&2
+	exit 1
+}
+awk "BEGIN{exit !($OPS > 0)}" || {
+	echo "FAIL: no throughput recorded" >&2
+	exit 1
+}
