@@ -13,7 +13,12 @@
 //	prismbench rpcvsrdma   # §2.1 motivating measurement
 //	prismbench ext-shards  # extension: PRISM-TX shard scaling
 //	prismbench ext-multikey # extension: multi-key transactions
-//	prismbench all         # everything above
+//	prismbench fig-scale   # extension: connection scaling to the QP-cache cliff
+//	prismbench all         # everything above except fig-scale
+//
+// fig-scale is not part of "all": it enables the connection-scaling cost
+// model (model.Params.WithConnScaling), so its points are not comparable
+// to the paper-figure artifacts.
 //
 // Flags scale the experiments; defaults regenerate every figure in
 // seconds at reduced (shape-preserving) keyspace scale.
@@ -55,9 +60,14 @@ type figRecord struct {
 	EventsExecuted   int64             `json:"events_executed"`
 	Bursts           int64             `json:"bursts"`
 	MeanBurstLen     float64           `json:"mean_burst_len"`
+	BarrierSkips     int64             `json:"barrier_skips"`
+	IdleSkips        int64             `json:"idle_skips"`
 	TimerFires       int64             `json:"timer_fires"`
 	TimerStops       int64             `json:"timer_stops"`
 	WheelCascades    int64             `json:"wheel_cascades"`
+	QPCacheHits      int64             `json:"qp_cache_hits,omitempty"`
+	QPCacheMisses    int64             `json:"qp_cache_misses,omitempty"`
+	QPCacheEvictions int64             `json:"qp_cache_evictions,omitempty"`
 	MeanAllocsPerOp  float64           `json:"mean_allocs_per_op,omitempty"`
 	MeanBytesPerOp   float64           `json:"mean_bytes_per_op,omitempty"`
 	PointWallSeconds []float64         `json:"point_wall_seconds,omitempty"`
@@ -77,6 +87,9 @@ type benchRecord struct {
 	Affinity         int         `json:"affinity,omitempty"`
 	CrossRackNanos   int64       `json:"crossrack_ns,omitempty"`
 	ScalarWindows    bool        `json:"scalar_windows,omitempty"`
+	SparseBarriers   bool        `json:"sparse_barriers,omitempty"`
+	ScaleMachines    int         `json:"scale_machines,omitempty"`
+	QPCacheEntries   int         `json:"qp_cache_entries,omitempty"`
 	GOMAXPROCS       int         `json:"gomaxprocs"`
 	NumCPU           int         `json:"num_cpu"`
 	Keys             int64       `json:"keys"`
@@ -100,12 +113,15 @@ func main() {
 	affinity := flag.Int("affinity", 1, "client machines per event domain (affinity groups; <=1 = one domain each; output is identical at any setting)")
 	crossRack := flag.Duration("crossrack", 0, "extra one-way latency between the client and server racks (0 = flat fabric, the paper's figures; nonzero changes the physics)")
 	scalarWindows := flag.Bool("scalar-windows", false, "schedule with the single scalar lookahead bound instead of the per-pair matrix (A/B telemetry knob; output is identical)")
+	sparseBarriers := flag.Bool("sparse-barriers", false, "elide barrier sweeps for windows with nothing to merge (A/B telemetry knob; output is identical)")
+	scaleMachines := flag.Int("scale-machines", cfg.ScaleMachines, "fixed client-machine fleet for fig-scale")
+	qpEntries := flag.Int("qp-entries", 0, "override the hardware-class QP context cache capacity for fig-scale (0 = calibrated default; moving it moves the cliff)")
 	verbose := flag.Bool("v", false, "print a one-line scheduler-telemetry summary per figure to stderr")
 	jsonPath := flag.String("json", "", "write a wall-clock/throughput record to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prismbench [flags] {fig1|fig2|fig3|fig4|fig6|fig7|fig9|fig10|rpcvsrdma|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: prismbench [flags] {fig1|fig2|fig3|fig4|fig6|fig7|fig9|fig10|rpcvsrdma|fig-scale|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -133,17 +149,24 @@ func main() {
 	cfg.ClientsPerDomain = *affinity
 	cfg.CrossRack = *crossRack
 	cfg.ScalarWindows = *scalarWindows
+	cfg.SparseBarriers = *sparseBarriers
+	cfg.ScaleMachines = *scaleMachines
+	cfg.QPCacheEntries = *qpEntries
 	if *maxClients > 0 {
-		var ladder []int
-		for _, c := range cfg.ClientCounts {
-			if c <= *maxClients {
-				ladder = append(ladder, c)
+		truncate := func(full []int) []int {
+			var ladder []int
+			for _, c := range full {
+				if c <= *maxClients {
+					ladder = append(ladder, c)
+				}
 			}
+			if len(ladder) == 0 {
+				ladder = []int{*maxClients}
+			}
+			return ladder
 		}
-		if len(ladder) == 0 {
-			ladder = []int{*maxClients}
-		}
-		cfg.ClientCounts = ladder
+		cfg.ClientCounts = truncate(cfg.ClientCounts)
+		cfg.ScaleClients = truncate(cfg.ScaleClients)
 	}
 
 	if flag.NArg() != 1 {
@@ -192,6 +215,7 @@ func main() {
 		"rpcvsrdma":    bench.RPCvsRDMA,
 		"ext-shards":   bench.ExtShards,
 		"ext-multikey": bench.ExtMultiKey,
+		"fig-scale":    bench.FigScale,
 	}
 	order := []string{"rpcvsrdma", "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "ext-shards", "ext-multikey"}
 
@@ -238,9 +262,14 @@ func main() {
 			fr.CrossDeliveries += tel.CrossDeliveries
 			fr.EventsExecuted += tel.EventsExecuted
 			fr.Bursts += tel.Bursts
+			fr.BarrierSkips += tel.BarrierSkips
+			fr.IdleSkips += tel.IdleSkips
 			fr.TimerFires += tel.TimerFires
 			fr.TimerStops += tel.TimerStops
 			fr.WheelCascades += tel.WheelCascades
+			fr.QPCacheHits += tel.QPCacheHits
+			fr.QPCacheMisses += tel.QPCacheMisses
+			fr.QPCacheEvictions += tel.QPCacheEvictions
 			meanSum += tel.MeanWindowNanos
 			if tel.AllocsPerOp > 0 {
 				allocSum += tel.AllocsPerOp
@@ -261,9 +290,10 @@ func main() {
 			if n := len(fig.PointTel); n > 0 {
 				meanWin = time.Duration(meanSum / int64(n))
 			}
-			fmt.Fprintf(os.Stderr, "prismbench: %s: %d points, windows=%d barriers=%d cross-deliveries=%d mean-window=%v events=%d mean-burst=%.2f timer-fires=%d timer-stops=%d cascades=%d wall=%.1fs\n",
-				fig.ID, len(fig.PointTel), fr.Windows, fr.Barriers, fr.CrossDeliveries, meanWin,
-				fr.EventsExecuted, fr.MeanBurstLen, fr.TimerFires, fr.TimerStops, fr.WheelCascades, wall)
+			fmt.Fprintf(os.Stderr, "prismbench: %s: %d points, windows=%d barriers=%d barrier-skips=%d idle-skips=%d cross-deliveries=%d mean-window=%v events=%d mean-burst=%.2f timer-fires=%d timer-stops=%d cascades=%d qp-hit/miss/evict=%d/%d/%d wall=%.1fs\n",
+				fig.ID, len(fig.PointTel), fr.Windows, fr.Barriers, fr.BarrierSkips, fr.IdleSkips, fr.CrossDeliveries, meanWin,
+				fr.EventsExecuted, fr.MeanBurstLen, fr.TimerFires, fr.TimerStops, fr.WheelCascades,
+				fr.QPCacheHits, fr.QPCacheMisses, fr.QPCacheEvictions, wall)
 		}
 		rec.Figures = append(rec.Figures, fr)
 		rec.TotalWallSeconds += wall

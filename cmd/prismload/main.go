@@ -92,8 +92,11 @@ func main() {
 		ops      atomic.Int64
 		errCount atomic.Int64
 		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr atomic.Value
 	)
 	recorders := make([]*stats.LatencyRecorder, *clients)
+	finished := make([]atomic.Bool, *clients)
 	value := make([]byte, *valueSize)
 	for i := range value {
 		value[i] = byte(i)
@@ -106,8 +109,9 @@ func main() {
 		kvc := kv.NewLiveClient(conns[i], meta, uint16(i+1))
 		rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
+			defer finished[id].Store(true)
 			for time.Now().Before(deadline) {
 				key := rng.Int63n(*keys)
 				opStart := time.Now()
@@ -121,21 +125,44 @@ func main() {
 					err = kvc.Put(key, value)
 				}
 				if err != nil {
+					// Transport down or protocol error: stop this client but
+					// keep the rest running — a mid-run server drop must
+					// produce a per-client error report, not a crash.
 					errCount.Add(1)
-					return // transport down or protocol error: stop this client
+					errOnce.Do(func() { firstErr.Store(fmt.Sprintf("client %d: %v", id, err)) })
+					return
 				}
 				rec.Record(time.Since(opStart))
 				ops.Add(1)
 			}
 			kvc.FlushFrees()
-		}()
+		}(i)
 	}
-	wg.Wait()
+
+	// A dropped server normally surfaces as per-client errors, but a
+	// wedged transport (accepted socket, nothing reading) would block a
+	// client mid-call forever. The watchdog bounds the wait and reports
+	// partial results rather than hanging.
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	grace := *duration/2 + 5*time.Second
+	select {
+	case <-waited:
+	case <-time.After(time.Until(deadline) + grace):
+		fmt.Fprintf(os.Stderr, "prismload: clients still blocked %v past the deadline; reporting partial results\n", grace)
+	}
 	elapsed := time.Since(start)
 
+	// Merge only the recorders of clients that have exited: a stalled
+	// client may still be touching its recorder.
+	var stalled int64
 	merged := stats.NewLatencyRecorder()
-	for _, rec := range recorders {
-		merged.Merge(rec)
+	for i, rec := range recorders {
+		if finished[i].Load() {
+			merged.Merge(rec)
+		} else {
+			stalled++
+		}
 	}
 	result := map[string]any{
 		"addr":        *addr,
@@ -151,6 +178,11 @@ func main() {
 		"errors":      errCount.Load(),
 		"num_cpu":     runtime.NumCPU(),
 		"wirecheck":   *wirecheck,
+		// Per-client failure detail: each client errors at most once
+		// before stopping, so errors == clients that dropped out.
+		"clients_errored": errCount.Load(),
+		"first_error":     firstError(&firstErr),
+		"stalled_clients": stalled,
 	}
 	out, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
@@ -165,7 +197,14 @@ func main() {
 		}
 	}
 	os.Stdout.Write(out)
-	if errCount.Load() > 0 {
+	if errCount.Load() > 0 || stalled > 0 {
 		os.Exit(1)
 	}
+}
+
+func firstError(v *atomic.Value) string {
+	if s, ok := v.Load().(string); ok {
+		return s
+	}
+	return ""
 }

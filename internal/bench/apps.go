@@ -38,7 +38,14 @@ type kvSystem struct {
 // 1, opposite the servers (which stay in rack 0). Neither knob changes
 // measured output.
 func clientMachines(cfg Config, net *fabric.Network) []*rdma.Client {
-	machines := make([]*rdma.Client, cfg.ClientMachines)
+	return machineFleet(cfg, net, cfg.ClientMachines)
+}
+
+// machineFleet provisions n client machines under the config's placement
+// knobs. clientMachines sizes the fleet for the paper figures; the
+// fig-scale sweep passes Config.ScaleMachines instead.
+func machineFleet(cfg Config, net *fabric.Network, n int) []*rdma.Client {
+	machines := make([]*rdma.Client, n)
 	for i := range machines {
 		name := fmt.Sprintf("cli-%d", i)
 		if cfg.ClientsPerDomain > 1 {

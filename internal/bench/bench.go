@@ -76,6 +76,28 @@ type Config struct {
 	// are identical either way; only barrier frequency differs. A/B knob
 	// for the scheduler telemetry.
 	ScalarWindows bool
+	// SparseBarriers elides barrier hook sweeps for windows with nothing
+	// to merge (sim.World.SetSparseBarriers): with mostly-idle client
+	// fleets — the fig-scale low end — most crossings touch no outbox and
+	// are skipped. Simulation output is byte-identical either way; off by
+	// default so the dense-barrier counters keep their A/B meaning.
+	SparseBarriers bool
+
+	// ScaleClients is the client ladder for the fig-scale connection
+	// sweep (clients == connections per server for its GET-only
+	// workload); it deliberately overshoots the modeled QP cache so the
+	// Storm-style cliff appears inside the sweep.
+	ScaleClients []int
+	// ScaleMachines is the fixed client-machine fleet fig-scale spreads
+	// clients over: constant across the ladder, so low-count points run
+	// mostly-idle domains (the sparse-barrier case) and high-count points
+	// pack hundreds of clients per machine.
+	ScaleMachines int
+	// QPCacheEntries overrides the hardware-class QP context cache
+	// capacity used by fig-scale (0 = the calibrated
+	// model.WithConnScaling default). Moving it moves the cliff; the
+	// scale bench test asserts exactly that.
+	QPCacheEntries int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -93,6 +115,9 @@ func DefaultConfig() Config {
 		Intra:          1,
 
 		ClientsPerDomain: 1,
+
+		ScaleClients:  []int{16, 64, 256, 1024, 4096, 16384},
+		ScaleMachines: 256,
 	}
 }
 
@@ -188,6 +213,11 @@ type Telemetry struct {
 	Barriers        int64 `json:"barriers"`
 	CrossDeliveries int64 `json:"cross_deliveries"`
 	MeanWindowNanos int64 `json:"mean_window_ns"`
+	// Sparse-scheduler counters: hook sweeps elided under
+	// Config.SparseBarriers, and idle domains skipped by the active-set
+	// window scan (one per idle domain per executed window).
+	BarrierSkips int64 `json:"barrier_skips"`
+	IdleSkips    int64 `json:"idle_skips"`
 	// Burst/wheel counters (see sim.WorldStats): events fired, drained
 	// instants (EventsExecuted/Bursts is the amortization ratio), fired
 	// events that transited the timer wheel, timers cancelled before
@@ -198,6 +228,11 @@ type Telemetry struct {
 	TimerFires     int64   `json:"timer_fires"`
 	TimerStops     int64   `json:"timer_stops"`
 	WheelCascades  int64   `json:"wheel_cascades"`
+	// NIC connection-state cache counters (zero unless the point enabled
+	// the QP model — the fig-scale family does).
+	QPCacheHits      int64 `json:"qp_cache_hits"`
+	QPCacheMisses    int64 `json:"qp_cache_misses"`
+	QPCacheEvictions int64 `json:"qp_cache_evictions"`
 	// AllocsPerOp and BytesPerOp are the harness-process heap allocation
 	// deltas across the point's drive phase (warmup + measure + drain),
 	// divided by measured operations — the datapath's allocation cost as
@@ -227,17 +262,22 @@ func (d *loadDriver) telemetry(e *sim.Engine) Telemetry {
 func worldTelemetry(e *sim.Engine) Telemetry {
 	st := e.World().Stats()
 	return Telemetry{
-		Domains:         st.Domains,
-		Windows:         st.Windows,
-		Barriers:        st.Barriers,
-		CrossDeliveries: st.CrossDeliveries,
-		MeanWindowNanos: int64(st.MeanWindow()),
-		EventsExecuted:  st.EventsExecuted,
-		Bursts:          st.Bursts,
-		MeanBurstLen:    st.MeanBurstLen(),
-		TimerFires:      st.TimerFires,
-		TimerStops:      st.TimerStops,
-		WheelCascades:   st.WheelCascades,
+		Domains:          st.Domains,
+		Windows:          st.Windows,
+		Barriers:         st.Barriers,
+		CrossDeliveries:  st.CrossDeliveries,
+		MeanWindowNanos:  int64(st.MeanWindow()),
+		BarrierSkips:     st.BarrierSkips,
+		IdleSkips:        st.IdleSkips,
+		EventsExecuted:   st.EventsExecuted,
+		Bursts:           st.Bursts,
+		MeanBurstLen:     st.MeanBurstLen(),
+		TimerFires:       st.TimerFires,
+		TimerStops:       st.TimerStops,
+		WheelCascades:    st.WheelCascades,
+		QPCacheHits:      st.ConnCacheHits,
+		QPCacheMisses:    st.ConnCacheMisses,
+		QPCacheEvictions: st.ConnCacheEvictions,
 	}
 }
 
@@ -363,6 +403,9 @@ func newLoadDriver(e *sim.Engine, cfg Config) *loadDriver {
 	}
 	if cfg.ScalarWindows {
 		e.World().SetScalarWindows(true)
+	}
+	if cfg.SparseBarriers {
+		e.World().SetSparseBarriers(true)
 	}
 	if cfg.MaxOps > 0 {
 		// The cap spans domains, so it is enforced where cross-domain

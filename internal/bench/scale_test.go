@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// scaleTestConfig is a laptop-fast shrink of the fig-scale setup.
+func scaleTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Keys = 2048
+	cfg.ValueSize = 64
+	cfg.ScaleMachines = 16
+	cfg.Warmup = 20 * time.Microsecond
+	cfg.Measure = 200 * time.Microsecond
+	cfg.MaxOps = 4000
+	return cfg
+}
+
+// TestScaleCliffMovesWithCapacity: the connection cliff is the QP cache
+// capacity. At a client count that fits a large cache but thrashes a small
+// one, the small-cache run misses on the data path and loses throughput;
+// grow the cache past the connection count and the misses — and the
+// slowdown — vanish. That is the cliff moving with capacity.
+func TestScaleCliffMovesWithCapacity(t *testing.T) {
+	sys := scaleSystems()[1] // PRISM-KV (projected hardware): hardware-class cache
+	const clients = 96
+
+	small := scaleTestConfig()
+	// Past the cliff an op waits out two serialized fetch waves (~2 x 96 x
+	// PCIeRTT); the window must span several waves to measure any of them.
+	small.Measure = time.Millisecond
+	small.QPCacheEntries = 24
+	ptSmall, telSmall := scalePoint(sys, small, clients)
+
+	big := scaleTestConfig()
+	big.Measure = time.Millisecond
+	big.QPCacheEntries = 256
+	ptBig, telBig := scalePoint(sys, big, clients)
+
+	if telBig.QPCacheMisses != 0 {
+		t.Fatalf("cache above connection count still missed %d times", telBig.QPCacheMisses)
+	}
+	if telSmall.QPCacheMisses == 0 || telSmall.QPCacheEvictions == 0 {
+		t.Fatalf("thrashing cache: misses=%d evictions=%d, want both > 0",
+			telSmall.QPCacheMisses, telSmall.QPCacheEvictions)
+	}
+	if ptSmall.Throughput >= ptBig.Throughput {
+		t.Fatalf("past-cliff throughput %.0f not below within-capacity %.0f",
+			ptSmall.Throughput, ptBig.Throughput)
+	}
+	if ptSmall.Mean <= ptBig.Mean {
+		t.Fatalf("past-cliff mean latency %v not above within-capacity %v",
+			ptSmall.Mean, ptBig.Mean)
+	}
+}
+
+// TestFigScaleDeterministic: the rendered fig-scale CSV is byte-identical
+// across point-level parallelism, domain-level parallelism, affinity
+// grouping, and sparse barriers.
+func TestFigScaleDeterministic(t *testing.T) {
+	base := scaleTestConfig()
+	base.ScaleClients = []int{4, 48}
+	render := func(cfg Config) string {
+		var buf bytes.Buffer
+		FigScale(cfg).FprintCSV(&buf)
+		return buf.String()
+	}
+	want := render(base)
+
+	variants := map[string]func(*Config){
+		"parallel=4":     func(c *Config) { c.Parallel = 4 },
+		"intra=4":        func(c *Config) { c.Intra = 4 },
+		"affinity=4":     func(c *Config) { c.ClientsPerDomain = 4 },
+		"sparse":         func(c *Config) { c.SparseBarriers = true },
+		"sparse+intra=4": func(c *Config) { c.SparseBarriers = true; c.Intra = 4 },
+	}
+	for name, mut := range variants {
+		cfg := base
+		mut(&cfg)
+		if got := render(cfg); got != want {
+			t.Errorf("fig-scale CSV differs under %s:\n--- serial:\n%s--- %s:\n%s",
+				name, want, name, got)
+		}
+	}
+}
+
+// TestScaleSparseBarrierSavings: at the mostly-idle low end of the sweep
+// (few clients spread over a fixed fleet of machines), sparse scheduling
+// elides a large share of barrier sweeps without changing the measurement.
+func TestScaleSparseBarrierSavings(t *testing.T) {
+	sys := scaleSystems()[1]
+	cfg := scaleTestConfig()
+	cfg.ScaleMachines = 64 // 4 clients over 64 machines: 60+ idle domains
+
+	dense := cfg
+	ptDense, telDense := scalePoint(sys, dense, 4)
+
+	sparse := cfg
+	sparse.SparseBarriers = true
+	ptSparse, telSparse := scalePoint(sys, sparse, 4)
+
+	if ptDense != ptSparse {
+		t.Fatalf("sparse barriers changed the measurement:\ndense  %+v\nsparse %+v", ptDense, ptSparse)
+	}
+	denseSweeps := telDense.Barriers
+	sparseSweeps := telSparse.Barriers
+	if telSparse.BarrierSkips == 0 {
+		t.Fatal("sparse run elided no barriers on a mostly-idle fleet")
+	}
+	if sparseSweeps+telSparse.BarrierSkips != denseSweeps {
+		t.Fatalf("sweeps %d + skips %d != dense sweeps %d",
+			sparseSweeps, telSparse.BarrierSkips, denseSweeps)
+	}
+	if float64(sparseSweeps) > 0.7*float64(denseSweeps) {
+		t.Fatalf("sparse sweeps %d > 70%% of dense %d: idle fleet should elide >= 30%%",
+			sparseSweeps, denseSweeps)
+	}
+	if telSparse.IdleSkips == 0 {
+		t.Fatal("active-set scan skipped no idle domains")
+	}
+}

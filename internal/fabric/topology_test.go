@@ -64,10 +64,16 @@ func TestGroupedPairLatency(t *testing.T) {
 // shared under grouping), nodes placed into affinity groups of the
 // given size, and racks split down the middle when crossRack is set.
 func stormTrace(t *testing.T, groupSize, workers int, crossRack time.Duration) string {
+	trace, _ := stormTraceStats(t, groupSize, workers, crossRack, false)
+	return trace
+}
+
+func stormTraceStats(t *testing.T, groupSize, workers int, crossRack time.Duration, sparse bool) (string, sim.WorldStats) {
 	t.Helper()
 	p := testParams()
 	p.CrossRackExtra = crossRack
 	e := sim.NewEngine(7)
+	e.World().SetSparseBarriers(sparse)
 	net := New(e, p)
 	const N = 6
 	nodes := make([]*Node, N)
@@ -122,7 +128,32 @@ func stormTrace(t *testing.T, groupSize, workers int, crossRack time.Duration) s
 			b.WriteByte('\n')
 		}
 	}
-	return b.String()
+	return b.String(), e.World().Stats()
+}
+
+// TestSparseBarrierStormDeterminism: the forwarding storm produces the
+// same trace with sparse barrier elision on, at every grouping and
+// worker count — the fabric raises the barrier-request flag whenever an
+// outbox has work, so no flush is ever missed — while the quiet stretch
+// after the storm dies down is skipped (BarrierSkips > 0 once the world
+// has windows with nothing to merge).
+func TestSparseBarrierStormDeterminism(t *testing.T) {
+	base, dense := stormTraceStats(t, 1, 1, 0, false)
+	if base == "" || dense.CrossDeliveries == 0 {
+		t.Fatal("storm did not run")
+	}
+	for _, g := range []int{1, 2, 6} {
+		for _, w := range []int{1, 4} {
+			got, st := stormTraceStats(t, g, w, 0, true)
+			if got != base {
+				t.Fatalf("groupSize=%d workers=%d sparse trace differs from dense serial:\n--- base ---\n%s--- got ---\n%s",
+					g, w, base, got)
+			}
+			if st.Barriers == 0 {
+				t.Fatalf("groupSize=%d workers=%d: no hook sweeps ran", g, w)
+			}
+		}
+	}
 }
 
 // TestGroupedStormDeterminism: the storm's per-node delivery traces must

@@ -1,0 +1,110 @@
+package rdma
+
+// qpCache models the NIC-side residency of per-connection state (the QP
+// context for hardware deployments, the stack cores' connection working
+// set for software ones): a fixed-capacity LRU over connection ids.
+// touch on a resident id is a hit; touch on a cold id is a miss that
+// evicts the least-recently-used resident when full. The server charges
+// each miss a calibrated fetch penalty and serializes the fetches
+// through a shared context-fetch engine (Server.qpFetch), which is what
+// turns capacity overrun into the Storm-style throughput cliff rather
+// than a mild per-op latency tax.
+//
+// Entries are intrusive list nodes reused across evictions, so the
+// steady thrashing state allocates nothing.
+type qpCache struct {
+	cap        int
+	m          map[uint64]*qpEntry
+	head, tail *qpEntry // head = most recently used
+	free       *qpEntry
+
+	hits, misses, evictions int64
+}
+
+type qpEntry struct {
+	id         uint64
+	prev, next *qpEntry
+}
+
+func newQPCache(capacity int) *qpCache {
+	return &qpCache{cap: capacity, m: make(map[uint64]*qpEntry, capacity)}
+}
+
+// touch records a data-path access to conn id and reports whether its
+// state was resident. On a miss the id is brought in, evicting the LRU
+// entry if the cache is full.
+func (c *qpCache) touch(id uint64) bool {
+	if e := c.m[id]; e != nil {
+		c.hits++
+		c.moveToFront(e)
+		return true
+	}
+	c.misses++
+	c.insert(id)
+	return false
+}
+
+// warm brings id in without counting a hit or miss — connection setup
+// pre-establishes state just as the paper's clients pre-connect — but
+// still evicts (and counts the eviction) when the cache is full.
+func (c *qpCache) warm(id uint64) {
+	if e := c.m[id]; e != nil {
+		c.moveToFront(e)
+		return
+	}
+	c.insert(id)
+}
+
+func (c *qpCache) insert(id uint64) {
+	var e *qpEntry
+	if len(c.m) >= c.cap {
+		// Evict the LRU tail and reuse its node.
+		e = c.tail
+		c.unlink(e)
+		delete(c.m, e.id)
+		c.evictions++
+	} else if c.free != nil {
+		e = c.free
+		c.free = e.next
+		e.next = nil
+	} else {
+		e = &qpEntry{}
+	}
+	e.id = id
+	c.m[id] = e
+	c.pushFront(e)
+}
+
+func (c *qpCache) moveToFront(e *qpEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *qpCache) pushFront(e *qpEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *qpCache) unlink(e *qpEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

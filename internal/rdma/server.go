@@ -74,6 +74,15 @@ type Server struct {
 	handler  RPCHandler
 	tracer   Tracer
 
+	// NIC connection-state model (nil when Params disable it): qp tracks
+	// which connections' contexts are resident, qpFetch is the single
+	// context-fetch engine cold fetches serialize through (its queueing is
+	// what turns cache thrash into a throughput ceiling), qpMiss the
+	// calibrated per-fetch cost.
+	qp      *qpCache
+	qpFetch *sim.Resource
+	qpMiss  time.Duration
+
 	// recvCredits models the SEND/RECEIVE receive queue: each two-sided
 	// request consumes a posted receive buffer for its lifetime; when none
 	// are available the NIC answers Receiver-Not-Ready, RDMA's standard
@@ -148,6 +157,13 @@ type serverConn struct {
 	// would be a heap allocation per op.
 	opMeta prism.OpMeta
 
+	// qpDebt is cold-connection fetch time accrued at arrival (context
+	// fetch plus queueing on the shared fetch engine), consumed by the
+	// next request start on this connection. Charging it there — rather
+	// than via a separate scheduled hop — keeps per-connection FIFO
+	// intact: busy is set synchronously at arrival.
+	qpDebt time.Duration
+
 	// wcheck is the scratch for wire-check mode (see SetWireCheck); nil
 	// until the first checked transmission.
 	wcheck *wireState
@@ -200,6 +216,16 @@ func newServer(net *fabric.Network, name string, deploy model.Deployment, space 
 	}
 	s.rpcCores = sim.NewMultiResource(e, p.RPCCores)
 	s.recvCredits = defaultRecvCredits
+	if entries, miss := p.QPCacheFor(deploy); entries > 0 {
+		s.qp = newQPCache(entries)
+		s.qpMiss = miss
+		s.qpFetch = sim.NewResource(e)
+		e.World().OnStats(func(ws *sim.WorldStats) {
+			ws.ConnCacheHits += s.qp.hits
+			ws.ConnCacheMisses += s.qp.misses
+			ws.ConnCacheEvictions += s.qp.evictions
+		})
+	}
 	// Serialization of a canonical small request+response is charged by
 	// the fabric; subtract it so small-op direct-link RTT ≈ RDMABaseRTT.
 	s.baseProc = p.RDMABaseRTT - 4*p.SerializationDelay(64)
@@ -380,7 +406,51 @@ func (s *Server) connect(client *fabric.Node) (id uint64, temp memory.Addr, temp
 		sc.servedSeq[i] = ^uint64(0)
 	}
 	s.conns[id] = sc
+	if s.qp != nil {
+		// Connection establishment loads the context, exactly as the
+		// paper's clients pre-connect: while the active set fits the
+		// cache, the model charges nothing and figures are bit-unchanged.
+		s.qp.warm(id)
+	}
 	return id, sc.tempAddr, s.tempKey
+}
+
+// QPCacheCounters reports the connection-state cache's hit/miss/eviction
+// counts (all zero when the model is disabled for this deployment).
+func (s *Server) QPCacheCounters() (hits, misses, evictions int64) {
+	if s.qp == nil {
+		return 0, 0, 0
+	}
+	return s.qp.hits, s.qp.misses, s.qp.evictions
+}
+
+// qpArrival records the request-side context access for conn sc: on a
+// miss the fetch cost — service plus queueing on the shared fetch engine
+// — accrues to the connection's debt, charged at the next request start.
+func (s *Server) qpArrival(sc *serverConn) {
+	if s.qp == nil || s.qp.touch(sc.id) {
+		return
+	}
+	done := s.qpFetch.Submit(s.qpMiss, nil)
+	sc.qpDebt += done.Sub(s.e.Now())
+}
+
+// qpTx is the response-side context access: the send WQE needs the
+// context resident again, and under heavy interleaving it may have been
+// evicted since the request arrived.
+func (s *Server) qpTx(sc *serverConn) time.Duration {
+	if s.qp == nil || s.qp.touch(sc.id) {
+		return 0
+	}
+	done := s.qpFetch.Submit(s.qpMiss, nil)
+	return done.Sub(s.e.Now())
+}
+
+// takeQPDebt consumes the connection's accrued cold-fetch debt.
+func (s *Server) takeQPDebt(sc *serverConn) time.Duration {
+	d := sc.qpDebt
+	sc.qpDebt = 0
+	return d
 }
 
 // onMessage handles an arriving request.
@@ -414,6 +484,7 @@ func (s *Server) onMessage(m fabric.Message) {
 		return
 	}
 	sc.markServed(req.Seq)
+	s.qpArrival(sc)
 	if sc.busy {
 		sc.backlog = append(sc.backlog, req)
 		return
@@ -476,7 +547,7 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 			resp.Results[i] = wire.Result{Status: wire.StatusUnsupported}
 		}
 		sc.chainReq, sc.chainResp = req, resp
-		s.e.Schedule(s.baseProc, sc.finishFn)
+		s.e.Schedule(s.baseProc+s.takeQPDebt(sc), sc.finishFn)
 		return
 	}
 
@@ -498,7 +569,7 @@ func (s *Server) serveVerbs(sc *serverConn, req *wire.Request) {
 	}
 
 	sc.chainReq, sc.chainResp, sc.chainIdx, sc.chainTok = req, resp, 0, opTok
-	s.e.Schedule(preDelay+requestOverhead, sc.stepFn)
+	s.e.Schedule(preDelay+requestOverhead+s.takeQPDebt(sc), sc.stepFn)
 }
 
 // interOp spaces chain steps so concurrent chains interleave, as on a
@@ -516,7 +587,7 @@ func (s *Server) chainStep(sc *serverConn) {
 		if i == len(req.Ops) {
 			s.quiescer.OpEnd(sc.chainTok)
 			preDelay := s.baseProc / 2
-			s.e.Schedule(s.baseProc-preDelay, sc.finishFn)
+			s.e.Schedule(s.baseProc-preDelay+s.qpTx(sc), sc.finishFn)
 			return
 		}
 		op := &req.Ops[i]
@@ -604,14 +675,14 @@ func (s *Server) serveRPC(sc *serverConn, req *wire.Request) {
 	if s.handler == nil {
 		resp := s.acquireResp(sc, req.Seq, 1)
 		resp.Results[0] = wire.Result{Status: wire.StatusUnsupported}
-		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
+		s.e.Schedule(s.baseProc+s.takeQPDebt(sc), func() { s.finish(sc, resp) })
 		return
 	}
 	if s.recvCredits <= 0 {
 		// No posted receive buffer: Receiver Not Ready.
 		resp := s.acquireResp(sc, req.Seq, 1)
 		resp.Results[0] = wire.Result{Status: wire.StatusRNR}
-		s.e.Schedule(s.baseProc, func() { s.finish(sc, resp) })
+		s.e.Schedule(s.baseProc+s.takeQPDebt(sc), func() { s.finish(sc, resp) })
 		return
 	}
 	s.recvCredits--
@@ -620,12 +691,12 @@ func (s *Server) serveRPC(sc *serverConn, req *wire.Request) {
 	// the core picks the request up.
 	start := s.rpcCores.Submit(s.p.RPCHandlerCPUTime, nil)
 	dispatchWait := start.Sub(s.e.Now()) - s.p.RPCHandlerCPUTime
-	s.e.Schedule(dispatchWait, func() {
+	s.e.Schedule(dispatchWait+s.takeQPDebt(sc), func() {
 		reply, extraCPU := s.handler(payload)
 		if extraCPU > 0 {
 			s.rpcCores.Submit(extraCPU, nil)
 		}
-		total := s.baseProc + s.p.RPCOverhead + s.p.RPCHandlerCPUTime + extraCPU
+		total := s.baseProc + s.p.RPCOverhead + s.p.RPCHandlerCPUTime + extraCPU + s.qpTx(sc)
 		resp := s.acquireResp(sc, req.Seq, 1)
 		resp.Results[0] = wire.Result{Status: wire.StatusOK, Data: reply}
 		s.e.Schedule(total, func() {

@@ -151,13 +151,32 @@ type World struct {
 	// merge and deliver cross-domain mailboxes.
 	barriers []func()
 
+	// sparse elides barrier hook sweeps for windows in which no hook has
+	// work to do (see SetSparseBarriers). barrierReq is the request flag
+	// producers raise (RequestBarrier) when the next barrier must run its
+	// hooks; it is atomic because sends happen from parallel domain
+	// contexts.
+	sparse     bool
+	barrierReq atomic.Bool
+
+	// statsHooks let higher layers (the rdma NIC model) contribute
+	// counters to Stats() snapshots without sim importing them.
+	statsHooks []func(*WorldStats)
+
 	procs   atomic.Int64 // live processes across all domains
 	stopped atomic.Bool
 	running bool
 
+	// actList is the active set: domains that may hold pending events.
+	// A domain joins when an event is scheduled on it (at) and retires
+	// when the window-start scan finds its wheel empty. Appends only
+	// happen from single-threaded contexts (setup, barriers) or from the
+	// domain's own execution (in which case it is already listed), so no
+	// locking is needed even with parallel workers.
+	actList []*Engine
+
 	active []*Engine // per-window scratch: domains with runnable events
-	next   []Time    // per-window scratch: each domain's next-event time
-	limits []Time    // per-window scratch: each domain's horizon
+	next   []Time    // per-window scratch: each active domain's next-event time
 
 	stats WorldStats
 }
@@ -175,10 +194,14 @@ const laInf = Duration(1) << 62
 
 // WorldStats counts scheduler work. Windows is the number of executed
 // time windows, Barriers the number of barrier crossings (hook sweeps),
-// CrossDeliveries the number of messages merged across domain
-// boundaries at barriers (intra-domain bypass deliveries are not
-// counted), and WindowSpan/SpanWindows accumulate the length of every
-// window whose horizon was bounded (MeanWindow reports the average).
+// BarrierSkips the hook sweeps elided under SetSparseBarriers (no hook
+// had work), IdleSkips the per-window count of domains outside the
+// active set (empty wheel, no inbound staging — never touched by the
+// window-start scan or the horizon computation), CrossDeliveries the
+// number of messages merged across domain boundaries at barriers
+// (intra-domain bypass deliveries are not counted), and
+// WindowSpan/SpanWindows accumulate the length of every window whose
+// horizon was bounded (MeanWindow reports the average).
 //
 // The burst/wheel counters attribute per-event scheduler cost:
 // EventsExecuted is events fired, Bursts the number of drained instants
@@ -188,10 +211,15 @@ const laInf = Duration(1) << 62
 // the timers cancelled before firing (O(1) wheel unlinks), and
 // WheelCascades the events re-filed to a finer wheel level when a
 // domain's clock crossed a coarse slot boundary.
+// The ConnCache* counters are contributed by OnStats hooks from the
+// NIC connection-state model (QP context cache hits/misses/evictions in
+// internal/rdma); they are zero when the model is disabled.
 type WorldStats struct {
 	Domains         int
 	Windows         int64
 	Barriers        int64
+	BarrierSkips    int64
+	IdleSkips       int64
 	CrossDeliveries int64
 	WindowSpan      Duration
 	SpanWindows     int64
@@ -201,6 +229,10 @@ type WorldStats struct {
 	TimerFires     int64
 	TimerStops     int64
 	WheelCascades  int64
+
+	ConnCacheHits      int64
+	ConnCacheMisses    int64
+	ConnCacheEvictions int64
 }
 
 // MeanWindow returns the mean bounded-window length, or 0 if none ran.
@@ -299,6 +331,25 @@ func (w *World) SetLookahead(src, dst *Engine, d Duration) {
 // frequency differs. Used for A/B scheduler measurements.
 func (w *World) SetScalarWindows(on bool) { w.scalar = on }
 
+// SetSparseBarriers elides barrier hook sweeps for windows in which no
+// producer raised the barrier-request flag (RequestBarrier): with every
+// outbox empty and no new domains, the hooks have nothing to merge, so
+// the sweep — O(hooks), each touching per-node state — is skipped and
+// counted in WorldStats.BarrierSkips. Hooks always run before the first
+// window. Simulation output is byte-identical either way; the mode is
+// off by default so dense-barrier A/B measurements keep their meaning.
+func (w *World) SetSparseBarriers(on bool) { w.sparse = on }
+
+// SparseBarriers reports whether sparse barrier elision is enabled.
+func (w *World) SparseBarriers() bool { return w.sparse }
+
+// RequestBarrier asks the next window barrier to run its hooks even
+// under SetSparseBarriers. Fabrics call it when a node's outbox goes
+// from empty to non-empty (the flush hook now has work) and when a node
+// is added mid-run (lookahead must be re-declared). Safe from parallel
+// domain contexts.
+func (w *World) RequestBarrier() { w.barrierReq.Store(true) }
+
 // Seed returns the world seed; per-domain and per-node RNG streams are
 // derived from it.
 func (w *World) Seed() int64 { return w.seed }
@@ -316,7 +367,18 @@ func (w *World) Stats() WorldStats {
 		s.TimerStops += d.statStops
 		s.WheelCascades += d.wheel.cascades
 	}
+	for _, fn := range w.statsHooks {
+		fn(&s)
+	}
 	return s
+}
+
+// OnStats registers fn to contribute counters to every Stats() snapshot
+// (the rdma layer adds its NIC connection-cache counters this way).
+// Hooks run on the snapshot copy, in registration order, from the same
+// contexts in which Stats is safe to call.
+func (w *World) OnStats(fn func(*WorldStats)) {
+	w.statsHooks = append(w.statsHooks, fn)
 }
 
 // AddCrossDeliveries is called by fabrics at barriers to account
@@ -402,36 +464,60 @@ func (w *World) run(deadline Time) {
 	defer func() { w.running = false }()
 
 	single := len(w.domains) == 1
+	first := true
 	for {
 		// Barrier: merge cross-domain mailboxes into destination heaps.
 		// Runs before the window-start computation so flushed deliveries
 		// participate in it, and before the first window so messages sent
 		// from setup code are delivered (and lookahead declared there is
-		// folded into the matrix before it is consulted).
-		for _, fn := range w.barriers {
-			fn()
+		// folded into the matrix before it is consulted). Under sparse
+		// mode the sweep is elided when no producer requested it — with
+		// every outbox empty the hooks would only walk idle state.
+		if req := w.barrierReq.Swap(false); first || !w.sparse || req {
+			for _, fn := range w.barriers {
+				fn()
+			}
+			w.stats.Barriers++
+		} else {
+			w.stats.BarrierSkips++
 		}
-		w.stats.Barriers++
+		first = false
 		if w.stopped.Load() {
 			break
 		}
 		if w.laDirty {
 			w.rebuildDist()
 		}
-		// Window start W: the global minimum next-event time.
+		// Window start W: the minimum next-event time over the active
+		// set. Domains whose wheels drained empty retire here; they
+		// rejoin via at() when something schedules on them. Idle domains
+		// cost nothing — neither this scan nor the horizon computation
+		// below ever touches them.
 		start := Never
+		prev := w.actList
+		act := prev[:0]
 		next := w.next[:0]
-		for _, d := range w.domains {
+		for _, d := range prev {
 			t := d.wheel.next()
+			if t == Never {
+				d.inActive = false
+				continue
+			}
+			act = append(act, d)
 			next = append(next, t)
 			if t < start {
 				start = t
 			}
 		}
+		for i := len(act); i < len(prev); i++ {
+			prev[i] = nil
+		}
+		w.actList = act
 		w.next = next
 		if start == Never || start > deadline {
 			break
 		}
+		w.stats.IdleSkips += int64(len(w.domains) - len(act))
 		// A single-domain world has no cross traffic, so the window
 		// covers the whole run.
 		if single {
@@ -445,30 +531,27 @@ func (w *World) run(deadline Time) {
 		// Per-domain horizon (inclusive limit): domain d may safely run
 		// events at t < min over senders s of next(s) + dist[s][d],
 		// because no message generated at or after next(s) can arrive at
-		// d earlier than that. Unreachable domains are unbounded (only
+		// d earlier than that. Only active senders constrain — an idle
+		// domain's next is Never. Unreachable domains are unbounded (only
 		// the deadline stops them). Scalar mode replaces this with the
 		// historical single bound start + min-lookahead for every domain.
-		limits := w.limits[:0]
 		if w.scalar {
 			lim := deadline
 			if x := start.Add(w.scalarLA); x-1 < lim {
 				lim = x - 1
 			}
-			for range w.domains {
-				limits = append(limits, lim)
+			for _, d := range act {
+				d.limit = lim
 			}
 		} else {
-			for i := range w.domains {
+			for _, d := range act {
 				h := Never
-				for s := range w.domains {
-					if next[s] == Never {
-						continue
-					}
-					la := w.dist[s][i]
+				for j, s := range act {
+					la := w.dist[s.id][d.id]
 					if la >= laInf {
 						continue
 					}
-					if c := next[s].Add(la); c < h {
+					if c := next[j].Add(la); c < h {
 						h = c
 					}
 				}
@@ -476,16 +559,15 @@ func (w *World) run(deadline Time) {
 				if h != Never && h-1 < lim {
 					lim = h - 1
 				}
-				limits = append(limits, lim)
+				d.limit = lim
 			}
 		}
-		w.limits = limits
 		// Telemetry: the window's effective length is set by the
 		// earliest bounded horizon among domains that actually run.
 		winEnd := Never
-		for i := range w.domains {
-			if next[i] != Never && next[i] <= limits[i] && limits[i] < winEnd {
-				winEnd = limits[i]
+		for i, d := range act {
+			if next[i] <= d.limit && d.limit < winEnd {
+				winEnd = d.limit
 			}
 		}
 		if winEnd != Never {
@@ -493,8 +575,8 @@ func (w *World) run(deadline Time) {
 			w.stats.SpanWindows++
 		}
 		if w.workers <= 1 {
-			for i, d := range w.domains {
-				d.runWindow(limits[i])
+			for _, d := range act {
+				d.runWindow(d.limit)
 			}
 		} else {
 			w.runParallel()
@@ -516,14 +598,13 @@ func (w *World) run(deadline Time) {
 }
 
 // runParallel executes one window with up to w.workers goroutines, each
-// claiming whole domains (each to its own horizon in w.limits). Domains
+// claiming whole domains (each to its own horizon in Engine.limit). Domains
 // never share state within a window, so this is race-free; determinism
 // comes from the barrier merge order, not from scheduling.
 func (w *World) runParallel() {
 	act := w.active[:0]
-	for i, d := range w.domains {
-		if t := d.wheel.next(); t != Never && t <= w.limits[i] {
-			d.limit = w.limits[i]
+	for i, d := range w.actList {
+		if w.next[i] <= d.limit {
 			act = append(act, d)
 		}
 	}
@@ -588,6 +669,12 @@ type Engine struct {
 	seq   uint64
 	rng   *rand.Rand
 	limit Time // this window's horizon, set by the world before dispatch
+
+	// inActive marks membership in the world's active list. Set by at()
+	// (always from a single-threaded context or this domain's own
+	// execution — cross-domain scheduling only happens at barriers),
+	// cleared by the window-start scan when the wheel drains empty.
+	inActive bool
 
 	// wheel holds the pending events; burst is the reusable buffer one
 	// instant's events drain into for execution. inBurst routes
@@ -664,6 +751,10 @@ func (e *Engine) at(t Time, fn func(), tail bool) Timer {
 	ev.tail = tail
 	e.seq++
 	e.pendingN++
+	if !e.inActive {
+		e.inActive = true
+		e.w.actList = append(e.w.actList, e)
+	}
 	if e.inBurst && t == e.now {
 		// Scheduled for the instant currently executing: append behind
 		// the burst cursor instead of paying a wheel round trip. seq is

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property test for the wheel's overflow list — the unsorted parking lot
+// for events beyond the 2^48 ns horizon. TestWheelMatchesHeapReference
+// samples it incidentally; this test concentrates on it: most deltas
+// land past the horizon, clocks cross many top-level boundaries per run
+// (each crossing must re-file exactly the overflow events that now fit
+// the wheel), and Stops target both overflow residents (the linear
+// unlink path in remove) and long-fired ids (the generation guard on
+// stale Timer handles). Firing order and every Stop result must match
+// the (at, tail, seq) reference model exactly.
+
+// overflowDelta samples offsets that keep the overflow list busy: just
+// past the horizon, several top-level laps out, a hair below the horizon
+// (wheel-resident until the next boundary crossing flips what "fits"),
+// and a few near-term ones so cascade traffic interleaves.
+func overflowDelta(rng *rand.Rand) Duration {
+	switch rng.Intn(6) {
+	case 0: // just past the horizon
+		return Duration(1<<48 + rng.Int63n(1<<20))
+	case 1: // deep overflow: many top-level laps
+		return Duration((1 + rng.Int63n(6)) << 48)
+	case 2: // deep overflow, unaligned
+		return Duration(1<<48 + rng.Int63n(1<<49))
+	case 3: // just below the horizon: top-level wheel slots
+		return Duration(1<<48 - 1 - rng.Int63n(1<<20))
+	case 4: // near-term, fires first and drags the clock forward
+		return Duration(rng.Intn(1 << 16))
+	default:
+		return Duration(rng.Intn(1 << 30))
+	}
+}
+
+func TestWheelOverflowMatchesReference(t *testing.T) {
+	for _, seed := range []int64{5, 21, 1717, 90210} {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Children spawned from callbacks also reach past the horizon, so
+		// overflow inserts happen mid-burst too, not just between runs.
+		actions := make([]wheelAction, 64)
+		for i := range actions {
+			switch rng.Intn(4) {
+			case 0: // do nothing
+			case 1, 2:
+				actions[i] = wheelAction{kind: 1, delta: overflowDelta(rng), tail: rng.Intn(2) == 0}
+			case 3:
+				actions[i] = wheelAction{kind: 2, victimOff: 1 + rng.Intn(8)}
+			}
+		}
+
+		e := NewEngine(seed)
+		timers := make(map[int]Timer)
+		eng := &wheelDriver{actions: actions}
+		eng.nowFn = e.Now
+		eng.schedule = func(id int, at Time, tail bool) {
+			fn := func() { eng.onFire(id) }
+			if tail {
+				timers[id] = e.AtTail(at, fn)
+			} else {
+				timers[id] = e.At(at, fn)
+			}
+		}
+		eng.stopFn = func(id int) bool {
+			tm, ok := timers[id]
+			return ok && tm.Stop()
+		}
+
+		model := &refModel{}
+		mod := &wheelDriver{actions: actions}
+		mod.nowFn = func() Time { return model.now }
+		mod.schedule = model.schedule
+		mod.stopFn = model.stop
+
+		extID := 1 << 20
+		scheduleBoth := func(at Time, tail bool) {
+			eng.schedule(extID, at, tail)
+			mod.schedule(extID, at, tail)
+			extID++
+		}
+		stopBoth := func(id int) {
+			eng.stops = append(eng.stops, eng.stopFn(id))
+			mod.stops = append(mod.stops, mod.stopFn(id))
+		}
+
+		overflowSeen := 0
+		startLap := uint64(e.Now()) >> 48
+		for round := 0; round < 10; round++ {
+			if e.Now() != model.now {
+				t.Fatalf("seed %d round %d: clocks diverged: engine %d model %d", seed, round, e.Now(), model.now)
+			}
+			base := e.Now()
+			roundStart := extID
+			for i := 0; i < 24; i++ {
+				scheduleBoth(base.Add(overflowDelta(rng)), rng.Intn(4) == 0)
+			}
+			if n := len(e.wheel.overflow); n > overflowSeen {
+				overflowSeen = n
+			}
+			// Stops biased toward this round's ids: many are still parked on
+			// the overflow list, exercising its unlink scan while resident.
+			for i := 0; i < 8; i++ {
+				if rng.Intn(2) == 0 {
+					stopBoth(roundStart + rng.Intn(extID-roundStart))
+				} else {
+					stopBoth(1<<20 + rng.Intn(extID-1<<20))
+				}
+			}
+			e.Run()
+			model.run(mod.onFire)
+		}
+
+		if overflowSeen == 0 {
+			t.Fatalf("seed %d: overflow list never populated — deltas not reaching the horizon", seed)
+		}
+		if laps := uint64(e.Now())>>48 - startLap; laps < 2 {
+			t.Fatalf("seed %d: crossed only %d top-level boundaries; want several re-filing crossings", seed, laps)
+		}
+		if len(eng.log) == 0 {
+			t.Fatalf("seed %d: no events fired", seed)
+		}
+		if len(eng.log) != len(mod.log) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(eng.log), len(mod.log))
+		}
+		for i := range eng.log {
+			if eng.log[i] != mod.log[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: engine id %d, reference id %d", seed, i, eng.log[i], mod.log[i])
+			}
+		}
+		if len(eng.stops) != len(mod.stops) {
+			t.Fatalf("seed %d: %d engine Stop calls vs %d reference", seed, len(eng.stops), len(mod.stops))
+		}
+		for i := range eng.stops {
+			if eng.stops[i] != mod.stops[i] {
+				t.Fatalf("seed %d: Stop result %d diverges: engine %v, reference %v", seed, i, eng.stops[i], mod.stops[i])
+			}
+		}
+		if eng.nextID != mod.nextID {
+			t.Fatalf("seed %d: spawned %d children, reference spawned %d", seed, eng.nextID, mod.nextID)
+		}
+		if e.Pending() != 0 || len(model.pending) != 0 {
+			t.Fatalf("seed %d: leftover events: engine %d, reference %d", seed, e.Pending(), len(model.pending))
+		}
+	}
+}

@@ -12,7 +12,6 @@
 # the committed artifact can never claim a number the guard would fail.
 #
 # Usage: scripts/bench_datapath.sh  [env: FIG SCALE OUT]
-set -e
 
 FIG=${FIG:-all}
 SCALE=${SCALE:-}                # e.g. "-keys 2048 -measure 300us" for CI scale
@@ -25,6 +24,9 @@ BEFORE_GET_BYTES=416
 BEFORE_GET_ALLOCS=10
 BEFORE_TOTAL_WALL=76.9
 
+. "$(dirname "$0")/lib.sh"
+
+tmp_register .dp_bench.txt .dp_run.json .dp_figures.csv
 go test ./internal/bench -run '^$' -bench 'BenchmarkSimulated(GET|PUT)' \
 	-benchmem -benchtime 2000x > .dp_bench.txt
 field() { awk -v bench="$1" -v col="$2" '$1 ~ bench {print $col}' .dp_bench.txt; }
@@ -35,17 +37,13 @@ PUT_NS=$(field '^BenchmarkSimulatedPUT' 3)
 PUT_B=$(field '^BenchmarkSimulatedPUT' 5)
 PUT_A=$(field '^BenchmarkSimulatedPUT' 7)
 
-go build -o .dp_prismbench ./cmd/prismbench
+build_tool .dp_prismbench ./cmd/prismbench
 ./.dp_prismbench -format csv $SCALE -json .dp_run.json "$FIG" > .dp_figures.csv
-TOTAL=$(grep -o '"total_wall_seconds": [0-9.]*' .dp_run.json | grep -o '[0-9.]*$')
+TOTAL=$(jnum total_wall_seconds .dp_run.json)
 # Mean harness allocation cost over the load-driver figures (points that
 # report the telemetry), per completed operation.
-meanof() {
-	grep -o "\"$1\": [0-9.]*" .dp_run.json | grep -o '[0-9.]*$' |
-		awk '{s+=$1; n++} END {if (n) printf "%.3f", s/n; else print 0}'
-}
-MEAN_A=$(meanof mean_allocs_per_op)
-MEAN_B=$(meanof mean_bytes_per_op)
+MEAN_A=$(jnum_mean mean_allocs_per_op .dp_run.json)
+MEAN_B=$(jnum_mean mean_bytes_per_op .dp_run.json)
 
 {
 	printf '{\n'
@@ -71,9 +69,5 @@ MEAN_B=$(meanof mean_bytes_per_op)
 	printf '}\n'
 } > "$OUT"
 
-rm -f .dp_prismbench .dp_bench.txt .dp_run.json .dp_figures.csv
 echo "wrote $OUT: GET $GET_A allocs/op, $GET_B B/op, ${GET_NS}ns/op (was $BEFORE_GET_ALLOCS/$BEFORE_GET_BYTES/$BEFORE_GET_NS); $FIG wall ${TOTAL}s"
-awk "BEGIN{exit !($GET_A <= $GET_ALLOC_CEILING)}" || {
-	echo "FAIL: GET allocates $GET_A/op, above the $GET_ALLOC_CEILING/op guard" >&2
-	exit 1
-}
+assert "$GET_A <= $GET_ALLOC_CEILING" "GET allocates $GET_A/op, above the $GET_ALLOC_CEILING/op guard"

@@ -7,7 +7,6 @@
 # graceful drain (exit 0).
 #
 # Usage: scripts/bench_live.sh  [env: CLIENTS SOCKETS DURATION KEYS VALUE READS OUT]
-set -e
 
 CLIENTS=${CLIENTS:-1000}
 SOCKETS=${SOCKETS:-8}
@@ -18,14 +17,16 @@ READS=${READS:-0.95}
 OUT=${OUT:-BENCH_live.json}
 SOCK=${SOCK:-/tmp/prism-bench.$$.sock}
 
-go build -o .live_prismd ./cmd/prismd
-go build -o .live_prismload ./cmd/prismload
+. "$(dirname "$0")/lib.sh"
 
-cleanup() {
+cleanup_hook() {
 	[ -n "$PRISMD_PID" ] && kill "$PRISMD_PID" 2>/dev/null
-	rm -f .live_prismd .live_prismload "$SOCK"
+	:
 }
-trap cleanup EXIT
+
+build_tool .live_prismd ./cmd/prismd
+build_tool .live_prismload ./cmd/prismload
+tmp_register "$SOCK"
 
 ./.live_prismd -unix "$SOCK" -keys "$KEYS" -value "$VALUE" -load "$KEYS" &
 PRISMD_PID=$!
@@ -53,17 +54,10 @@ if ! wait "$PRISMD_PID"; then
 fi
 PRISMD_PID=
 
-jfield() { grep -o "\"$1\": [0-9.]*" "$OUT" | grep -o '[0-9.]*$'; }
-OPS=$(jfield ops_per_sec)
-ERRS=$(jfield errors)
-P50=$(jfield p50_us)
-P99=$(jfield p99_us)
+OPS=$(jnum ops_per_sec "$OUT")
+ERRS=$(jnum errors "$OUT")
+P50=$(jnum p50_us "$OUT")
+P99=$(jnum p99_us "$OUT")
 echo "wrote $OUT: $CLIENTS clients over $SOCKETS sockets, $OPS ops/s, p50 ${P50}us, p99 ${P99}us, $ERRS errors"
-awk "BEGIN{exit !($ERRS == 0)}" || {
-	echo "FAIL: $ERRS client errors during the live run" >&2
-	exit 1
-}
-awk "BEGIN{exit !($OPS > 0)}" || {
-	echo "FAIL: no throughput recorded" >&2
-	exit 1
-}
+assert "$ERRS == 0" "$ERRS client errors during the live run"
+assert "$OPS > 0" "no throughput recorded"

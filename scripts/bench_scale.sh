@@ -1,0 +1,104 @@
+#!/bin/sh
+# Regenerates BENCH_scale.json: the connection-scaling sweep to the QP
+# cliff (fig-scale). Four runs of the same figure:
+#
+#   1. dense          the artifact's data: per-pair-matrix windows,
+#                     every barrier swept
+#   2. sparse         -sparse-barriers: must be byte-identical CSV
+#   3. intra          -intra 4: must be byte-identical CSV
+#   4. idle A/B       the ladder truncated to its mostly-idle low end
+#                     (few clients over the fixed ScaleMachines fleet),
+#                     dense vs sparse: sparse must sweep >= 30% fewer
+#                     barriers
+#
+# The cliff point per series is read off the dense CSV: the first client
+# count whose throughput falls below half the previous rung's. Hardware-
+# class series must show one whenever the run recorded QP-cache misses.
+#
+# Usage: scripts/bench_scale.sh  [env: SCALE IDLE OUT]
+
+SCALE=${SCALE:-}        # e.g. "-keys 2048 -value 64 -scale-machines 64 -qp-entries 24 -max-clients 256" for CI scale
+# Mostly-idle truncation for the barrier A/B. A -max-clients below the
+# ladder floor becomes a single rung at exactly that count, so 4 clients
+# spread over the fixed ScaleMachines fleet leave nearly every domain
+# idle — the case sparse scheduling exists for.
+IDLE=${IDLE:--max-clients 4}
+OUT=${OUT:-BENCH_scale.json}
+
+. "$(dirname "$0")/lib.sh"
+
+build_tool .scale_prismbench ./cmd/prismbench
+tmp_register .scale_dense.csv .scale_sparse.csv .scale_intra.csv \
+	.scale_dense.json .scale_sparse.json .scale_idle_dense.json .scale_idle_sparse.json
+
+./.scale_prismbench -format csv $SCALE -json .scale_dense.json fig-scale > .scale_dense.csv
+./.scale_prismbench -format csv $SCALE -sparse-barriers -json .scale_sparse.json fig-scale > .scale_sparse.csv
+cmp .scale_dense.csv .scale_sparse.csv
+./.scale_prismbench -format csv $SCALE -intra 4 fig-scale > .scale_intra.csv
+cmp .scale_dense.csv .scale_intra.csv
+
+# Mostly-idle A/B: truncate the ladder to its low end so the fixed
+# machine fleet is nearly all idle domains, then compare barrier sweeps.
+./.scale_prismbench -format csv $SCALE $IDLE -json .scale_idle_dense.json fig-scale > /dev/null
+./.scale_prismbench -format csv $SCALE $IDLE -sparse-barriers -json .scale_idle_sparse.json fig-scale > /dev/null
+DB=$(jnum barriers .scale_idle_dense.json)
+SPB=$(jnum barriers .scale_idle_sparse.json)
+SKIPS=$(jnum barrier_skips .scale_idle_sparse.json)
+IDLES=$(jnum idle_skips .scale_idle_sparse.json)
+RED=$(awk "BEGIN{printf \"%.4f\", 1 - $SPB/$DB}")
+
+# Cliff per series: first rung whose throughput drops below half the
+# previous rung's (collapse to zero counts). 0 = no cliff in the sweep.
+cliff() {
+	awk -F, -v s="$1" '
+		$1 == "fig-scale" && $2 == s {
+			if (prev > 0 && $5 < 0.5 * prev && !c) c = $4
+			prev = $5
+		}
+		END { print c + 0 }
+	' .scale_dense.csv
+}
+CLIFF_PILAF=$(cliff "Pilaf")
+CLIFF_KV=$(cliff "PRISM-KV")
+CLIFF_SOFT=$(cliff "PRISM-KV (software PRISM)")
+
+MISSES=$(jnum qp_cache_misses .scale_dense.json)
+HITS=$(jnum qp_cache_hits .scale_dense.json)
+EVICTS=$(jnum qp_cache_evictions .scale_dense.json)
+DENSE_WALL=$(jnum total_wall_seconds .scale_dense.json)
+SPARSE_WALL=$(jnum total_wall_seconds .scale_sparse.json)
+
+{
+	printf '{\n'
+	printf '  "figure": "fig-scale",\n'
+	printf '  "csv_identical_sparse": true,\n'
+	printf '  "csv_identical_intra4": true,\n'
+	printf '  "cliff_clients": {\n'
+	printf '    "Pilaf": %s,\n' "$CLIFF_PILAF"
+	printf '    "PRISM-KV": %s,\n' "$CLIFF_KV"
+	printf '    "PRISM-KV (software PRISM)": %s\n' "$CLIFF_SOFT"
+	printf '  },\n'
+	printf '  "qp_cache_hits": %s,\n' "$HITS"
+	printf '  "qp_cache_misses": %s,\n' "$MISSES"
+	printf '  "qp_cache_evictions": %s,\n' "$EVICTS"
+	printf '  "idle_ab": {\n'
+	printf '    "truncation": "%s",\n' "$IDLE"
+	printf '    "dense_barriers": %s,\n' "$DB"
+	printf '    "sparse_barriers": %s,\n' "$SPB"
+	printf '    "sparse_barrier_skips": %s,\n' "$SKIPS"
+	printf '    "sparse_idle_skips": %s,\n' "$IDLES"
+	printf '    "barrier_reduction": %s\n' "$RED"
+	printf '  },\n'
+	printf '  "dense_wall_seconds": %s,\n' "$DENSE_WALL"
+	printf '  "sparse_wall_seconds": %s,\n' "$SPARSE_WALL"
+	printf '  "dense": '
+	cat .scale_dense.json
+	printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT: cliffs Pilaf=$CLIFF_PILAF PRISM-KV=$CLIFF_KV soft=$CLIFF_SOFT; idle barrier reduction $RED (sweeps $DB -> $SPB)"
+assert "$RED >= 0.30" "sparse barrier reduction $RED below the 30% floor on the mostly-idle ladder"
+if [ "$MISSES" -gt 0 ] 2>/dev/null; then
+	assert "$CLIFF_PILAF > 0 && $CLIFF_KV > 0" \
+		"QP cache missed $MISSES times but no cliff in the hardware-class series"
+fi

@@ -13,7 +13,6 @@
 # comparing a CI-scale run against it would be meaningless.
 #
 # Usage: scripts/bench_sched.sh  [env: FIG SCALE OUT]
-set -e
 
 FIG=${FIG:-all}
 SCALE=${SCALE:-}                # e.g. "-keys 4096 -measure 200us" for CI scale
@@ -22,9 +21,12 @@ OUT=${OUT:-BENCH_sched.json}
 # Pre-optimization measurement (PR 5 tree, same flags, same host class).
 BEFORE_TOTAL_WALL=65.37
 
-go build -o .sched_prismbench ./cmd/prismbench
+. "$(dirname "$0")/lib.sh"
+
+build_tool .sched_prismbench ./cmd/prismbench
+tmp_register .sched_run.json .sched_figures.csv
 ./.sched_prismbench -format csv $SCALE -json .sched_run.json "$FIG" > .sched_figures.csv
-TOTAL=$(grep -o '"total_wall_seconds": [0-9.]*' .sched_run.json | grep -o '[0-9.]*$')
+TOTAL=$(jnum total_wall_seconds .sched_run.json)
 
 # Per-figure scheduler counters: each figures[] entry leads with its
 # "id"; take the first occurrence of each counter after it, so the
@@ -66,5 +68,4 @@ FIGS=$(awk '
 	printf '}\n'
 } > "$OUT"
 
-rm -f .sched_prismbench .sched_run.json .sched_figures.csv
 echo "wrote $OUT: $FIG wall ${TOTAL}s (before ${BEFORE_TOTAL_WALL}s at full scale)"

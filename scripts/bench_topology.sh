@@ -8,7 +8,6 @@
 # byte-identical; the barrier telemetry must not be (that is the win).
 #
 # Usage: scripts/bench_topology.sh  [env: FIG SCALE CROSSRACK AFFINITY OUT]
-set -e
 
 FIG=${FIG:-fig4}
 SCALE=${SCALE:-}                # e.g. "-keys 4096 -measure 200us" for CI scale
@@ -16,18 +15,18 @@ CROSSRACK=${CROSSRACK:-500ns}
 AFFINITY=${AFFINITY:-11}        # default Config.ClientMachines: one shared domain
 OUT=${OUT:-BENCH_topology.json}
 
-go build -o .topo_prismbench ./cmd/prismbench
+. "$(dirname "$0")/lib.sh"
+
+build_tool .topo_prismbench ./cmd/prismbench
+tmp_register .topo_scalar.json .topo_matrix.json .topo_scalar.csv .topo_matrix.csv
 ./.topo_prismbench -format csv $SCALE -crossrack "$CROSSRACK" \
 	-scalar-windows -json .topo_scalar.json "$FIG" > .topo_scalar.csv
 ./.topo_prismbench -format csv $SCALE -crossrack "$CROSSRACK" \
 	-affinity "$AFFINITY" -json .topo_matrix.json "$FIG" > .topo_matrix.csv
 cmp .topo_scalar.csv .topo_matrix.csv
 
-barriers() {
-	grep -o '"barriers": [0-9]*' "$1" | head -n 1 | grep -o '[0-9]*'
-}
-SB=$(barriers .topo_scalar.json)
-MB=$(barriers .topo_matrix.json)
+SB=$(jnum barriers .topo_scalar.json)
+MB=$(jnum barriers .topo_matrix.json)
 RED=$(awk "BEGIN{printf \"%.4f\", 1 - $MB/$SB}")
 
 {
@@ -46,9 +45,5 @@ RED=$(awk "BEGIN{printf \"%.4f\", 1 - $MB/$SB}")
 	printf '}\n'
 } > "$OUT"
 
-rm -f .topo_prismbench .topo_scalar.json .topo_matrix.json .topo_scalar.csv .topo_matrix.csv
 echo "wrote $OUT: $FIG barriers scalar=$SB matrix+affinity=$MB (reduction $RED)"
-awk "BEGIN{exit !($RED >= 0.25)}" || {
-	echo "FAIL: barrier reduction $RED below the 25% floor" >&2
-	exit 1
-}
+assert "$RED >= 0.25" "barrier reduction $RED below the 25% floor"

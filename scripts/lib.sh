@@ -1,0 +1,54 @@
+# scripts/lib.sh: shared helpers for the bench_* scripts. Source it after
+# the script's own defaults:
+#
+#	. "$(dirname "$0")/lib.sh"
+#
+# Helpers:
+#   build_tool BIN PKG   go build PKG into BIN and remove BIN on exit
+#   tmp_register FILE... remove FILE... on exit
+#   cleanup_hook         redefine to run extra teardown before the removal
+#   jnum KEY FILE        first numeric value of "KEY": N in FILE (top-level
+#                        aggregates precede per-point telemetry in the
+#                        prismbench -json layout, so first = figure total)
+#   jnum_mean KEY FILE   mean over every numeric occurrence of KEY
+#   assert EXPR MSG      awk-evaluate numeric EXPR; exit 1 with MSG if false
+set -e
+
+LIB_TMP_FILES=
+
+tmp_register() {
+	LIB_TMP_FILES="$LIB_TMP_FILES $*"
+}
+
+# Scripts that need extra teardown (killing a server, say) redefine this.
+cleanup_hook() {
+	:
+}
+
+lib_cleanup() {
+	cleanup_hook
+	[ -n "$LIB_TMP_FILES" ] && rm -f $LIB_TMP_FILES
+	:
+}
+trap lib_cleanup EXIT
+
+build_tool() {
+	go build -o "$1" "$2"
+	tmp_register "$1"
+}
+
+jnum() {
+	grep -o "\"$1\": [0-9.]*" "$2" | head -n 1 | grep -o '[0-9.]*$'
+}
+
+jnum_mean() {
+	grep -o "\"$1\": [0-9.]*" "$2" | grep -o '[0-9.]*$' |
+		awk '{s+=$1; n++} END {if (n) printf "%.3f", s/n; else print 0}'
+}
+
+assert() {
+	awk "BEGIN{exit !($1)}" || {
+		echo "FAIL: $2" >&2
+		exit 1
+	}
+}
