@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +40,8 @@ func main() {
 	load := flag.Int64("load", 0, "preload keys 0..N-1 before serving")
 	wirecheck := flag.Bool("wirecheck", false, "verify every frame round-trips the codec canonically")
 	grace := flag.Duration("grace", 5*time.Second, "drain deadline on SIGTERM/SIGINT")
+	batch := flag.Int("batch", 0, "frames served per socket wakeup (0 = default, 1 = unbatched)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	if *tcpAddr == "" && *unixPath == "" {
@@ -58,7 +62,17 @@ func main() {
 	}
 	transport.SetWireCheck(*wirecheck)
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "prismd: pprof:", err)
+			}
+		}()
+		fmt.Printf("prismd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	ts := transport.NewServer()
+	ts.MaxBatch = *batch
 	opts := kv.DefaultOptions(*nKeys, *valueSize)
 	opts.Hash = hash
 	store, err := kv.NewServerOn(ts, opts)
@@ -120,4 +134,20 @@ func main() {
 	}
 	fmt.Printf("prismd: served %d requests (%d ops) across %d connections\n",
 		ts.RequestsServed.Load(), ts.OpsExecuted.Load(), ts.ConnsAccepted.Load())
+	// Doorbell telemetry: realized coalescing on each side of the
+	// boundary crossing.
+	writes, framesOut, bytesOut := ts.Writes.Load(), ts.FramesOut.Load(), ts.BytesOut.Load()
+	reads, bytesIn := ts.Reads.Load(), ts.BytesIn.Load()
+	batches, batchFrames := ts.Batches.Load(), ts.BatchFrames.Load()
+	fmt.Printf("prismd: syscalls: %d writes (frames_per_write %.2f, bytes_per_syscall %.0f), %d reads (%.0f B/read), batch_len %.2f\n",
+		writes, ratio(framesOut, writes), ratio(bytesOut, writes),
+		reads, ratio(bytesIn, reads), ratio(batchFrames, batches))
+}
+
+// ratio returns a/b as a float, 0 when b is 0.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
 }

@@ -36,6 +36,9 @@ func main() {
 	reads := flag.Float64("reads", 0.95, "fraction of operations that are GETs")
 	wirecheck := flag.Bool("wirecheck", false, "verify every frame round-trips the codec canonically")
 	jsonPath := flag.String("json", "", "write the result JSON here (default stdout)")
+	batch := flag.Int("batch", 1, "GETs per doorbell: issue reads in kv.GetBatch trains of this size")
+	flushFrames := flag.Int("flush-frames", 0, "client flush threshold: max frames per write syscall (0 = transport default)")
+	flushBytes := flag.Int("flush-bytes", 0, "client flush threshold: max bytes per write syscall (0 = transport default)")
 	flag.Parse()
 
 	if *addr == "" {
@@ -59,7 +62,11 @@ func main() {
 			os.Exit(1)
 		}
 		defer tc.Close()
+		tc.SetFlushPolicy(*flushFrames, *flushBytes)
 		pool[i] = tc
+	}
+	if *batch < 1 {
+		*batch = 1
 	}
 	metaConn, err := pool[0].Connect()
 	if err != nil {
@@ -112,17 +119,39 @@ func main() {
 		go func(id int) {
 			defer wg.Done()
 			defer finished[id].Store(true)
+			var batchKeys []int64
+			if *batch > 1 {
+				batchKeys = make([]int64, *batch)
+			}
 			for time.Now().Before(deadline) {
-				key := rng.Int63n(*keys)
 				opStart := time.Now()
 				var err error
+				var n int64 = 1
 				if rng.Float64() < *reads {
-					_, err = kvc.Get(key)
-					if err == kv.ErrNotFound {
-						err = nil // an unloaded key is a valid miss
+					if *batch > 1 {
+						// One doorbell for the whole GET train; the batch's
+						// latency is recorded once, its ops counted each.
+						for j := range batchKeys {
+							batchKeys[j] = rng.Int63n(*keys)
+						}
+						var keyErr error
+						err = kvc.GetBatch(batchKeys, func(_ int, _ []byte, kerr error) {
+							if kerr != nil && kerr != kv.ErrNotFound && keyErr == nil {
+								keyErr = kerr // a miss is valid; a protocol error is not
+							}
+						})
+						if err == nil {
+							err = keyErr
+						}
+						n = int64(*batch)
+					} else {
+						_, err = kvc.Get(rng.Int63n(*keys))
+						if err == kv.ErrNotFound {
+							err = nil // an unloaded key is a valid miss
+						}
 					}
 				} else {
-					err = kvc.Put(key, value)
+					err = kvc.Put(rng.Int63n(*keys), value)
 				}
 				if err != nil {
 					// Transport down or protocol error: stop this client but
@@ -133,7 +162,7 @@ func main() {
 					return
 				}
 				rec.Record(time.Since(opStart))
-				ops.Add(1)
+				ops.Add(n)
 			}
 			kvc.FlushFrees()
 		}(i)
@@ -164,20 +193,41 @@ func main() {
 			stalled++
 		}
 	}
+	// Doorbell telemetry, aggregated over the socket pool: write
+	// syscalls and the frames/bytes they carried (frames_per_write is
+	// the realized batching factor), and the demux side's reads.
+	var writes, framesOut, bytesOut, readsIn, bytesIn int64
+	for _, tc := range pool {
+		w, f, b := tc.FlushStats()
+		writes += w
+		framesOut += f
+		bytesOut += b
+		r, rb := tc.ReadStats()
+		readsIn += r
+		bytesIn += rb
+	}
 	result := map[string]any{
-		"addr":        *addr,
-		"clients":     *clients,
-		"sockets":     *sockets,
-		"duration_s":  elapsed.Seconds(),
-		"reads":       *reads,
-		"value_bytes": *valueSize,
-		"ops":         ops.Load(),
-		"ops_per_sec": float64(ops.Load()) / elapsed.Seconds(),
-		"p50_us":      float64(merged.Median()) / 1e3,
-		"p99_us":      float64(merged.P99()) / 1e3,
-		"errors":      errCount.Load(),
-		"num_cpu":     runtime.NumCPU(),
-		"wirecheck":   *wirecheck,
+		"addr":              *addr,
+		"clients":           *clients,
+		"sockets":           *sockets,
+		"duration_s":        elapsed.Seconds(),
+		"reads":             *reads,
+		"value_bytes":       *valueSize,
+		"ops":               ops.Load(),
+		"ops_per_sec":       float64(ops.Load()) / elapsed.Seconds(),
+		"p50_us":            float64(merged.Median()) / 1e3,
+		"p99_us":            float64(merged.P99()) / 1e3,
+		"errors":            errCount.Load(),
+		"num_cpu":           runtime.NumCPU(),
+		"wirecheck":         *wirecheck,
+		"batch_len":         *batch,
+		"flush_frames":      *flushFrames,
+		"flush_bytes":       *flushBytes,
+		"writes":            writes,
+		"frames_per_write":  ratio(framesOut, writes),
+		"bytes_per_syscall": ratio(bytesOut, writes),
+		"read_syscalls":     readsIn,
+		"bytes_per_read":    ratio(bytesIn, readsIn),
 		// Per-client failure detail: each client errors at most once
 		// before stopping, so errors == clients that dropped out.
 		"clients_errored": errCount.Load(),
@@ -207,4 +257,12 @@ func firstError(v *atomic.Value) string {
 		return s
 	}
 	return ""
+}
+
+// ratio returns a/b as a float, 0 when b is 0.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
 }

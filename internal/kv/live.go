@@ -102,6 +102,11 @@ type LiveClient struct {
 	entryBuf []byte
 	preBuf   [slotSize]byte
 	ptrBuf   [8]byte
+
+	// GetBatch scratch, reused across batches.
+	batchOps    []wire.Op
+	batchChains [][]wire.Op
+	batchProbe  []int
 }
 
 // NewLiveClient wraps a live connection to a PRISM-KV server.
@@ -172,6 +177,100 @@ func (c *LiveClient) Get(key int64) ([]byte, error) {
 		idx = (idx + 1) % c.meta.NSlots
 	}
 	return nil, ErrNotFound
+}
+
+// GetBatch performs the §6.1 read for every key behind one doorbell:
+// the whole train of GET chains is staged into the socket's flush
+// buffer and the writer is rung once (Conn.IssueBatch), so n lookups
+// cost one write syscall instead of n. visit is called exactly once per
+// key, in key order for every key resolved by its home slot(s); keys
+// that linear probing displaced past the home slot fall back to
+// individual Gets and are visited last. val aliases transport-owned
+// storage and is valid only during the visit call — copy to keep.
+func (c *LiveClient) GetBatch(keys []int64, visit func(i int, val []byte, err error)) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	two := c.meta.Hash == TwoChoice
+	opsPerKey := 1
+	if two {
+		opsPerKey = 2
+	}
+	if cap(c.batchOps) < len(keys)*opsPerKey {
+		c.batchOps = make([]wire.Op, len(keys)*opsPerKey)
+	}
+	ops := c.batchOps[:len(keys)*opsPerKey]
+	if cap(c.batchChains) < len(keys) {
+		c.batchChains = make([][]wire.Op, len(keys))
+	}
+	chains := c.batchChains[:len(keys)]
+	bound := entrySize(c.meta.MaxValue)
+	for i, key := range keys {
+		if two {
+			s1 := slotIndex(c.meta.Hash, key, c.meta.NSlots)
+			s2 := slotIndex2(key, c.meta.NSlots)
+			ops[2*i] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s1)+8, bound)
+			ops[2*i+1] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(s2)+8, bound)
+			chains[i] = ops[2*i : 2*i+2]
+		} else {
+			idx := slotIndex(c.meta.Hash, key, c.meta.NSlots)
+			ops[i] = prism.ReadBounded(c.meta.Key, c.meta.slotAddr(idx)+8, bound)
+			chains[i] = ops[i : i+1]
+		}
+	}
+	res, err := c.conn.IssueBatch(chains)
+	if err != nil {
+		return err
+	}
+	// Visit every key the batch resolved first: result views are only
+	// valid until the next issue on the connection, and the probe
+	// fallbacks below issue.
+	probe := c.batchProbe[:0]
+	for i, key := range keys {
+		if two {
+			val := []byte(nil)
+			found := false
+			for _, r := range res[i] {
+				if r.Status != wire.StatusOK {
+					continue // empty slot NAKs on the null pointer
+				}
+				if k, v, err := decodeEntry(r.Data); err == nil && k == key {
+					val, found = v, true
+					break
+				}
+			}
+			if found {
+				visit(i, val, nil)
+			} else {
+				visit(i, nil, ErrNotFound)
+			}
+			continue
+		}
+		r := res[i][0]
+		switch {
+		case r.Status == wire.StatusNAKAccess:
+			visit(i, nil, ErrNotFound)
+		case r.Status != wire.StatusOK:
+			visit(i, nil, fmt.Errorf("kv: GET status %v", r.Status))
+		default:
+			k, v, err := decodeEntry(r.Data)
+			if err != nil {
+				visit(i, nil, err)
+			} else if k == key {
+				visit(i, v, nil)
+			} else {
+				// Home slot holds a different key: the entry (if present)
+				// was displaced down the probe chain.
+				probe = append(probe, i)
+			}
+		}
+	}
+	c.batchProbe = probe
+	for _, i := range probe {
+		v, err := c.Get(keys[i])
+		visit(i, v, err)
+	}
+	return nil
 }
 
 // getTwoChoice reads both candidate slots in one chained round trip.

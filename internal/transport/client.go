@@ -23,15 +23,14 @@ var ErrClientClosed = errors.New("transport: client closed")
 // Client is a live PRISM client endpoint: one stream socket carrying
 // any number of logical connections (queue pairs). A demux goroutine
 // routes response frames to their issuing connection; issues from many
-// goroutines interleave on the socket. Safe for concurrent use, but an
+// goroutines interleave on the socket through the doorbell-batched
+// flusher (see flush.go) — frames staged while a Write is in flight
+// coalesce into the next one. Safe for concurrent use, but an
 // individual Conn is single-owner, like a queue pair.
 type Client struct {
 	nc net.Conn
 	fr *FrameReader
-
-	wmu sync.Mutex // serializes frame writes (and the send-side wirecheck)
-	fw  *FrameWriter
-	wcS *wireCheckState // send side, under wmu
+	fl *flusher
 
 	mu    sync.Mutex // guards conns and err
 	conns map[uint64]*Conn
@@ -74,15 +73,23 @@ func DialNetwork(network, addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClientConn(nc)
+}
+
+// NewClientConn performs the client handshake over an established
+// connection (a dialed socket, or one end of a net.Pipe in tests) and
+// starts the demux and flusher goroutines.
+func NewClientConn(nc net.Conn) (*Client, error) {
 	c := &Client{
 		nc:       nc,
 		fr:       NewFrameReader(nc),
-		fw:       NewFrameWriter(nc),
 		conns:    make(map[uint64]*Conn),
 		acceptCh: make(chan acceptInfo, 1),
 		down:     make(chan struct{}),
 	}
-	if err := c.fw.Send(frameHello, helloMagic); err != nil {
+	// The handshake happens before the flusher exists, so a plain
+	// framer writes the hello directly.
+	if err := NewFrameWriter(nc).Send(frameHello, helloMagic); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -95,8 +102,32 @@ func DialNetwork(network, addr string) (*Client, error) {
 		nc.Close()
 		return nil, fmt.Errorf("transport: unexpected handshake frame 0x%02x", kind)
 	}
+	c.fl = newFlusher(nc, c.fail)
 	go c.demux()
 	return c, nil
+}
+
+// SetFlushPolicy bounds how much one write syscall may carry: at most
+// maxFrames frames and maxBytes bytes per flush (zero keeps the current
+// value). Dispatch is adaptive — an idle socket still flushes
+// immediately — so the policy caps batch size rather than adding
+// latency. maxFrames 1 degenerates to the unbatched write-per-frame
+// datapath.
+func (c *Client) SetFlushPolicy(maxFrames, maxBytes int) {
+	c.fl.setPolicy(maxFrames, maxBytes)
+}
+
+// FlushStats returns the socket's doorbell telemetry: write syscalls
+// issued, and the frames and bytes they carried. frames/writes is the
+// realized batching factor (frames_per_write).
+func (c *Client) FlushStats() (writes, frames, bytes int64) {
+	return c.fl.stats()
+}
+
+// ReadStats returns the demux side's syscall telemetry: read syscalls
+// issued and bytes they returned.
+func (c *Client) ReadStats() (reads, bytes int64) {
+	return c.fr.Reads.Load(), c.fr.BytesRead.Load()
 }
 
 // Err returns the error that took the client down, if any.
@@ -118,12 +149,17 @@ func (c *Client) fail(err error) {
 	}
 	c.mu.Unlock()
 	c.downOnce.Do(func() { close(c.down) })
+	if c.fl != nil {
+		c.fl.poison(err)
+	}
 	c.nc.Close()
 }
 
 // Close tears the client down; outstanding issues fail with
-// ErrClientClosed.
+// ErrClientClosed. Staged frames (reclamation batches and other
+// fire-and-forget traffic) are flushed first.
 func (c *Client) Close() error {
+	c.fl.close()
 	c.fail(ErrClientClosed)
 	return nil
 }
@@ -135,10 +171,7 @@ func (c *Client) Connect() (*Conn, error) {
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
-	c.wmu.Lock()
-	err := c.fw.Send(frameConnect, nil)
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.fl.stageControl(frameConnect, nil); err != nil {
 		c.fail(err)
 		return nil, err
 	}
@@ -168,15 +201,24 @@ type Conn struct {
 	TempAddr memory.Addr
 	TempKey  memory.RKey
 
-	mu  sync.Mutex // guards win (owner goroutine vs demux)
+	mu  sync.Mutex // guards win and batching (owner goroutine vs demux)
 	win *Window[liveWait]
+
+	// batching suppresses the per-frame doorbell while IssueBatch
+	// stages its chain train; the batch rings once at the end.
+	batching bool
+
+	// IssueBatch scratch, reused across batches.
+	batchEntries []*Entry[liveWait]
+	batchResults [][]wire.Result
 }
 
 // liveWait is the live transport's per-entry completion state: a
 // reusable one-slot channel the issuer blocks on, and entry-owned
 // storage the demux goroutine copies results into (the alias-decoded
 // response borrows the socket read buffer, which the next frame
-// overwrites).
+// overwrites). All of it — channel included — survives entry recycling,
+// so a warmed window issues without allocating.
 type liveWait struct {
 	done    chan error
 	results []wire.Result
@@ -245,6 +287,63 @@ func (cn *Conn) IssueAsync(ops []wire.Op) error {
 	return err
 }
 
+// IssueBatch transmits a train of chains behind one doorbell — the
+// software analogue of posting a linked chain of work requests and
+// ringing the NIC once. Every chain is staged into the socket's flush
+// buffer with the doorbell suppressed, the writer is rung once, and the
+// call blocks until every chain's response arrives. chains[i]'s results
+// land in slot i of the returned slice; chains beyond the send window
+// (liveWindowDepth) pipeline as earlier ones complete. The chain op
+// slices are caller-owned and must stay valid until IssueBatch returns.
+// All result views follow the usual borrowing rule — valid until the
+// next issue on this connection — and the top-level slice is reused by
+// the next IssueBatch. On any transport error the whole batch fails
+// with that error.
+func (cn *Conn) IssueBatch(chains [][]wire.Op) ([][]wire.Result, error) {
+	if len(chains) == 0 {
+		return nil, nil
+	}
+	for _, ops := range chains {
+		if len(ops) == 0 {
+			return nil, errors.New("transport: empty chain in batch")
+		}
+	}
+	cn.mu.Lock()
+	if err := cn.c.Err(); err != nil {
+		cn.mu.Unlock()
+		return nil, err
+	}
+	entries := cn.batchEntries[:0]
+	cn.batching = true
+	for _, ops := range chains {
+		e := cn.win.Prepare(ops)
+		if e.X.done == nil {
+			e.X.done = make(chan error, 1)
+		}
+		e.X.async = false
+		entries = append(entries, e)
+		cn.win.Enqueue(e)
+	}
+	cn.batching = false
+	cn.batchEntries = entries
+	cn.mu.Unlock()
+	cn.c.fl.kick() // the one doorbell for the whole train
+
+	results := cn.batchResults[:0]
+	var firstErr error
+	for _, e := range entries {
+		if err := <-e.X.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results = append(results, e.X.results)
+	}
+	cn.batchResults = results
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
 func (cn *Conn) enqueue(ops []wire.Op, async bool) (*Entry[liveWait], error) {
 	if len(ops) == 0 {
 		return nil, errors.New("transport: empty request")
@@ -264,22 +363,14 @@ func (cn *Conn) enqueue(ops []wire.Op, async bool) (*Entry[liveWait], error) {
 	return e, nil
 }
 
-// transmit is the window's transmit hook; called with cn.mu held.
+// transmit is the window's transmit hook; called with cn.mu held. It
+// stages the frame into the socket's flush buffer; the doorbell rings
+// per frame except while IssueBatch accumulates its train.
 func (cn *Conn) transmit(e *Entry[liveWait]) {
-	c := cn.c
-	c.wmu.Lock()
-	if WireCheckEnabled() {
-		if c.wcS == nil {
-			c.wcS = &wireCheckState{}
-		}
-		c.wcS.checkRequestRoundTrip(e.Req)
-	}
-	err := c.fw.SendRequest(e.Req)
-	c.wmu.Unlock()
-	if err != nil {
-		// The entry is already pending; closing the socket wakes the demux
-		// goroutine, whose teardown sweep fails it.
-		c.fail(err)
+	if err := cn.c.fl.stageRequest(e.Req, !cn.batching); err != nil {
+		// The entry is already pending; failing the client wakes the
+		// demux goroutine, whose teardown sweep fails it.
+		cn.c.fail(err)
 	}
 }
 

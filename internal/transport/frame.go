@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"prism/internal/memory"
 	"prism/internal/wire"
@@ -18,9 +19,22 @@ import (
 // response payloads are the canonical internal/wire encodings; control
 // frames (hello/welcome/connect/accept) use the fixed layouts below.
 // The framer never allocates in steady state: FrameWriter appends into
-// one reusable buffer and issues a single Write per frame, FrameReader
-// reads into one reusable buffer that the returned payload (and any
-// alias-decoded message) borrows until the next call.
+// one reusable buffer, FrameReader reads into one reusable buffer that
+// the returned payload (and any alias-decoded message) borrows until
+// the next call.
+//
+// Both sides batch at the syscall boundary — the software analogue of
+// doorbell batching, where one MMIO ring covers a chain of posted work
+// requests:
+//
+//   - FrameWriter separates staging from flushing: Stage* appends a
+//     frame behind any already staged, Flush issues one Write for the
+//     whole train. Send* (= Stage + Flush) keeps the one-frame path.
+//   - FrameReader reads socket-sized chunks into its buffer, so one
+//     read syscall can deliver many frames; Buffered reports whether
+//     the next frame is already decodable without touching the socket,
+//     which is what lets the server drain a whole wakeup's worth of
+//     requests before flushing the responses.
 const (
 	frameHello    = 0x01 // client → server, once per socket: magic + version
 	frameWelcome  = 0x02 // server → client: hello accepted
@@ -42,6 +56,14 @@ var helloMagic = []byte("PRSM\x01")
 // buffer.
 const MaxFrame = 16 << 20
 
+// frameHeaderLen is the length prefix size.
+const frameHeaderLen = 4
+
+// readChunk is the FrameReader's read granularity: one read syscall
+// asks the socket for up to this much, so a burst of small frames
+// arrives in one syscall instead of two (header + body) each.
+const readChunk = 64 << 10
+
 var (
 	// ErrFrameTooBig reports a length prefix above MaxFrame (or an
 	// attempt to send one).
@@ -51,87 +73,223 @@ var (
 	ErrBadFrame = errors.New("transport: malformed frame")
 )
 
-// FrameReader reads length-prefixed frames from a stream. Not safe for
-// concurrent use; each socket gets its own.
+// FrameReader reads length-prefixed frames from a stream through an
+// internal chunk buffer. Not safe for concurrent use; each socket gets
+// its own.
 type FrameReader struct {
-	r   io.Reader
-	hdr [4]byte
-	buf []byte // reused frame body storage
+	r          io.Reader
+	buf        []byte // chunk storage, len == cap
+	start, end int    // unconsumed window
+
+	// Syscall telemetry: Read calls issued and bytes they returned.
+	// Atomic because the reader's owner goroutine updates them while a
+	// reporting goroutine may sample them.
+	Reads     atomic.Int64
+	BytesRead atomic.Int64
 }
 
 // NewFrameReader returns a framer over r.
 func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// fill ensures need unconsumed bytes are buffered, compacting and
+// growing the chunk buffer as required. It returns io.EOF only when the
+// stream ends with the window empty; an end mid-window is
+// io.ErrUnexpectedEOF (a length prefix or partial frame promised more).
+func (fr *FrameReader) fill(need int) error {
+	if fr.end-fr.start >= need {
+		return nil
+	}
+	if len(fr.buf)-fr.start < need {
+		// Not enough room after start: slide the window down, and grow
+		// the buffer when the frame itself outsizes it.
+		if len(fr.buf) < need {
+			grown := 2 * len(fr.buf)
+			if grown < need {
+				grown = need
+			}
+			if grown < readChunk {
+				grown = readChunk
+			}
+			nb := make([]byte, grown)
+			copy(nb, fr.buf[fr.start:fr.end])
+			fr.buf = nb
+		} else {
+			copy(fr.buf, fr.buf[fr.start:fr.end])
+		}
+		fr.end -= fr.start
+		fr.start = 0
+	}
+	for fr.end-fr.start < need {
+		m, err := fr.r.Read(fr.buf[fr.end:])
+		if m > 0 {
+			fr.Reads.Add(1)
+			fr.BytesRead.Add(int64(m))
+			fr.end += m
+		}
+		if fr.end-fr.start >= need {
+			return nil // satisfied; a sticky error resurfaces next call
+		}
+		if err != nil {
+			if err == io.EOF && fr.end > fr.start {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
 
 // Next reads one frame and returns its kind and payload. The payload
 // aliases the reader's internal buffer and is valid only until the next
 // call. A clean end of stream at a frame boundary returns io.EOF; a
 // stream truncated mid-frame returns io.ErrUnexpectedEOF.
 func (fr *FrameReader) Next() (kind byte, payload []byte, err error) {
-	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+	if err := fr.fill(frameHeaderLen); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	n := binary.LittleEndian.Uint32(fr.buf[fr.start:])
 	if n == 0 {
 		return 0, nil, ErrBadFrame
 	}
 	if n > MaxFrame {
 		return 0, nil, ErrFrameTooBig
 	}
-	if uint32(cap(fr.buf)) < n {
-		fr.buf = make([]byte, n)
-	}
-	fr.buf = fr.buf[:n]
-	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF // length prefix promised a body
-		}
+	total := frameHeaderLen + int(n)
+	if err := fr.fill(total); err != nil {
 		return 0, nil, err
 	}
-	return fr.buf[0], fr.buf[1:], nil
+	body := fr.buf[fr.start+frameHeaderLen : fr.start+total]
+	fr.start += total
+	return body[0], body[1:], nil
 }
 
-// FrameWriter writes length-prefixed frames to a stream. Not safe for
-// concurrent use; callers sharing a socket serialize sends themselves.
+// Buffered reports whether the next Next call can complete from the
+// buffer alone — a whole frame (or a length prefix Next will reject) is
+// already in memory, so serving it costs no read syscall. The server's
+// wakeup loop drains frames while this holds, then flushes its staged
+// responses in one write.
+func (fr *FrameReader) Buffered() bool {
+	avail := fr.end - fr.start
+	if avail < frameHeaderLen {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(fr.buf[fr.start:])
+	if n == 0 || n > MaxFrame {
+		return true // Next returns the framing error without reading
+	}
+	return avail >= frameHeaderLen+int(n)
+}
+
+// FrameWriter writes length-prefixed frames to a stream, staging any
+// number of frames into one reusable buffer and flushing them with a
+// single Write. Not safe for concurrent use; callers sharing a socket
+// serialize sends themselves (the client's concurrent path goes through
+// flusher instead).
 type FrameWriter struct {
-	w   io.Writer
-	buf []byte // reused encode buffer: prefix + kind + payload
+	w      io.Writer
+	buf    []byte // staged frames: prefix + kind + payload, repeated
+	staged int    // frames staged since the last flush
+
+	// Syscall telemetry: completed flushes (one Write each), and the
+	// frames and bytes they carried.
+	Writes       int64
+	FramesOut    int64
+	BytesFlushed int64
 }
 
 // NewFrameWriter returns a framer over w.
 func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
 
-// send frames buf (already holding prefix placeholder + kind + payload),
-// patching the length, as a single Write.
-func (fw *FrameWriter) send() error {
-	if len(fw.buf)-4 > MaxFrame {
+// beginFrame appends the length placeholder and kind byte, returning
+// the frame's start offset for endFrame.
+func (fw *FrameWriter) beginFrame(kind byte) int {
+	start := len(fw.buf)
+	fw.buf = append(fw.buf, 0, 0, 0, 0, kind)
+	return start
+}
+
+// endFrame patches the staged frame's length prefix, unwinding the
+// frame (earlier staged frames intact) if it exceeds MaxFrame.
+func (fw *FrameWriter) endFrame(start int) error {
+	n := len(fw.buf) - start - frameHeaderLen
+	if n > MaxFrame {
+		fw.buf = fw.buf[:start]
 		return ErrFrameTooBig
 	}
-	binary.LittleEndian.PutUint32(fw.buf, uint32(len(fw.buf)-4))
-	_, err := fw.w.Write(fw.buf)
-	return err
+	binary.LittleEndian.PutUint32(fw.buf[start:], uint32(n))
+	fw.staged++
+	return nil
 }
 
-// Send writes a control frame with the given kind and payload.
-func (fw *FrameWriter) Send(kind byte, payload []byte) error {
-	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, kind)
+// Stage appends a control frame behind any already-staged frames
+// without writing.
+func (fw *FrameWriter) Stage(kind byte, payload []byte) error {
+	start := fw.beginFrame(kind)
 	fw.buf = append(fw.buf, payload...)
-	return fw.send()
+	return fw.endFrame(start)
 }
 
-// SendRequest encodes req with the canonical codec and writes it as one
-// frame. Allocation-free in steady state: the encode buffer is reused
-// across calls.
-func (fw *FrameWriter) SendRequest(req *wire.Request) error {
-	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, frameRequest)
+// StageRequest encodes req with the canonical codec and stages it as
+// one frame. Allocation-free in steady state: the staging buffer is
+// reused across flushes.
+func (fw *FrameWriter) StageRequest(req *wire.Request) error {
+	start := fw.beginFrame(frameRequest)
 	fw.buf = wire.AppendRequest(fw.buf, req)
-	return fw.send()
+	return fw.endFrame(start)
 }
 
-// SendResponse encodes resp and writes it as one frame.
-func (fw *FrameWriter) SendResponse(resp *wire.Response) error {
-	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, frameResponse)
+// StageResponse encodes resp and stages it as one frame.
+func (fw *FrameWriter) StageResponse(resp *wire.Response) error {
+	start := fw.beginFrame(frameResponse)
 	fw.buf = wire.AppendResponse(fw.buf, resp)
-	return fw.send()
+	return fw.endFrame(start)
+}
+
+// Staged returns the number of frames staged since the last flush.
+func (fw *FrameWriter) Staged() int { return fw.staged }
+
+// Flush writes every staged frame in a single Write — the doorbell.
+// A no-op when nothing is staged.
+func (fw *FrameWriter) Flush() error {
+	if fw.staged == 0 {
+		return nil
+	}
+	n, frames := len(fw.buf), fw.staged
+	_, err := fw.w.Write(fw.buf)
+	fw.buf = fw.buf[:0]
+	fw.staged = 0
+	if err != nil {
+		return err
+	}
+	fw.Writes++
+	fw.FramesOut += int64(frames)
+	fw.BytesFlushed += int64(n)
+	return nil
+}
+
+// Send writes a control frame with the given kind and payload
+// immediately (stage + flush).
+func (fw *FrameWriter) Send(kind byte, payload []byte) error {
+	if err := fw.Stage(kind, payload); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// SendRequest encodes req and writes it immediately as one frame.
+func (fw *FrameWriter) SendRequest(req *wire.Request) error {
+	if err := fw.StageRequest(req); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// SendResponse encodes resp and writes it immediately as one frame.
+func (fw *FrameWriter) SendResponse(resp *wire.Response) error {
+	if err := fw.StageResponse(resp); err != nil {
+		return err
+	}
+	return fw.Flush()
 }
 
 // Accept frame payload: conn id u64 LE | temp addr u64 LE | temp key

@@ -39,6 +39,14 @@ const (
 	TempSlotSize = 32
 )
 
+// DefaultServerBatch is the per-wakeup frame budget when Server.MaxBatch
+// is unset: how many already-buffered frames one socket wakeup may
+// serve — under one space-guard acquisition, into one response flush —
+// before the guard is released and the staged responses hit the wire.
+// It bounds both guard hold time (fairness across sockets) and response
+// latency within a burst.
+const DefaultServerBatch = 64
+
 // ErrServerClosed is returned by Serve after Shutdown begins draining.
 var ErrServerClosed = errors.New("transport: server closed")
 
@@ -48,20 +56,31 @@ var ErrServerClosed = errors.New("transport: server closed")
 // RDMAvisor-style, so thousands of clients share a few file
 // descriptors. Shared state — the memory space, free lists, the
 // quiescer, and the connection-temp region — is serialized on the
-// space's guard, held across each whole primitive (see memory.Space and
-// prism.Executor): requests on one socket serve in arrival order, ops
-// from different sockets interleave per primitive, which is exactly the
-// paper's atomicity contract for chains (§3.3, §3.5).
+// space's guard. The guard is held per wakeup batch rather than per
+// primitive: a socket wakeup drains every request frame already
+// buffered (up to MaxBatch), executes them under one guard acquisition,
+// and coalesces every response into one write — the server half of
+// doorbell batching. Each primitive still executes atomically under the
+// guard, and ops from different sockets interleave at batch
+// granularity, which the §3.3/§3.5 contract permits: it specifies
+// per-primitive atomicity, not an interleaving schedule.
 type Server struct {
 	space     *memory.Space
 	freeLists map[uint32]*alloc.FreeList
 	quiescer  *alloc.Quiescer
 	handler   RPCHandler
 
+	// MaxBatch caps frames served (and responses coalesced) per socket
+	// wakeup; zero means DefaultServerBatch, 1 restores the unbatched
+	// serve-and-flush-per-frame datapath. Set before Serve.
+	MaxBatch int
+
 	// rpcMu serializes RPC handler invocations: handlers keep per-server
 	// scratch (reply buffers, decode state) sized for the simulator's
 	// one-domain-per-server execution. Lock order: rpcMu before the
-	// space guard (handlers call RecycleBuffer, which takes the guard).
+	// space guard (handlers call RecycleBuffer, which takes the guard) —
+	// which is why a wakeup batch releases its amortized guard before
+	// dispatching an RPC frame.
 	rpcMu sync.Mutex
 
 	// mu guards the accept-side bookkeeping: listeners, sockets, the
@@ -80,6 +99,18 @@ type Server struct {
 	RequestsServed atomic.Int64
 	OpsExecuted    atomic.Int64
 	ConnsAccepted  atomic.Int64
+
+	// Syscall telemetry, aggregated from each socket as it closes:
+	// write syscalls and the frames/bytes they carried, read syscalls
+	// and bytes, and wakeup batches with the frames they drained
+	// (BatchFrames/Batches = mean batch_len).
+	Writes      atomic.Int64
+	FramesOut   atomic.Int64
+	BytesOut    atomic.Int64
+	Reads       atomic.Int64
+	BytesIn     atomic.Int64
+	Batches     atomic.Int64
+	BatchFrames atomic.Int64
 }
 
 // NewServer returns a live server over a fresh memory space, ready for
@@ -150,6 +181,14 @@ func (s *Server) Quiesce(fn func()) {
 	g.Unlock()
 }
 
+// maxBatch resolves the per-wakeup frame budget.
+func (s *Server) maxBatch() int {
+	if s.MaxBatch > 0 {
+		return s.MaxBatch
+	}
+	return DefaultServerBatch
+}
+
 // allocConnTemp carves a per-connection temp buffer, registering a new
 // backing region when the current one fills. Caller holds s.mu; the
 // space guard is taken for the registration only.
@@ -180,6 +219,25 @@ func (s *Server) allocConnTemp() memory.Addr {
 	return addr
 }
 
+// addSock builds and registers the per-socket state, refusing sockets
+// once a drain has begun.
+func (s *Server) addSock(nc net.Conn) (*srvSock, error) {
+	sk := &srvSock{s: s, nc: nc, fr: NewFrameReader(nc), fw: NewFrameWriter(nc)}
+	sk.exec = &prism.Executor{Space: s.space, FreeLists: s.freeLists}
+	sk.exec.ReadAlloc = sk.carve
+	sk.conns = make(map[uint64]*liveConn)
+	sk.guard = s.space.Guard()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.socks[sk] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	return sk, nil
+}
+
 // Serve accepts connections on l until Shutdown. It always closes l
 // before returning, and returns ErrServerClosed after a drain.
 func (s *Server) Serve(l net.Listener) error {
@@ -203,30 +261,37 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		sk := &srvSock{s: s, nc: nc, fr: NewFrameReader(nc), fw: NewFrameWriter(nc)}
-		sk.exec = &prism.Executor{Space: s.space, FreeLists: s.freeLists}
-		sk.exec.ReadAlloc = sk.carve
-		sk.conns = make(map[uint64]*liveConn)
-		s.mu.Lock()
-		if s.draining {
-			s.mu.Unlock()
+		sk, err := s.addSock(nc)
+		if err != nil {
 			nc.Close()
 			l.Close()
-			return ErrServerClosed
+			return err
 		}
-		s.socks[sk] = struct{}{}
-		s.wg.Add(1)
-		s.mu.Unlock()
 		go sk.loop()
 	}
 }
 
+// ServeConn serves one pre-established connection (a net.Pipe end in
+// tests, or an in-process wiring) with the same lifecycle as an
+// accepted socket: it registers for Shutdown and blocks until the
+// socket loop exits. Returns ErrServerClosed if the server is already
+// draining.
+func (s *Server) ServeConn(nc net.Conn) error {
+	sk, err := s.addSock(nc)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	sk.loop()
+	return nil
+}
+
 // Shutdown drains the server: listeners close immediately, sockets
-// finish the request they are serving (responses flush), idle sockets
-// close as soon as their blocked read is interrupted, and a client
-// caught mid-frame loses the connection. If the drain has not finished
-// after grace, remaining sockets are force-closed. Safe to call more
-// than once.
+// finish the wakeup batch they are serving (responses flush), idle
+// sockets close as soon as their blocked read is interrupted, and a
+// client caught mid-frame loses the connection. If the drain has not
+// finished after grace, remaining sockets are force-closed. Safe to
+// call more than once.
 func (s *Server) Shutdown(grace time.Duration) {
 	s.mu.Lock()
 	s.draining = true
@@ -234,7 +299,7 @@ func (s *Server) Shutdown(grace time.Duration) {
 	s.listeners = nil
 	for sk := range s.socks {
 		// Interrupt blocked reads; the loop exits after finishing the
-		// frame in hand.
+		// frames in hand.
 		sk.nc.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
@@ -281,6 +346,15 @@ type srvSock struct {
 	exec  *prism.Executor
 	conns map[uint64]*liveConn
 
+	// Wakeup-batch guard amortization: the space guard is acquired at
+	// the first verb of a batch and released before any RPC dispatch
+	// (lock order) and before the batch's response flush (never hold a
+	// lock across a syscall). tok is the quiescer token bracketing the
+	// held span.
+	guard   *sync.Mutex
+	inVerbs bool
+	tok     uint64
+
 	req     wire.Request  // alias-decodes into fr's buffer
 	resp    wire.Response // response under construction
 	results []wire.Result // reused results storage
@@ -288,6 +362,8 @@ type srvSock struct {
 	opMeta  prism.OpMeta  // ExecInto out-param scratch (escape analysis)
 	wc      *wireCheckState
 	greeted bool
+
+	batches, batchFrames int64 // wakeup telemetry, owner goroutine only
 }
 
 func (sk *srvSock) wcheck() *wireCheckState {
@@ -319,14 +395,44 @@ func (sk *srvSock) carve(n uint64) []byte {
 	return buf[off:]
 }
 
+// beginVerbs acquires the amortized batch guard if not already held.
+func (sk *srvSock) beginVerbs() {
+	if sk.inVerbs {
+		return
+	}
+	sk.guard.Lock()
+	sk.tok = sk.s.quiescer.OpStart()
+	sk.inVerbs = true
+}
+
+// endVerbs releases the amortized batch guard if held.
+func (sk *srvSock) endVerbs() {
+	if !sk.inVerbs {
+		return
+	}
+	sk.s.quiescer.OpEnd(sk.tok)
+	sk.guard.Unlock()
+	sk.inVerbs = false
+}
+
 func (sk *srvSock) loop() {
 	defer func() {
+		sk.endVerbs()
 		sk.nc.Close()
-		sk.s.mu.Lock()
-		delete(sk.s.socks, sk)
-		sk.s.mu.Unlock()
-		sk.s.wg.Done()
+		s := sk.s
+		s.Writes.Add(sk.fw.Writes)
+		s.FramesOut.Add(sk.fw.FramesOut)
+		s.BytesOut.Add(sk.fw.BytesFlushed)
+		s.Reads.Add(sk.fr.Reads.Load())
+		s.BytesIn.Add(sk.fr.BytesRead.Load())
+		s.Batches.Add(sk.batches)
+		s.BatchFrames.Add(sk.batchFrames)
+		s.mu.Lock()
+		delete(s.socks, sk)
+		s.mu.Unlock()
+		s.wg.Done()
 	}()
+	maxBatch := sk.s.maxBatch()
 	for {
 		kind, body, err := sk.fr.Next()
 		if err != nil {
@@ -343,23 +449,44 @@ func (sk *srvSock) loop() {
 			}
 			continue
 		}
-		switch kind {
-		case frameConnect:
-			if sk.handleConnect() != nil {
-				return
+		// Wakeup batch: serve this frame and every further frame already
+		// decodable from the read buffer — no extra syscalls — staging
+		// the responses, then flush them all in one write. The space
+		// guard is acquired once for the batch's verb frames (beginVerbs
+		// inside serveRequest) and released before the flush.
+		n := 0
+		var bad error
+		for {
+			switch kind {
+			case frameConnect:
+				bad = sk.handleConnect()
+			case frameRequest:
+				bad = sk.serveRequest(body)
+			default:
+				bad = fmt.Errorf("transport: unexpected frame 0x%02x", kind)
 			}
-		case frameRequest:
-			if sk.serveRequest(body) != nil {
-				return
+			if bad != nil {
+				break
 			}
-		default:
-			return // protocol error
+			n++
+			if n >= maxBatch || !sk.fr.Buffered() {
+				break
+			}
+			if kind, body, err = sk.fr.Next(); err != nil {
+				break
+			}
+		}
+		sk.endVerbs()
+		sk.batches++
+		sk.batchFrames += int64(n)
+		if sk.fw.Flush() != nil || bad != nil || err != nil {
+			return
 		}
 	}
 }
 
-// handleConnect opens a logical connection and replies with its id and
-// temp-buffer coordinates.
+// handleConnect opens a logical connection and stages the accept frame
+// carrying its id and temp-buffer coordinates.
 func (sk *srvSock) handleConnect() error {
 	s := sk.s
 	s.mu.Lock()
@@ -371,10 +498,11 @@ func (sk *srvSock) handleConnect() error {
 	sk.conns[id] = &liveConn{id: id, tempAddr: temp, lastOK: true}
 	s.ConnsAccepted.Add(1)
 	var scratch [acceptLen]byte
-	return sk.fw.Send(frameAccept, appendAccept(scratch[:0], id, temp, key))
+	return sk.fw.Stage(frameAccept, appendAccept(scratch[:0], id, temp, key))
 }
 
-// serveRequest decodes, executes, and answers one request frame.
+// serveRequest decodes, executes, and stages the answer to one request
+// frame; the wakeup loop flushes.
 func (sk *srvSock) serveRequest(body []byte) error {
 	s := sk.s
 	if err := wire.DecodeRequestAlias(&sk.req, body); err != nil {
@@ -410,39 +538,36 @@ func (sk *srvSock) serveRequest(body []byte) error {
 	if WireCheckEnabled() {
 		sk.wcheck().checkResponseRoundTrip(&sk.resp)
 	}
-	return sk.fw.SendResponse(&sk.resp)
+	return sk.fw.StageResponse(&sk.resp)
 }
 
-// serveVerbs executes a (possibly chained) one-sided request, holding
-// the space guard per primitive — not across the chain — per the
-// paper's atomicity rules.
+// serveVerbs executes a (possibly chained) one-sided request under the
+// wakeup batch's amortized guard acquisition. Each primitive is atomic
+// under the guard (§3.3/§3.5); the batch merely coarsens how requests
+// from different sockets interleave, which the contract leaves open.
 func (sk *srvSock) serveVerbs(lc *liveConn, req *wire.Request, results []wire.Result) {
-	s := sk.s
-	g := s.space.Guard()
-	g.Lock()
-	tok := s.quiescer.OpStart()
-	g.Unlock()
+	sk.beginVerbs()
+	executed := 0
 	for i := range req.Ops {
 		op := &req.Ops[i]
 		if op.Flags.Has(wire.FlagConditional) && !lc.lastOK {
 			results[i] = wire.Result{Status: wire.StatusNotExecuted}
 			continue
 		}
-		g.Lock()
 		sk.exec.ExecInto(op, &results[i], &sk.opMeta)
-		g.Unlock()
-		s.OpsExecuted.Add(1)
+		executed++
 		lc.lastOK = results[i].Status.OK()
 	}
-	g.Lock()
-	s.quiescer.OpEnd(tok)
-	g.Unlock()
+	sk.s.OpsExecuted.Add(int64(executed))
 }
 
 // serveRPC dispatches a two-sided request to the application handler.
-// The reply is copied into the socket's arena under rpcMu, because
-// handlers reuse their reply scratch across calls.
+// The batch guard is released first: handlers take rpcMu and may take
+// the guard themselves (RecycleBuffer), and the lock order is rpcMu
+// before guard. The reply is copied into the socket's arena under
+// rpcMu, because handlers reuse their reply scratch across calls.
 func (sk *srvSock) serveRPC(req *wire.Request, results []wire.Result) {
+	sk.endVerbs()
 	s := sk.s
 	if s.handler == nil {
 		results[0] = wire.Result{Status: wire.StatusUnsupported}

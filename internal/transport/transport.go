@@ -24,6 +24,15 @@
 //   - RPCHandler: the server-side RPC hook (single-op OpSend requests),
 //     shared by the simulated and live servers so one application (e.g.
 //     PRISM-KV reclamation) provisions on either.
+//
+// The live datapath is doorbell-batched end to end (DESIGN.md §16):
+// client issuers stage frames into a per-socket flusher that group-
+// commits a whole train per write syscall, the server drains every
+// buffered frame per wakeup under one guard acquisition and coalesces
+// the responses into one flush, and both sides count syscalls vs the
+// frames they carried (frames_per_write, bytes_per_syscall,
+// batch_len). Coalescing changes which syscall carries a frame, never
+// the frame's bytes or per-connection order.
 package transport
 
 import (

@@ -2,11 +2,21 @@
 # Regenerates BENCH_live.json: the live-transport record. Starts a real
 # prismd on a unix socket, preloads the key space, drives CLIENTS
 # concurrent closed-loop Go clients (logical connections multiplexed
-# over SOCKETS file descriptors) with prismload, captures throughput and
-# latency percentiles, then SIGTERMs the server and asserts a clean
+# over SOCKETS file descriptors) with prismload, captures throughput,
+# latency percentiles, and doorbell telemetry (frames_per_write,
+# bytes_per_syscall), then SIGTERMs the server and asserts a clean
 # graceful drain (exit 0).
 #
-# Usage: scripts/bench_live.sh  [env: CLIENTS SOCKETS DURATION KEYS VALUE READS OUT]
+# Before the main run it sweeps the client flush threshold
+# (FLUSH_SWEEP, shorter SWEEP_DURATION runs): flush-frames 1 is the
+# write-per-frame datapath batching replaced, so the sweep records the
+# before/after in one file. The main run must beat MIN_OPS (default:
+# the PR 7 unbatched baseline) and actually coalesce
+# (frames_per_write > 1).
+#
+# Usage: scripts/bench_live.sh
+#   [env: CLIENTS SOCKETS DURATION KEYS VALUE READS OUT
+#         FLUSH_SWEEP SWEEP_DURATION MIN_OPS]
 
 CLIENTS=${CLIENTS:-1000}
 SOCKETS=${SOCKETS:-8}
@@ -16,6 +26,12 @@ VALUE=${VALUE:-128}
 READS=${READS:-0.95}
 OUT=${OUT:-BENCH_live.json}
 SOCK=${SOCK:-/tmp/prism-bench.$$.sock}
+FLUSH_SWEEP=${FLUSH_SWEEP:-1 64 1024}
+SWEEP_DURATION=${SWEEP_DURATION:-2s}
+# ops/s of the unbatched live datapath at the 1000-client/8-socket
+# point (PR 7 record), the floor the batched path must not sink below.
+BASELINE_OPS=101350.94
+MIN_OPS=${MIN_OPS:-$BASELINE_OPS}
 
 . "$(dirname "$0")/lib.sh"
 
@@ -26,7 +42,7 @@ cleanup_hook() {
 
 build_tool .live_prismd ./cmd/prismd
 build_tool .live_prismload ./cmd/prismload
-tmp_register "$SOCK"
+tmp_register "$SOCK" "$OUT.sweep"
 
 ./.live_prismd -unix "$SOCK" -keys "$KEYS" -value "$VALUE" -load "$KEYS" &
 PRISMD_PID=$!
@@ -42,6 +58,28 @@ while [ ! -S "$SOCK" ]; do
 	sleep 0.1
 done
 
+# Flush-threshold sweep: shorter runs at each cap, batching-off (1)
+# included, accumulated as a JSON array fragment.
+SWEEP_JSON=""
+for TH in $FLUSH_SWEEP; do
+	./.live_prismload -addr "$SOCK" -clients "$CLIENTS" -sockets "$SOCKETS" \
+		-duration "$SWEEP_DURATION" -keys "$KEYS" -value "$VALUE" -reads "$READS" \
+		-flush-frames "$TH" -json "$OUT.sweep" >/dev/null
+	TH_OPS=$(jnum ops_per_sec "$OUT.sweep")
+	TH_FPW=$(jnum frames_per_write "$OUT.sweep")
+	TH_BPS=$(jnum bytes_per_syscall "$OUT.sweep")
+	TH_P50=$(jnum p50_us "$OUT.sweep")
+	TH_ERRS=$(jnum errors "$OUT.sweep")
+	assert "$TH_ERRS == 0" "$TH_ERRS client errors at flush threshold $TH"
+	echo "sweep flush-frames=$TH: $TH_OPS ops/s, frames_per_write $TH_FPW, bytes_per_syscall $TH_BPS, p50 ${TH_P50}us"
+	[ -n "$SWEEP_JSON" ] && SWEEP_JSON="$SWEEP_JSON,"
+	SWEEP_JSON="$SWEEP_JSON
+    {\"flush_frames\": $TH, \"ops_per_sec\": $TH_OPS, \"frames_per_write\": $TH_FPW, \"bytes_per_syscall\": $TH_BPS, \"p50_us\": $TH_P50}"
+done
+
+# The main run: default (adaptive) flush policy, full duration. Its
+# fields lead the merged JSON so jnum's first-occurrence rule keeps
+# reading the headline numbers.
 ./.live_prismload -addr "$SOCK" -clients "$CLIENTS" -sockets "$SOCKETS" \
 	-duration "$DURATION" -keys "$KEYS" -value "$VALUE" -reads "$READS" \
 	-json "$OUT"
@@ -54,10 +92,24 @@ if ! wait "$PRISMD_PID"; then
 fi
 PRISMD_PID=
 
+# Splice the baseline and the sweep into the record.
+sed '$d' "$OUT" >"$OUT.sweep"
+{
+	cat "$OUT.sweep"
+	echo "  ,\"baseline_ops_per_sec\": $BASELINE_OPS,"
+	echo "  \"flush_sweep\": [$SWEEP_JSON"
+	echo "  ]"
+	echo "}"
+} >"$OUT"
+
 OPS=$(jnum ops_per_sec "$OUT")
 ERRS=$(jnum errors "$OUT")
 P50=$(jnum p50_us "$OUT")
 P99=$(jnum p99_us "$OUT")
-echo "wrote $OUT: $CLIENTS clients over $SOCKETS sockets, $OPS ops/s, p50 ${P50}us, p99 ${P99}us, $ERRS errors"
+FPW=$(jnum frames_per_write "$OUT")
+BPS=$(jnum bytes_per_syscall "$OUT")
+echo "wrote $OUT: $CLIENTS clients over $SOCKETS sockets, $OPS ops/s, p50 ${P50}us, p99 ${P99}us, frames_per_write $FPW, $ERRS errors"
 assert "$ERRS == 0" "$ERRS client errors during the live run"
 assert "$OPS > 0" "no throughput recorded"
+assert "$FPW > 1" "frames_per_write $FPW: the doorbell never coalesced under $CLIENTS clients"
+assert "$OPS >= $MIN_OPS" "ops_per_sec $OPS fell below the recorded floor $MIN_OPS"
