@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"prism/internal/memory"
 	"prism/internal/wire"
@@ -155,10 +156,18 @@ func (c *Client) fail(err error) {
 	c.nc.Close()
 }
 
+// closeDrainGrace bounds how long Close waits for staged frames to
+// drain. A var so tests can shorten it.
+var closeDrainGrace = 2 * time.Second
+
 // Close tears the client down; outstanding issues fail with
 // ErrClientClosed. Staged frames (reclamation batches and other
-// fire-and-forget traffic) are flushed first.
+// fire-and-forget traffic) are flushed first, but the drain is bounded:
+// a write deadline on the socket caps it, so a peer that stopped
+// reading (send buffer full, writer stuck in Write) fails the flusher
+// at the deadline instead of hanging Close forever.
 func (c *Client) Close() error {
+	c.nc.SetWriteDeadline(time.Now().Add(closeDrainGrace))
 	c.fl.close()
 	c.fail(ErrClientClosed)
 	return nil

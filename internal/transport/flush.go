@@ -237,10 +237,10 @@ func (f *flusher) run() {
 		f.mu.Unlock()
 		_, werr := f.nc.Write(buf)
 		f.mu.Lock()
-		f.writes++
-		f.frames += n
-		f.bytes += int64(len(buf))
 		if werr != nil {
+			// A failed (possibly partial) Write counts nothing: the
+			// telemetry reports frames/bytes carried to the wire, and an
+			// errored batch never reliably was.
 			if f.err == nil {
 				f.err = werr
 			}
@@ -249,5 +249,8 @@ func (f *flusher) run() {
 			f.onError(werr)
 			return
 		}
+		f.writes++
+		f.frames += n
+		f.bytes += int64(len(buf))
 	}
 }

@@ -486,8 +486,14 @@ func (sk *srvSock) loop() {
 }
 
 // handleConnect opens a logical connection and stages the accept frame
-// carrying its id and temp-buffer coordinates.
+// carrying its id and temp-buffer coordinates. The wakeup batch's
+// amortized space guard is released first (as serveRPC does): a connect
+// frame can coalesce into the same wakeup batch as request frames, and
+// allocConnTemp takes the guard when the temp region fills — holding it
+// here would self-deadlock on the non-reentrant guard, and the
+// guard→s.mu order would invert allocConnTemp's s.mu→guard order.
 func (sk *srvSock) handleConnect() error {
+	sk.endVerbs()
 	s := sk.s
 	s.mu.Lock()
 	id := s.nextConn
