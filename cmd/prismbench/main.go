@@ -14,11 +14,13 @@
 //	prismbench ext-shards  # extension: PRISM-TX shard scaling
 //	prismbench ext-multikey # extension: multi-key transactions
 //	prismbench fig-scale   # extension: connection scaling to the QP-cache cliff
-//	prismbench all         # everything above except fig-scale
+//	prismbench fig-chase   # extension: CHASE verb programs vs per-hop walks
+//	prismbench all         # everything above except fig-scale and fig-chase
 //
-// fig-scale is not part of "all": it enables the connection-scaling cost
-// model (model.Params.WithConnScaling), so its points are not comparable
-// to the paper-figure artifacts.
+// fig-scale and fig-chase are not part of "all": fig-scale enables the
+// connection-scaling cost model (model.Params.WithConnScaling) and
+// fig-chase measures the linked-chain store, so neither's points are
+// comparable to the paper-figure artifacts.
 //
 // Flags scale the experiments; defaults regenerate every figure in
 // seconds at reduced (shape-preserving) keyspace scale.
@@ -68,6 +70,9 @@ type figRecord struct {
 	QPCacheHits      int64             `json:"qp_cache_hits,omitempty"`
 	QPCacheMisses    int64             `json:"qp_cache_misses,omitempty"`
 	QPCacheEvictions int64             `json:"qp_cache_evictions,omitempty"`
+	ProgramOps       int64             `json:"program_ops,omitempty"`
+	StepsExecuted    int64             `json:"steps_executed,omitempty"`
+	RTTsSaved        int64             `json:"rtts_saved,omitempty"`
 	MeanAllocsPerOp  float64           `json:"mean_allocs_per_op,omitempty"`
 	MeanBytesPerOp   float64           `json:"mean_bytes_per_op,omitempty"`
 	PointWallSeconds []float64         `json:"point_wall_seconds,omitempty"`
@@ -121,7 +126,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prismbench [flags] {fig1|fig2|fig3|fig4|fig6|fig7|fig9|fig10|rpcvsrdma|fig-scale|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: prismbench [flags] {fig1|fig2|fig3|fig4|fig6|fig7|fig9|fig10|rpcvsrdma|fig-scale|fig-chase|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -216,6 +221,7 @@ func main() {
 		"ext-shards":   bench.ExtShards,
 		"ext-multikey": bench.ExtMultiKey,
 		"fig-scale":    bench.FigScale,
+		"fig-chase":    bench.FigChase,
 	}
 	order := []string{"rpcvsrdma", "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "ext-shards", "ext-multikey"}
 
@@ -270,6 +276,9 @@ func main() {
 			fr.QPCacheHits += tel.QPCacheHits
 			fr.QPCacheMisses += tel.QPCacheMisses
 			fr.QPCacheEvictions += tel.QPCacheEvictions
+			fr.ProgramOps += tel.ProgramOps
+			fr.StepsExecuted += tel.StepsExecuted
+			fr.RTTsSaved += tel.RTTsSaved
 			meanSum += tel.MeanWindowNanos
 			if tel.AllocsPerOp > 0 {
 				allocSum += tel.AllocsPerOp
@@ -290,10 +299,11 @@ func main() {
 			if n := len(fig.PointTel); n > 0 {
 				meanWin = time.Duration(meanSum / int64(n))
 			}
-			fmt.Fprintf(os.Stderr, "prismbench: %s: %d points, windows=%d barriers=%d barrier-skips=%d idle-skips=%d cross-deliveries=%d mean-window=%v events=%d mean-burst=%.2f timer-fires=%d timer-stops=%d cascades=%d qp-hit/miss/evict=%d/%d/%d wall=%.1fs\n",
+			fmt.Fprintf(os.Stderr, "prismbench: %s: %d points, windows=%d barriers=%d barrier-skips=%d idle-skips=%d cross-deliveries=%d mean-window=%v events=%d mean-burst=%.2f timer-fires=%d timer-stops=%d cascades=%d qp-hit/miss/evict=%d/%d/%d progs=%d steps=%d rtts-saved=%d wall=%.1fs\n",
 				fig.ID, len(fig.PointTel), fr.Windows, fr.Barriers, fr.BarrierSkips, fr.IdleSkips, fr.CrossDeliveries, meanWin,
 				fr.EventsExecuted, fr.MeanBurstLen, fr.TimerFires, fr.TimerStops, fr.WheelCascades,
-				fr.QPCacheHits, fr.QPCacheMisses, fr.QPCacheEvictions, wall)
+				fr.QPCacheHits, fr.QPCacheMisses, fr.QPCacheEvictions,
+				fr.ProgramOps, fr.StepsExecuted, fr.RTTsSaved, wall)
 		}
 		rec.Figures = append(rec.Figures, fr)
 		rec.TotalWallSeconds += wall

@@ -14,6 +14,10 @@
 // paper's experiments bulk-load before measuring. SIGINT/SIGTERM drain
 // gracefully: listeners close, in-flight requests finish, then the
 // process exits 0.
+//
+// -chain DEPTH serves the linked-chain store (kv.ChainStore) instead of
+// the hash table: -keys buckets of DEPTH-node chains, the layout the
+// CHASE verb-program experiments walk (prismload -workload chase).
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 	valueSize := flag.Int("value", 1024, "largest value size accepted (bytes)")
 	hashMode := flag.String("hash", "collisionless", "hash mode: collisionless, fnv, twochoice")
 	load := flag.Int64("load", 0, "preload keys 0..N-1 before serving")
+	chainDepth := flag.Int64("chain", 0, "serve a linked-chain store of -keys buckets x DEPTH nodes instead of the hash table")
 	wirecheck := flag.Bool("wirecheck", false, "verify every frame round-trips the codec canonically")
 	grace := flag.Duration("grace", 5*time.Second, "drain deadline on SIGTERM/SIGINT")
 	batch := flag.Int("batch", 0, "frames served per socket wakeup (0 = default, 1 = unbatched)")
@@ -73,12 +78,25 @@ func main() {
 
 	ts := transport.NewServer()
 	ts.MaxBatch = *batch
-	opts := kv.DefaultOptions(*nKeys, *valueSize)
-	opts.Hash = hash
-	store, err := kv.NewServerOn(ts, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "prismd:", err)
-		os.Exit(1)
+	var loadKey func(k int64, v []byte) error
+	if *chainDepth > 0 {
+		store, err := kv.NewChainStoreOn(ts, kv.ChainOptions{
+			Buckets: *nKeys, Depth: *chainDepth, MaxValue: *valueSize,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prismd:", err)
+			os.Exit(1)
+		}
+		loadKey = store.Load
+	} else {
+		opts := kv.DefaultOptions(*nKeys, *valueSize)
+		opts.Hash = hash
+		store, err := kv.NewServerOn(ts, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prismd:", err)
+			os.Exit(1)
+		}
+		loadKey = store.Load
 	}
 
 	if *load > 0 {
@@ -88,7 +106,7 @@ func main() {
 		}
 		start := time.Now()
 		for k := int64(0); k < *load; k++ {
-			if err := store.Load(k, val); err != nil {
+			if err := loadKey(k, val); err != nil {
 				fmt.Fprintf(os.Stderr, "prismd: preload key %d: %v\n", k, err)
 				os.Exit(1)
 			}
@@ -106,8 +124,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "prismd:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("prismd: serving PRISM-KV on %s %s (slots=%d, hash=%s, wirecheck=%v)\n",
-			network, addr, *nKeys, *hashMode, *wirecheck)
+		if *chainDepth > 0 {
+			fmt.Printf("prismd: serving chain store on %s %s (buckets=%d, depth=%d, wirecheck=%v)\n",
+				network, addr, *nKeys, *chainDepth, *wirecheck)
+		} else {
+			fmt.Printf("prismd: serving PRISM-KV on %s %s (slots=%d, hash=%s, wirecheck=%v)\n",
+				network, addr, *nKeys, *hashMode, *wirecheck)
+		}
 		go func() { serveErr <- ts.Serve(l) }()
 	}
 	if *tcpAddr != "" {
@@ -134,6 +157,13 @@ func main() {
 	}
 	fmt.Printf("prismd: served %d requests (%d ops) across %d connections\n",
 		ts.RequestsServed.Load(), ts.OpsExecuted.Load(), ts.ConnsAccepted.Load())
+	// Verb-program telemetry: CHASE/SCAN programs, the loop iterations
+	// they ran server-side, and the round trips that collapsed.
+	if progs := ts.ProgOps.Load(); progs > 0 {
+		steps := ts.ProgSteps.Load()
+		fmt.Printf("prismd: programs: %d chase/scan ops, %d steps (%.2f steps/op, %d round trips saved)\n",
+			progs, steps, ratio(steps, progs), steps-progs)
+	}
 	// Doorbell telemetry: realized coalescing on each side of the
 	// boundary crossing.
 	writes, framesOut, bytesOut := ts.Writes.Load(), ts.FramesOut.Load(), ts.BytesOut.Load()

@@ -8,6 +8,12 @@
 //	prismload -addr /tmp/prism.sock -clients 1000 -duration 10s -json out.json
 //
 // The key space should be preloaded (prismd -load) so reads hit.
+//
+// -workload selects the op mix: "get" (the default read/write mix),
+// "scan" (budget-bounded SCAN windows over the hash table), and — when
+// the server runs a chain store (prismd -chain DEPTH) — "chase" (one
+// CHASE verb program per lookup) against "chasehop" (the per-hop
+// one-sided baseline: one round trip per pointer hop).
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 	keys := flag.Int64("keys", 4096, "key space (should be preloaded)")
 	valueSize := flag.Int("value", 128, "value size for writes (bytes)")
 	reads := flag.Float64("reads", 0.95, "fraction of operations that are GETs")
+	workloadKind := flag.String("workload", "get", "op mix: get, chase, chasehop, or scan (chase/chasehop need prismd -chain)")
+	depth := flag.Int64("depth", 0, "chain hops per chase/chasehop lookup (0 = the chain's full depth)")
+	scanBudget := flag.Uint64("scan-budget", 4096, "byte budget per SCAN window")
 	wirecheck := flag.Bool("wirecheck", false, "verify every frame round-trips the codec canonically")
 	jsonPath := flag.String("json", "", "write the result JSON here (default stdout)")
 	batch := flag.Int("batch", 1, "GETs per doorbell: issue reads in kv.GetBatch trains of this size")
@@ -73,14 +82,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "prismload: connect:", err)
 		os.Exit(1)
 	}
-	meta, err := kv.FetchMeta(metaConn)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "prismload: fetch meta:", err)
-		os.Exit(1)
-	}
-	if *keys > meta.NSlots {
-		fmt.Fprintf(os.Stderr, "prismload: -keys %d exceeds server's %d slots\n", *keys, meta.NSlots)
-		os.Exit(1)
+	var meta kv.Meta
+	var chainMeta kv.ChainMeta
+	switch *workloadKind {
+	case "chase", "chasehop":
+		chainMeta, err = kv.FetchChainMeta(metaConn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prismload: fetch chain meta (is the server running -chain?):", err)
+			os.Exit(1)
+		}
+		if *depth <= 0 || *depth > chainMeta.Depth {
+			*depth = chainMeta.Depth
+		}
+	case "get", "scan":
+		meta, err = kv.FetchMeta(metaConn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prismload: fetch meta:", err)
+			os.Exit(1)
+		}
+		if *workloadKind == "get" && *keys > meta.NSlots {
+			fmt.Fprintf(os.Stderr, "prismload: -keys %d exceeds server's %d slots\n", *keys, meta.NSlots)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "prismload: unknown -workload %q (get, chase, chasehop, or scan)\n", *workloadKind)
+		os.Exit(2)
 	}
 
 	// Open every logical connection up front so the measured window is
@@ -108,23 +134,58 @@ func main() {
 	for i := range value {
 		value[i] = byte(i)
 	}
+	var scanEntries, hopCount atomic.Int64
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
 	for i := 0; i < *clients; i++ {
 		rec := stats.NewLatencyRecorder()
 		recorders[i] = rec
-		kvc := kv.NewLiveClient(conns[i], meta, uint16(i+1))
 		rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			defer finished[id].Store(true)
+		// doOp runs one operation and returns how many logical ops it
+		// completed; done runs after a clean deadline exit.
+		var doOp func() (int64, error)
+		var done func()
+		switch *workloadKind {
+		case "chase", "chasehop":
+			cc := kv.NewLiveChainClient(conns[i], chainMeta)
+			pos := *depth - 1
+			lookup := cc.ChaseGet
+			if *workloadKind == "chasehop" {
+				lookup = cc.HopGet
+			}
+			doOp = func() (int64, error) {
+				// The pos-deep key of a uniform bucket: exactly -depth hops.
+				key := rng.Int63n(chainMeta.Buckets)*chainMeta.Depth + pos
+				if _, err := lookup(key); err != nil && err != kv.ErrNotFound {
+					return 1, err
+				}
+				return 1, nil
+			}
+			done = func() { hopCount.Add(cc.Hops) }
+		case "scan":
+			kvc := kv.NewLiveClient(conns[i], meta, uint16(i+1))
+			cursor := int64(0)
+			var entries int64
+			visit := func(_ int64, _ []byte) error { entries++; return nil }
+			doOp = func() (int64, error) {
+				next, err := kvc.Scan(cursor, *scanBudget, visit)
+				if err != nil {
+					return 1, err
+				}
+				cursor = next
+				if cursor >= meta.NSlots {
+					cursor = 0
+				}
+				return 1, nil
+			}
+			done = func() { scanEntries.Add(entries); kvc.FlushFrees() }
+		default: // get
+			kvc := kv.NewLiveClient(conns[i], meta, uint16(i+1))
 			var batchKeys []int64
 			if *batch > 1 {
 				batchKeys = make([]int64, *batch)
 			}
-			for time.Now().Before(deadline) {
-				opStart := time.Now()
+			doOp = func() (int64, error) {
 				var err error
 				var n int64 = 1
 				if rng.Float64() < *reads {
@@ -153,6 +214,17 @@ func main() {
 				} else {
 					err = kvc.Put(rng.Int63n(*keys), value)
 				}
+				return n, err
+			}
+			done = func() { kvc.FlushFrees() }
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer finished[id].Store(true)
+			for time.Now().Before(deadline) {
+				opStart := time.Now()
+				n, err := doOp()
 				if err != nil {
 					// Transport down or protocol error: stop this client but
 					// keep the rest running — a mid-run server drop must
@@ -164,7 +236,7 @@ func main() {
 				rec.Record(time.Since(opStart))
 				ops.Add(n)
 			}
-			kvc.FlushFrees()
+			done()
 		}(i)
 	}
 
@@ -211,6 +283,7 @@ func main() {
 		"clients":           *clients,
 		"sockets":           *sockets,
 		"duration_s":        elapsed.Seconds(),
+		"workload":          *workloadKind,
 		"reads":             *reads,
 		"value_bytes":       *valueSize,
 		"ops":               ops.Load(),
@@ -233,6 +306,18 @@ func main() {
 		"clients_errored": errCount.Load(),
 		"first_error":     firstError(&firstErr),
 		"stalled_clients": stalled,
+	}
+	switch *workloadKind {
+	case "chase":
+		result["depth"] = *depth
+	case "chasehop":
+		// Client-observed round trips: what a CHASE program would have
+		// collapsed to one per lookup.
+		result["depth"] = *depth
+		result["hops"] = hopCount.Load()
+	case "scan":
+		result["scan_budget"] = *scanBudget
+		result["scan_entries"] = scanEntries.Load()
 	}
 	out, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {

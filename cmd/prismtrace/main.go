@@ -5,6 +5,8 @@
 //
 //	prismtrace kvget      # PRISM-KV GET (one indirect bounded READ)
 //	prismtrace kvput      # PRISM-KV PUT (probe + ALLOCATE/WRITE/CAS chain)
+//	prismtrace kvchase    # CHASE program: one-RTT pointer walk vs per-hop READs
+//	prismtrace kvscan     # SCAN program: budget-bounded slot-range read
 //	prismtrace abdwrite   # PRISM-RS write phase chain
 //	prismtrace txcommit   # PRISM-TX prepare + commit CASes
 //	prismtrace all
@@ -15,6 +17,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +26,7 @@ import (
 	"prism"
 	"prism/internal/abd"
 	"prism/internal/memory"
+	iprism "prism/internal/prism"
 	"prism/internal/rdma"
 	"prism/internal/sim"
 	"prism/internal/tx"
@@ -32,7 +36,7 @@ import (
 func main() {
 	affinity := flag.Int("affinity", 1, "client machines per event domain (output is identical at any grouping)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: prismtrace [-affinity N] {kvget|kvput|abdwrite|txcommit|all}")
+		fmt.Fprintln(os.Stderr, "usage: prismtrace [-affinity N] {kvget|kvput|kvchase|kvscan|abdwrite|txcommit|all}")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -41,7 +45,7 @@ func main() {
 	}
 	which := flag.Arg(0)
 	if which == "all" {
-		for _, w := range []string{"kvget", "kvput", "abdwrite", "txcommit"} {
+		for _, w := range []string{"kvget", "kvput", "kvchase", "kvscan", "abdwrite", "txcommit"} {
 			if !trace(os.Stdout, w, *affinity) {
 				os.Exit(2)
 			}
@@ -107,6 +111,20 @@ func describeOps(w io.Writer, ops []wire.Op) {
 			extra = fmt.Sprintf(" len=%d", op.Len)
 		case wire.OpWrite:
 			extra = fmt.Sprintf(" payload=%dB", len(op.Data))
+		case wire.OpChase:
+			if prog, match, err := iprism.DecodeProgram(op.Data); err == nil {
+				kind := "list"
+				if prog.Kind == iprism.ProgChaseProbe {
+					kind = "probe"
+				}
+				extra = fmt.Sprintf(" prog=chase/%s maxSteps=%d matchOff=%d match=%dB mode=%v payload<=%dB",
+					kind, prog.MaxSteps, prog.MatchOff, len(match), op.Mode, op.Len)
+			}
+		case wire.OpScan:
+			if prog, _, err := iprism.DecodeProgram(op.Data); err == nil {
+				extra = fmt.Sprintf(" prog=scan slots=[%d,%d) stride=%dB budget=%dB",
+					prog.StartIdx, prog.NSlots, prog.Stride, op.Len)
+			}
 		}
 		fmt.Fprintf(w, "    op[%d] %-9s target=%#x%s%s\n", i, op.Code, op.Target, extra, fl)
 	}
@@ -149,6 +167,65 @@ func trace(w io.Writer, which string, affinity int) bool {
 				fmt.Fprintln(w, "  RT2 out-of-place install chain:")
 				describeOps(w, installOps(store, conn, 7))
 			}
+		})
+		c.Run()
+		dumpRing(w, "kv", ring)
+
+	case "kvchase":
+		srv := c.NewServer("chain", prism.SoftwarePRISM)
+		store, err := prism.NewChainStore(srv, prism.ChainOptions{Buckets: 8, Depth: 4, MaxValue: 64})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for k := int64(0); k < 32; k++ {
+			store.Load(k, []byte(fmt.Sprintf("chain value %d", k)))
+		}
+		ring := attachRing(srv)
+		conn := c.NewClientMachine("cli").Connect(srv)
+		client := prism.NewChainClient(conn, store.Meta())
+		c.Go("trace", func(p *sim.Proc) {
+			const key = 3 // tail of bucket 0: four pointer hops deep
+			fmt.Fprintln(w, "CHASE GET(3) on an 8x4 chain store (§17): the key is 4 hops deep —")
+			start := p.Now()
+			v, err := client.ChaseGet(p, key)
+			fmt.Fprintf(w, "  -> %q err=%v RTT=%v (one round trip; the NIC walks all 4 nodes)\n",
+				v, err, p.Now().Sub(start))
+			fmt.Fprintln(w, "  wire op issued (reconstructed):")
+			describeOps(w, []wire.Op{chaseOp(store.Meta(), key)})
+			start = p.Now()
+			v, err = client.HopGet(p, key)
+			fmt.Fprintf(w, "  per-hop baseline HopGet -> %q err=%v hops=%d total=%v (one RTT per hop)\n",
+				v, err, client.Hops, p.Now().Sub(start))
+		})
+		c.Run()
+		dumpRing(w, "chain", ring)
+
+	case "kvscan":
+		srv := c.NewServer("kv", prism.SoftwarePRISM)
+		store, err := prism.NewKVServer(srv, prism.KVOptions(64, 256))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for k := int64(0); k < 16; k++ {
+			store.Load(k, []byte(fmt.Sprintf("scanned value %d", k)))
+		}
+		ring := attachRing(srv)
+		conn := c.NewClientMachine("cli").Connect(srv)
+		client := prism.NewKVClient(conn, store.Meta(), 1)
+		c.Go("trace", func(p *sim.Proc) {
+			fmt.Fprintln(w, "SCAN over a 64-slot table, 512-byte budget (§17): one round trip per window —")
+			start := p.Now()
+			entries := 0
+			next, err := client.Scan(p, 0, 512, func(key int64, value []byte) error {
+				entries++
+				return nil
+			})
+			fmt.Fprintf(w, "  -> %d entries, cursor=%d err=%v RTT=%v (resume from the cursor for the rest)\n",
+				entries, next, err, p.Now().Sub(start))
+			fmt.Fprintln(w, "  wire op issued (reconstructed):")
+			describeOps(w, []wire.Op{scanOp(store, 0, 512)})
 		})
 		c.Run()
 		dumpRing(w, "kv", ring)
@@ -249,6 +326,32 @@ func abdChain(m abd.Meta, conn *prism.Conn, block int64) []wire.Op {
 		{Code: wire.OpAllocate, FreeList: m.FreeList, Data: make([]byte, uint64(8+m.BlockSize)), Flags: wire.FlagConditional | wire.FlagRedirect, RKey: conn.TempKey, RedirectTo: conn.TempAddr + 8},
 		{Code: wire.OpCAS, Mode: wire.CASGt, RKey: m.Key, Target: entry, Data: make([]byte, 8), CompareMask: make([]byte, 16), SwapMask: make([]byte, 16), Flags: wire.FlagConditional | wire.FlagDataIndirect},
 	}
+}
+
+// chaseOp rebuilds the CHASE op ChainClient.ChaseGet issues: a list-walk
+// program (next pointer at node offset 0, big-endian key at offset 8)
+// with the lookup key as the match operand, targeting the bucket's head
+// pointer cell.
+func chaseOp(m prism.ChainMeta, key int64) wire.Op {
+	prog := iprism.Program{
+		Kind:     iprism.ProgChaseList,
+		MaxSteps: uint8(m.Depth),
+		MatchOff: 8,
+		NextOff:  0,
+	}
+	var match [8]byte
+	binary.BigEndian.PutUint64(match[:], uint64(key))
+	buf := iprism.AppendProgram(nil, &prog, match[:])
+	return iprism.Chase(m.Key, m.HeadBase+8*memoryAddr(key/m.Depth), buf, wire.CASEq, nil, 24+uint64(m.MaxValue))
+}
+
+// scanOp rebuilds the SCAN op KVClient.Scan issues: slots [start, NSlots)
+// of the 24-byte-slot hash table under a byte budget.
+func scanOp(store *prism.KVServer, start int64, budget uint64) wire.Op {
+	m := store.Meta()
+	prog := iprism.Program{NextOff: 8, Stride: 24, StartIdx: uint64(start), NSlots: uint64(m.NSlots)}
+	buf := iprism.AppendProgram(nil, &prog, nil)
+	return iprism.Scan(m.Key, m.HashBase, buf, budget)
 }
 
 func memoryAddr(v int64) memory.Addr { return memory.Addr(v) }

@@ -16,7 +16,7 @@ import (
 // be byte-identical whether client machines get their own event domain
 // or share one through an affinity group.
 func TestTraceAffinityByteIdentical(t *testing.T) {
-	for _, which := range []string{"kvget", "kvput", "abdwrite", "txcommit"} {
+	for _, which := range []string{"kvget", "kvput", "kvchase", "kvscan", "abdwrite", "txcommit"} {
 		t.Run(which, func(t *testing.T) {
 			var solo, grouped strings.Builder
 			if !trace(&solo, which, 1) {

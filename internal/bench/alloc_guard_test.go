@@ -4,7 +4,11 @@ import (
 	"testing"
 	"time"
 
+	"prism/internal/kv"
+	"prism/internal/model"
+	"prism/internal/rdma"
 	"prism/internal/sim"
+	"prism/internal/workload"
 )
 
 // Alloc-regression guards for the zero-copy datapath. A full simulated
@@ -16,8 +20,10 @@ import (
 // baseline (GET 10, PUT ≈ 26), so a pooling regression on any layer of
 // the path trips the guard.
 const (
-	maxGetAllocsPerOp = 4
-	maxPutAllocsPerOp = 8
+	maxGetAllocsPerOp   = 4
+	maxPutAllocsPerOp   = 8
+	maxChaseAllocsPerOp = 6
+	maxScanAllocsPerOp  = 8
 )
 
 // Both guards amortize testing.AllocsPerRun over 2000 operations inside
@@ -119,5 +125,84 @@ func TestPutAllocGuard(t *testing.T) {
 	t.Logf("PUT: %.2f allocs/op", avg)
 	if avg > maxPutAllocsPerOp {
 		t.Fatalf("PUT allocates %.2f/op, guard is %d/op — a pooling layer regressed", avg, maxPutAllocsPerOp)
+	}
+}
+
+// TestChaseAllocGuard pins the warmed sim CHASE path: a depth-8 list
+// chase — program build into the client's reused scratch, one round
+// trip, pooled whole-node result — must stay as lean as a plain GET.
+func TestChaseAllocGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ValueSize = 128
+	e, mkClient, place := buildChase(cfg, 42, 8)
+	cl := mkClient(0)
+	key := func(i int) int64 { return (int64(i)%chaseBuckets)*8 + 7 } // tail keys
+	var avg float64
+	place(0).Go("guard", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			if _, err := cl.ChaseGet(p, key(i)); err != nil {
+				t.Errorf("CHASE: %v", err)
+			}
+		}
+		i := 0
+		avg = testing.AllocsPerRun(2000, func() {
+			if _, err := cl.ChaseGet(p, key(i)); err != nil {
+				t.Errorf("CHASE: %v", err)
+			}
+			i++
+		})
+	})
+	e.Run()
+	t.Logf("CHASE: %.2f allocs/op", avg)
+	if avg > maxChaseAllocsPerOp {
+		t.Fatalf("CHASE allocates %.2f/op, guard is %d/op — a pooling layer regressed", avg, maxChaseAllocsPerOp)
+	}
+}
+
+// TestScanAllocGuard pins the warmed sim SCAN path: one budget-bounded
+// window over the hash table into a pooled result buffer, decoded
+// in place by the visit callback.
+func TestScanAllocGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Keys = 1024
+	cfg.ValueSize = 128
+	e, net, _ := measureNet(cfg, 42)
+	srv, err := kv.NewServer(rdma.NewServer(net, "server", model.SoftwarePRISM),
+		kv.DefaultOptions(cfg.Keys, cfg.ValueSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Mix{Keys: cfg.Keys, ReadFrac: 1, ValueSize: cfg.ValueSize}, 0)
+	for k := int64(0); k < cfg.Keys; k++ {
+		if err := srv.Load(k, gen.Value(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli := rdma.NewClient(net, "cli")
+	st := kv.NewClient(cli.Connect(srv.NIC()), srv.Meta(), 1)
+	visit := func(key int64, value []byte) error { return nil }
+	nslots := srv.Meta().NSlots
+	var avg float64
+	cli.Domain().Go("guard", func(p *sim.Proc) {
+		cursor := int64(0)
+		step := func() {
+			next, err := st.Scan(p, cursor, 4096, visit)
+			if err != nil {
+				t.Errorf("SCAN: %v", err)
+			}
+			cursor = next
+			if cursor >= nslots {
+				cursor = 0
+			}
+		}
+		for i := 0; i < 500; i++ {
+			step()
+		}
+		avg = testing.AllocsPerRun(2000, step)
+	})
+	e.Run()
+	t.Logf("SCAN: %.2f allocs/op", avg)
+	if avg > maxScanAllocsPerOp {
+		t.Fatalf("SCAN allocates %.2f/op, guard is %d/op — a pooling layer regressed", avg, maxScanAllocsPerOp)
 	}
 }

@@ -98,6 +98,16 @@ type Config struct {
 	// model.WithConnScaling default). Moving it moves the cliff; the
 	// scale bench test asserts exactly that.
 	QPCacheEntries int
+
+	// ChaseDepths is the chain-depth ladder for the fig-chase verb-
+	// program sweep: every lookup walks exactly depth pointer hops, so
+	// the x axis is the round trips a per-hop client pays and a CHASE
+	// program collapses.
+	ChaseDepths []int
+	// ChaseClients is the closed-loop client count per fig-chase point.
+	// The figure compares lookup latency shapes, not saturation, so a
+	// handful of clients suffices.
+	ChaseClients int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -118,6 +128,9 @@ func DefaultConfig() Config {
 
 		ScaleClients:  []int{16, 64, 256, 1024, 4096, 16384},
 		ScaleMachines: 256,
+
+		ChaseDepths:  []int{1, 2, 4, 8, 16},
+		ChaseClients: 4,
 	}
 }
 
@@ -233,6 +246,14 @@ type Telemetry struct {
 	QPCacheHits      int64 `json:"qp_cache_hits"`
 	QPCacheMisses    int64 `json:"qp_cache_misses"`
 	QPCacheEvictions int64 `json:"qp_cache_evictions"`
+	// Verb-program counters (zero unless the point issues CHASE/SCAN —
+	// the fig-chase family does): programs executed on the servers, the
+	// loop iterations they ran, and the round trips they collapsed
+	// (steps - programs: a k-step program replaces k dependent verbs
+	// with one).
+	ProgramOps    int64 `json:"program_ops,omitempty"`
+	StepsExecuted int64 `json:"steps_executed,omitempty"`
+	RTTsSaved     int64 `json:"rtts_saved,omitempty"`
 	// AllocsPerOp and BytesPerOp are the harness-process heap allocation
 	// deltas across the point's drive phase (warmup + measure + drain),
 	// divided by measured operations — the datapath's allocation cost as
@@ -278,6 +299,9 @@ func worldTelemetry(e *sim.Engine) Telemetry {
 		QPCacheHits:      st.ConnCacheHits,
 		QPCacheMisses:    st.ConnCacheMisses,
 		QPCacheEvictions: st.ConnCacheEvictions,
+		ProgramOps:       st.ProgramOps,
+		StepsExecuted:    st.ProgramSteps,
+		RTTsSaved:        st.ProgramSteps - st.ProgramOps,
 	}
 }
 

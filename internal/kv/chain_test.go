@@ -1,0 +1,441 @@
+package kv
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"prism/internal/fabric"
+	"prism/internal/memory"
+	"prism/internal/model"
+	"prism/internal/prism"
+	"prism/internal/rdma"
+	"prism/internal/sim"
+	"prism/internal/transport"
+	"prism/internal/wire"
+)
+
+func chainValue(k int64) []byte { return bytes.Repeat([]byte{byte(k + 1)}, 8) }
+
+type chainEnv struct {
+	e   *sim.Engine
+	nic *rdma.Server
+	srv *ChainStore
+	cli *rdma.Client
+}
+
+func newChainEnv(t *testing.T, opts ChainOptions, deploy model.Deployment) *chainEnv {
+	t.Helper()
+	p := model.Default().WithNetwork(model.Rack)
+	e := sim.NewEngine(1)
+	net := fabric.New(e, p)
+	nic := rdma.NewServer(net, "chain-srv", deploy)
+	srv, err := NewChainStoreOn(nic, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < opts.Buckets*opts.Depth; k++ {
+		if err := srv.Load(k, chainValue(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &chainEnv{e: e, nic: nic, srv: srv, cli: rdma.NewClient(net, "cli")}
+}
+
+func (v *chainEnv) client() *ChainClient {
+	return NewChainClient(v.cli.Connect(v.nic), v.srv.Meta())
+}
+
+func (v *chainEnv) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	v.e.Go("t", fn)
+	v.e.Run()
+}
+
+func TestChainClientsAgree(t *testing.T) {
+	opts := ChainOptions{Buckets: 4, Depth: 8, MaxValue: 32}
+	v := newChainEnv(t, opts, model.SoftwarePRISM)
+	c := v.client()
+	v.run(t, func(p *sim.Proc) {
+		for k := int64(0); k < opts.Buckets*opts.Depth; k++ {
+			want := chainValue(k)
+			for name, get := range map[string]func() ([]byte, error){
+				"chase": func() ([]byte, error) { return c.ChaseGet(p, k) },
+				"hop":   func() ([]byte, error) { return c.HopGet(p, k) },
+				"rpc":   func() ([]byte, error) { return c.RPCGet(p, k) },
+			} {
+				got, err := get()
+				if err != nil {
+					t.Fatalf("%s(%d): %v", name, k, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s(%d) = %v, want %v", name, k, got, want)
+				}
+			}
+		}
+		if _, err := c.ChaseGet(p, opts.Buckets*opts.Depth); err == nil {
+			t.Fatal("chase of out-of-range key succeeded")
+		}
+	})
+}
+
+func TestChainChaseStepAccounting(t *testing.T) {
+	opts := ChainOptions{Buckets: 2, Depth: 8, MaxValue: 16}
+	v := newChainEnv(t, opts, model.SoftwarePRISM)
+	c := v.client()
+	tail := opts.Depth - 1 // deepest key of bucket 0
+	v.run(t, func(p *sim.Proc) {
+		if _, err := c.ChaseGet(p, tail); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if v.nic.ProgOps != 1 {
+		t.Fatalf("ProgOps = %d, want 1 (one round trip)", v.nic.ProgOps)
+	}
+	if v.nic.ProgSteps != opts.Depth {
+		t.Fatalf("ProgSteps = %d, want %d", v.nic.ProgSteps, opts.Depth)
+	}
+
+	// The per-hop baseline pays one round trip per node.
+	v2 := newChainEnv(t, opts, model.SoftwarePRISM)
+	c2 := v2.client()
+	v2.run(t, func(p *sim.Proc) {
+		if _, err := c2.HopGet(p, tail); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if c2.Hops != opts.Depth {
+		t.Fatalf("Hops = %d, want %d", c2.Hops, opts.Depth)
+	}
+	if v2.nic.ProgOps != 0 {
+		t.Fatalf("hop walk counted %d programs", v2.nic.ProgOps)
+	}
+}
+
+func TestChainChaseResumesPastStepCap(t *testing.T) {
+	// A chain deeper than MaxChaseSteps forces the cursor path: the first
+	// CHASE exhausts its bound and the client resumes from the returned
+	// pointer cell.
+	depth := int64(prism.MaxChaseSteps + 16)
+	opts := ChainOptions{Buckets: 1, Depth: depth, MaxValue: 8}
+	v := newChainEnv(t, opts, model.SoftwarePRISM)
+	c := v.client()
+	v.run(t, func(p *sim.Proc) {
+		got, err := c.ChaseGet(p, depth-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, chainValue(depth-1)) {
+			t.Fatal("wrong value after resume")
+		}
+	})
+	if v.nic.ProgOps != 2 {
+		t.Fatalf("ProgOps = %d, want 2 (step-capped + resume)", v.nic.ProgOps)
+	}
+	if v.nic.ProgSteps != depth {
+		t.Fatalf("ProgSteps = %d, want %d (no revisits)", v.nic.ProgSteps, depth)
+	}
+}
+
+func TestChainChaseLatencyBeatsHopsAtDepth4(t *testing.T) {
+	// The acceptance shape at one point: at depth >= 4 the one-round-trip
+	// program beats the per-hop loop even though it pays per-step NIC cost.
+	opts := ChainOptions{Buckets: 1, Depth: 4, MaxValue: 16}
+	key := opts.Depth - 1
+
+	v1 := newChainEnv(t, opts, model.SoftwarePRISM)
+	c1 := v1.client()
+	var chase sim.Duration
+	v1.run(t, func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := c1.ChaseGet(p, key); err != nil {
+			t.Fatal(err)
+		}
+		chase = p.Now().Sub(start)
+	})
+
+	v2 := newChainEnv(t, opts, model.SoftwarePRISM)
+	c2 := v2.client()
+	var hops sim.Duration
+	v2.run(t, func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := c2.HopGet(p, key); err != nil {
+			t.Fatal(err)
+		}
+		hops = p.Now().Sub(start)
+	})
+
+	if chase >= hops {
+		t.Fatalf("depth-4 chase %v not faster than per-hop %v", chase, hops)
+	}
+	t.Logf("depth-4 tail lookup: chase=%v per-hop=%v", chase, hops)
+}
+
+func TestChaseRejectedOnHardwareRDMA(t *testing.T) {
+	opts := ChainOptions{Buckets: 1, Depth: 2, MaxValue: 8}
+	v := newChainEnv(t, opts, model.HardwareRDMA)
+	c := v.client()
+	v.run(t, func(p *sim.Proc) {
+		if _, err := c.ChaseGet(p, 0); err == nil {
+			t.Fatal("CHASE succeeded on classic hardware RDMA")
+		}
+	})
+}
+
+func TestHashGetChaseMatchesGet(t *testing.T) {
+	// FNV probing displaces keys, so the program must walk the same probe
+	// sequence the client loop does.
+	opts := DefaultOptions(32, 64)
+	opts.Hash = FNV
+	v := newKVEnv(t, opts, model.SoftwarePRISM)
+	for k := int64(0); k < 24; k++ {
+		if err := v.srv.Load(k, chainValue(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := v.client(1)
+	v.run(t, func(p *sim.Proc) {
+		for k := int64(0); k < 24; k++ {
+			got, err := c.GetChase(p, k)
+			if err != nil {
+				t.Fatalf("GetChase(%d): %v", k, err)
+			}
+			want, err := c.Get(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("GetChase(%d) = %v, Get = %v", k, got, want)
+			}
+		}
+		if _, err := c.GetChase(p, 999); err != ErrNotFound {
+			t.Fatalf("miss: %v, want ErrNotFound", err)
+		}
+	})
+	if v.srv.NIC().ProgOps == 0 {
+		t.Fatal("GetChase issued no programs")
+	}
+}
+
+func TestHashScanCollectsAllEntries(t *testing.T) {
+	opts := DefaultOptions(32, 64)
+	opts.Hash = FNV
+	v := newKVEnv(t, opts, model.SoftwarePRISM)
+	loaded := map[int64][]byte{}
+	for k := int64(0); k < 20; k++ {
+		loaded[k] = chainValue(k)
+		if err := v.srv.Load(k, loaded[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := v.client(1)
+	v.run(t, func(p *sim.Proc) {
+		got := map[int64][]byte{}
+		for cursor := int64(0); cursor < opts.NSlots; {
+			next, err := c.Scan(p, cursor, 256, func(key int64, value []byte) error {
+				got[key] = append([]byte(nil), value...)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next <= cursor {
+				t.Fatalf("scan cursor stuck at %d", cursor)
+			}
+			cursor = next
+		}
+		if len(got) != len(loaded) {
+			t.Fatalf("scanned %d entries, want %d", len(got), len(loaded))
+		}
+		for k, want := range loaded {
+			if !bytes.Equal(got[k], want) {
+				t.Fatalf("key %d: scanned %v, want %v", k, got[k], want)
+			}
+		}
+	})
+}
+
+// --- Sim-vs-live byte identity for the program opcodes ---
+
+// abResult is one issued op's observable outcome, with Data copied out
+// of transport-owned storage.
+type abResult struct {
+	Status wire.Status
+	Addr   memory.Addr
+	Data   []byte
+}
+
+func copyResult(r wire.Result) abResult {
+	return abResult{Status: r.Status, Addr: r.Addr, Data: append([]byte(nil), r.Data...)}
+}
+
+// TestProgramSimLiveByteIdentity builds identical stores on the
+// simulated NIC and a live socket server, issues identical CHASE/SCAN
+// wire ops through both, and requires bitwise-identical results —
+// status, cursor address, and payload bytes. This is the A/B that keeps
+// the two executors' program semantics from drifting.
+func TestProgramSimLiveByteIdentity(t *testing.T) {
+	kvOpts := DefaultOptions(32, 64)
+	kvOpts.Hash = FNV
+	chOpts := ChainOptions{Buckets: 2, Depth: 6, MaxValue: 16}
+	loadKV := func(load func(k int64, v []byte) error) {
+		for k := int64(0); k < 20; k++ {
+			if err := load(k, chainValue(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	loadChain := func(load func(k int64, v []byte) error) {
+		for k := int64(0); k < chOpts.Buckets*chOpts.Depth; k++ {
+			if err := load(k, chainValue(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Sim servers.
+	simKV := newKVEnv(t, kvOpts, model.SoftwarePRISM)
+	loadKV(simKV.srv.Load)
+	simChain := newChainEnv(t, chOpts, model.SoftwarePRISM)
+	meta, chainMeta := simKV.srv.Meta(), simChain.srv.Meta()
+
+	// Live servers, one per store, each serving a unix socket.
+	dir := t.TempDir()
+	startLive := func(name string, provision func(*transport.Server)) *transport.Conn {
+		t.Helper()
+		ts := transport.NewServer()
+		provision(ts)
+		l, err := net.Listen("unix", filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- ts.Serve(l) }()
+		t.Cleanup(func() {
+			ts.Shutdown(2 * time.Second)
+			<-serveErr
+		})
+		tc, err := transport.Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tc.Close() })
+		conn, err := tc.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	kvConn := startLive("kv.sock", func(ts *transport.Server) {
+		srv, err := NewServerOn(ts, kvOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(srv.Meta(), meta) {
+			t.Fatalf("live kv meta %+v != sim %+v", srv.Meta(), meta)
+		}
+		loadKV(srv.Load)
+	})
+	chainConn := startLive("chain.sock", func(ts *transport.Server) {
+		srv, err := NewChainStoreOn(ts, chOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srv.Meta() != chainMeta {
+			t.Fatalf("live chain meta %+v != sim %+v", srv.Meta(), chainMeta)
+		}
+		loadChain(srv.Load)
+	})
+
+	// The op set: probe-chase hit (displaced key), miss, step-limited
+	// walk, budget-windowed scans, list-chase hit and step-limit.
+	var match [8]byte
+	probeOp := func(key int64, maxSteps uint8) wire.Op {
+		prism.PutBE64(match[:], 0, uint64(key))
+		p := prism.Program{
+			Kind:     prism.ProgChaseProbe,
+			MaxSteps: maxSteps,
+			MatchOff: entryHeader,
+			NextOff:  8,
+			Stride:   slotSize,
+			StartIdx: uint64(slotIndex(meta.Hash, key, meta.NSlots)),
+			NSlots:   uint64(meta.NSlots),
+		}
+		prog := prism.AppendProgram(nil, &p, match[:])
+		return prism.Chase(meta.Key, meta.HashBase, prog, wire.CASEq, nil, entrySize(meta.MaxValue))
+	}
+	scanOp := func(start int64, budget uint64) wire.Op {
+		return prism.Scan(meta.Key, meta.HashBase, meta.appendScanProg(nil, start), budget)
+	}
+	listOp := func(key int64, maxSteps uint8) wire.Op {
+		prism.PutBE64(match[:], 0, uint64(key))
+		p := prism.Program{Kind: prism.ProgChaseList, MaxSteps: maxSteps,
+			MatchOff: chainNodeKey, NextOff: chainNodeNext}
+		prog := prism.AppendProgram(nil, &p, match[:])
+		bucket := key / chOpts.Depth
+		return prism.Chase(chainMeta.Key, chainMeta.headAddr(bucket), prog, wire.CASEq, nil, chainMeta.nodeSize())
+	}
+	kvOps := []wire.Op{
+		probeOp(7, meta.chaseSteps()),
+		probeOp(19, meta.chaseSteps()),
+		probeOp(999, meta.chaseSteps()), // miss -> NOT_FOUND + cursor
+		probeOp(19, 1),                  // step-limited -> cursor
+		scanOp(0, 256),
+		scanOp(11, 512),
+		scanOp(0, prism.MaxScanBudget),
+	}
+	chainOps := []wire.Op{
+		listOp(chOpts.Depth-1, chainMeta.chaseSteps()),
+		listOp(2*chOpts.Depth-1, chainMeta.chaseSteps()),
+		listOp(chOpts.Depth-1, 2), // step-limited -> pointer-cell cursor
+	}
+
+	issueSim := func(cli *rdma.Client, nic *rdma.Server, e *sim.Engine, ops []wire.Op) []abResult {
+		conn := cli.Connect(nic)
+		out := make([]abResult, 0, len(ops))
+		e.Go("ab", func(p *sim.Proc) {
+			for i := range ops {
+				batch := conn.Ops(1)
+				batch[0] = ops[i]
+				res := conn.Issue(p, batch...)
+				out = append(out, copyResult(res[0]))
+			}
+		})
+		e.Run()
+		return out
+	}
+	issueLive := func(conn *transport.Conn, ops []wire.Op) []abResult {
+		out := make([]abResult, 0, len(ops))
+		for i := range ops {
+			batch := conn.Ops(1)
+			batch[0] = ops[i]
+			res, err := conn.Issue(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, copyResult(res[0]))
+		}
+		return out
+	}
+
+	simRes := issueSim(simKV.cli, simKV.nicServer(), simKV.e, kvOps)
+	liveRes := issueLive(kvConn, kvOps)
+	for i := range kvOps {
+		if !reflect.DeepEqual(simRes[i], liveRes[i]) {
+			t.Errorf("kv op %d: sim %+v != live %+v", i, simRes[i], liveRes[i])
+		}
+	}
+	simChainRes := issueSim(simChain.cli, simChain.nic, simChain.e, chainOps)
+	liveChainRes := issueLive(chainConn, chainOps)
+	for i := range chainOps {
+		if !reflect.DeepEqual(simChainRes[i], liveChainRes[i]) {
+			t.Errorf("chain op %d: sim %+v != live %+v", i, simChainRes[i], liveChainRes[i])
+		}
+	}
+}
+
+// nicServer exposes the kvEnv's simulated NIC for raw issues.
+func (v *kvEnv) nicServer() *rdma.Server { return v.srv.NIC() }

@@ -103,6 +103,10 @@ type LiveClient struct {
 	preBuf   [slotSize]byte
 	ptrBuf   [8]byte
 
+	// Verb-program scratch (chain.go), reuse-safe like entryBuf.
+	progBuf  []byte
+	matchBuf [8]byte
+
 	// GetBatch scratch, reused across batches.
 	batchOps    []wire.Op
 	batchChains [][]wire.Op

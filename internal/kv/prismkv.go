@@ -22,6 +22,11 @@ const (
 	// the control-plane description over the wire instead of sharing
 	// process memory with the server (see live.go).
 	rpcMeta
+	// rpcChainMeta and rpcChainGet serve the linked-chain store
+	// (chain.go): the control-plane description and the host-CPU GET
+	// baseline that verb-program CHASE is measured against.
+	rpcChainMeta
+	rpcChainGet
 )
 
 // Options configures a PRISM-KV server.
@@ -284,6 +289,12 @@ type Client struct {
 	entryBuf []byte
 	preBuf   [slotSize]byte
 	ptrBuf   [8]byte
+
+	// Verb-program scratch (chain.go): the encoded CHASE/SCAN program and
+	// its 8-byte match operand. Reuse is safe for the same closed-loop
+	// reason as entryBuf.
+	progBuf  []byte
+	matchBuf [8]byte
 }
 
 // NewClient wraps a connection to a PRISM-KV server.

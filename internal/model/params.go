@@ -101,6 +101,7 @@ type Params struct {
 	SoftWriteExtra   time.Duration // +0.2 µs → single WRITE totals +2.5 µs
 	SoftAllocExtra   time.Duration // +0.3 µs → single ALLOCATE totals +2.6 µs
 	SoftCASExtra     time.Duration // +0.4 µs → single CAS totals +2.7 µs
+	SoftProgExtra    time.Duration // +0.5 µs: verb-program setup (parse, loop state)
 
 	// Core occupancy per request for throughput modeling of the dedicated
 	// core pool: base + per-op. 16 cores at ~0.65 µs/single-op clear
@@ -143,6 +144,16 @@ type Params struct {
 	// BFHostAccess is the latency of one host-memory access from the
 	// BlueField data path (off-path NIC): ~3 µs.
 	BFHostAccess time.Duration
+
+	// --- Verb programs (§17) ---
+
+	// ProgStepCost is the per-iteration cost of a verb program's loop
+	// engine (CHASE step / SCAN slot visit) beyond the host-memory
+	// accesses the step performs — pointer decode, predicate evaluation,
+	// loop bookkeeping. Charged once per executed step on every
+	// PRISM-capable deployment; zero-step requests (every classic verb)
+	// are unaffected, which keeps all pre-program figures byte-identical.
+	ProgStepCost time.Duration
 
 	// --- Server-side memory costs ---
 
@@ -217,6 +228,7 @@ func Default() Params {
 		SoftWriteExtra:   200 * time.Nanosecond,
 		SoftAllocExtra:   300 * time.Nanosecond,
 		SoftCASExtra:     400 * time.Nanosecond,
+		SoftProgExtra:    500 * time.Nanosecond,
 		SoftCPUBase:      500 * time.Nanosecond,
 		SoftCPUPerOp:     150 * time.Nanosecond,
 		SoftCores:        16,
@@ -226,6 +238,8 @@ func Default() Params {
 		RPCCores:          16,
 
 		PCIeRTT: 900 * time.Nanosecond,
+
+		ProgStepCost: 150 * time.Nanosecond,
 
 		BFProcOverhead: 2000 * time.Nanosecond,
 		BFHostAccess:   3000 * time.Nanosecond,
@@ -290,6 +304,7 @@ const (
 	OpWrite
 	OpAllocate
 	OpCAS
+	OpProgram // bounded server-side verb program (CHASE/SCAN, §17)
 )
 
 // SoftExtraFor returns the per-op increment the software stack adds on top
@@ -302,6 +317,8 @@ func (p Params) SoftExtraFor(c OpClass) time.Duration {
 		return p.SoftWriteExtra
 	case OpAllocate:
 		return p.SoftAllocExtra
+	case OpProgram:
+		return p.SoftProgExtra
 	default:
 		return p.SoftCASExtra
 	}

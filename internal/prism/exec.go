@@ -82,6 +82,10 @@ type OpMeta struct {
 	// RedirectUsed reports that the op wrote its output to a redirect
 	// target (costed differently when temp buffers are in host memory).
 	RedirectUsed bool
+	// Steps counts the loop iterations a verb program (CHASE/SCAN)
+	// executed. Zero for every non-program op; drives the per-step
+	// program-engine cost and the steps_executed telemetry.
+	Steps int
 }
 
 // resolveTarget applies target indirection and bound clamping (§3.1),
@@ -161,6 +165,8 @@ var execTable = [...]execEntry{
 	wire.OpClassicCAS: {fn: (*Executor).execClassicCAS, class: model.OpCAS},
 	wire.OpFetchAdd:   {fn: (*Executor).execFetchAdd, class: model.OpCAS},
 	wire.OpAllocate:   {fn: (*Executor).execAllocate, class: model.OpAllocate, prismOnly: true},
+	wire.OpChase:      {fn: (*Executor).execChase, class: model.OpProgram, prismOnly: true},
+	wire.OpScan:       {fn: (*Executor).execScan, class: model.OpProgram, prismOnly: true},
 }
 
 // Exec applies op to the server's memory, returning the wire result and

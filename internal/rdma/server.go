@@ -107,6 +107,11 @@ type Server struct {
 	// RespReused counts responses recycled from the replay ring rather
 	// than allocated (transport-arena effectiveness, also under loss).
 	RespReused int64
+	// ProgOps counts executed verb programs (CHASE/SCAN) and ProgSteps
+	// their loop iterations; ProgSteps-ProgOps is the round trips the
+	// programs saved over the per-hop client loop (§17).
+	ProgOps   int64
+	ProgSteps int64
 }
 
 type serverConn struct {
@@ -226,6 +231,10 @@ func newServer(net *fabric.Network, name string, deploy model.Deployment, space 
 			ws.ConnCacheEvictions += s.qp.evictions
 		})
 	}
+	e.World().OnStats(func(ws *sim.WorldStats) {
+		ws.ProgramOps += s.ProgOps
+		ws.ProgramSteps += s.ProgSteps
+	})
 	// Serialization of a canonical small request+response is charged by
 	// the fabric; subtract it so small-op direct-link RTT ≈ RDMABaseRTT.
 	s.baseProc = p.RDMABaseRTT - 4*p.SerializationDelay(64)
@@ -616,6 +625,18 @@ func (s *Server) chainStep(sc *serverConn) {
 			})
 		}
 		delay := s.opExtra(sc, op, sc.opMeta)
+		if sc.opMeta.Steps > 0 {
+			s.ProgOps++
+			s.ProgSteps += int64(sc.opMeta.Steps)
+			if s.deploy == model.SoftwarePRISM && sc.opMeta.Steps > 1 {
+				// serveVerbs charged this op one per-op core quantum; the
+				// program's remaining iterations occupy the dedicated core
+				// too, and any queueing they cause delays the chain.
+				cpu := time.Duration(sc.opMeta.Steps-1) * s.p.SoftCPUPerOp
+				done := s.prismCores.Submit(cpu, nil)
+				delay += done.Sub(s.e.Now()) - cpu
+			}
+		}
 		if i+1 < len(req.Ops) {
 			delay += interOp
 		}
@@ -636,9 +657,14 @@ func (s *Server) finishChain(sc *serverConn) {
 // opExtra is the per-op latency the deployment adds beyond the base verb
 // pipeline.
 func (s *Server) opExtra(sc *serverConn, op *wire.Op, meta prism.OpMeta) time.Duration {
+	// Verb programs pay the loop engine once per executed step (§17);
+	// every classic op runs zero steps, so the term vanishes on the
+	// pre-program figures. Per-step memory traffic is charged below
+	// through the same HostAccesses/Indirections counts the steps bumped.
+	prog := time.Duration(meta.Steps) * s.p.ProgStepCost
 	switch s.deploy {
 	case model.SoftwarePRISM:
-		return s.p.SoftExtraFor(meta.Class)
+		return s.p.SoftExtraFor(meta.Class) + prog
 	case model.ProjectedHardwarePRISM:
 		// One extra PCIe round trip per level of indirection (§4.3), plus
 		// small fixed costs for the new datapath functions.
@@ -656,10 +682,10 @@ func (s *Server) opExtra(sc *serverConn, op *wire.Op, meta prism.OpMeta) time.Du
 		if op.Code == wire.OpCAS && meta.PRISMOnly {
 			d += 300 * time.Nanosecond // wide/masked/arithmetic atomic
 		}
-		return d
+		return d + prog
 	case model.BlueFieldPRISM:
 		// Every host-memory access crosses the internal switch (~3 µs).
-		return time.Duration(meta.HostAccesses) * s.p.BFHostAccess
+		return time.Duration(meta.HostAccesses)*s.p.BFHostAccess + prog
 	default:
 		return 0
 	}

@@ -233,6 +233,12 @@ type WorldStats struct {
 	ConnCacheHits      int64
 	ConnCacheMisses    int64
 	ConnCacheEvictions int64
+
+	// Verb-program counters, contributed by the simulated NIC's OnStats
+	// hook: programs executed (CHASE/SCAN ops) and their loop iterations.
+	// ProgramSteps-ProgramOps is the round trips the programs collapsed.
+	ProgramOps   int64
+	ProgramSteps int64
 }
 
 // MeanWindow returns the mean bounded-window length, or 0 if none ran.

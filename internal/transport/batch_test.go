@@ -266,3 +266,45 @@ func TestLiveIssueAllocs(t *testing.T) {
 		t.Errorf("live GET allocates %.1f per op, want <= 6", avg)
 	}
 }
+
+// TestLiveProgramAllocs pins the warmed live CHASE/SCAN issue path: the
+// program header builds into the client's reused scratch and the result
+// payload lands in pooled frame storage, so a steady-state program op
+// costs no more than a handful of allocations per round trip (both
+// sides of the socket count — AllocsPerRun is process-wide).
+func TestLiveProgramAllocs(t *testing.T) {
+	transport.SetWireCheck(false) // measure the production path
+	defer transport.SetWireCheck(true)
+	l := listenUnix(t)
+	startKV(t, l, 64)
+	tc, kvc, err := kv.DialLive(l.Addr().String(), 1)
+	if err != nil {
+		t.Fatalf("DialLive: %v", err)
+	}
+	defer tc.Close()
+	visit := func(key int64, value []byte) error { return nil }
+	for k := int64(0); k < 64; k++ { // warm the window, scratch, and framers
+		if _, err := kvc.GetChase(k % 16); err != nil {
+			t.Fatalf("warmup GetChase: %v", err)
+		}
+		if _, err := kvc.Scan(0, 1024, visit); err != nil {
+			t.Fatalf("warmup Scan: %v", err)
+		}
+	}
+	avgChase := testing.AllocsPerRun(200, func() {
+		if _, err := kvc.GetChase(3); err != nil {
+			t.Fatalf("GetChase: %v", err)
+		}
+	})
+	if avgChase > 8 {
+		t.Errorf("live CHASE allocates %.1f per op, want <= 8", avgChase)
+	}
+	avgScan := testing.AllocsPerRun(200, func() {
+		if _, err := kvc.Scan(0, 1024, visit); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+	})
+	if avgScan > 10 {
+		t.Errorf("live SCAN allocates %.1f per op, want <= 10", avgScan)
+	}
+}

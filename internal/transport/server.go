@@ -100,6 +100,12 @@ type Server struct {
 	OpsExecuted    atomic.Int64
 	ConnsAccepted  atomic.Int64
 
+	// Verb-program telemetry (§17): CHASE/SCAN ops executed and the loop
+	// iterations they ran. ProgSteps-ProgOps is the round trips the
+	// programs collapsed versus issuing one verb per step.
+	ProgOps   atomic.Int64
+	ProgSteps atomic.Int64
+
 	// Syscall telemetry, aggregated from each socket as it closes:
 	// write syscalls and the frames/bytes they carried, read syscalls
 	// and bytes, and wakeup batches with the frames they drained
@@ -554,6 +560,7 @@ func (sk *srvSock) serveRequest(body []byte) error {
 func (sk *srvSock) serveVerbs(lc *liveConn, req *wire.Request, results []wire.Result) {
 	sk.beginVerbs()
 	executed := 0
+	progOps, progSteps := int64(0), int64(0)
 	for i := range req.Ops {
 		op := &req.Ops[i]
 		if op.Flags.Has(wire.FlagConditional) && !lc.lastOK {
@@ -562,9 +569,17 @@ func (sk *srvSock) serveVerbs(lc *liveConn, req *wire.Request, results []wire.Re
 		}
 		sk.exec.ExecInto(op, &results[i], &sk.opMeta)
 		executed++
+		if sk.opMeta.Steps > 0 {
+			progOps++
+			progSteps += int64(sk.opMeta.Steps)
+		}
 		lc.lastOK = results[i].Status.OK()
 	}
 	sk.s.OpsExecuted.Add(int64(executed))
+	if progOps > 0 {
+		sk.s.ProgOps.Add(progOps)
+		sk.s.ProgSteps.Add(progSteps)
+	}
 }
 
 // serveRPC dispatches a two-sided request to the application handler.

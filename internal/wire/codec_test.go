@@ -21,6 +21,9 @@ func sampleResponse() *Response {
 			{Status: StatusNotExecuted},
 			{Status: StatusRNR},
 			{Status: StatusOK, Addr: 0xbeef},
+			// CHASE/SCAN terminations: Addr is the resumption cursor.
+			{Status: StatusNotFound, Addr: 0x1c0},
+			{Status: StatusStepLimit, Addr: 17},
 		},
 	}
 }

@@ -28,6 +28,8 @@ const (
 	OpFetchAdd   // classic fetch-and-add
 	OpAllocate   // PRISM ALLOCATE (§3.2)
 	OpSend       // two-sided send
+	OpChase      // bounded server-side pointer/probe chase (§17)
+	OpScan       // ranged multi-key read with byte budget + cursor (§17)
 )
 
 func (o OpCode) String() string {
@@ -46,6 +48,10 @@ func (o OpCode) String() string {
 		return "ALLOCATE"
 	case OpSend:
 		return "SEND"
+	case OpChase:
+		return "CHASE"
+	case OpScan:
+		return "SCAN"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -134,6 +140,8 @@ const (
 	StatusNAKAccess   // rkey/bounds/unregistered/null violations
 	StatusRNR         // receiver not ready: free list empty / no recv buffer
 	StatusUnsupported // op not supported by this NIC deployment
+	StatusNotFound    // CHASE terminated on a nil pointer / empty slot without matching
+	StatusStepLimit   // CHASE exhausted MaxSteps; Addr carries the resumption cursor
 )
 
 func (s Status) String() string {
@@ -150,6 +158,10 @@ func (s Status) String() string {
 		return "RNR"
 	case StatusUnsupported:
 		return "UNSUPPORTED"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusStepLimit:
+		return "STEP_LIMIT"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -164,7 +176,9 @@ type Result struct {
 	Status Status
 	// Data is the READ payload or the previous value of a CAS target.
 	Data []byte
-	// Addr is the buffer address returned by ALLOCATE.
+	// Addr is the buffer address returned by ALLOCATE, the address of the
+	// matched node for CHASE, or the resumption cursor for SCAN and a
+	// step-limited CHASE.
 	Addr memory.Addr
 }
 

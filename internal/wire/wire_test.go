@@ -38,6 +38,25 @@ func sampleRequest() *Request {
 				CompareMask: bytes.Repeat([]byte{0xFF}, 16),
 				SwapMask:    bytes.Repeat([]byte{0x0F}, 16),
 			},
+			{
+				// CHASE: a 32-byte program header plus an 8-byte match
+				// operand rides Data; the predicate reuses Mode/CompareMask.
+				Code:        OpChase,
+				RKey:        3,
+				Target:      0x4000,
+				Len:         256,
+				Mode:        CASEq,
+				Data:        append(bytes.Repeat([]byte{0xA5}, 32), bytes.Repeat([]byte{0x42}, 8)...),
+				CompareMask: bytes.Repeat([]byte{0xFF}, 8),
+			},
+			{
+				// SCAN: header only (no match operand), byte budget in Len.
+				Code:   OpScan,
+				RKey:   3,
+				Target: 0x5000,
+				Len:    4096,
+				Data:   bytes.Repeat([]byte{0x5A}, 32),
+			},
 		},
 	}
 }

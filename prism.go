@@ -62,6 +62,13 @@ type (
 	// PilafServer / PilafClient: the Pilaf baseline.
 	PilafServer = kv.PilafServer
 	PilafClient = kv.PilafClient
+	// ChainStore / ChainClient: the bucketed linked-list store the CHASE
+	// verb-program experiments walk (§17, fig-chase).
+	ChainStore  = kv.ChainStore
+	ChainClient = kv.ChainClient
+	// ChainMeta / ChainOptions: chain-store control plane and sizing.
+	ChainMeta    = kv.ChainMeta
+	ChainOptions = kv.ChainOptions
 
 	// RSReplica / RSClient: PRISM-RS replicated block store (§7).
 	RSReplica = abd.Replica
@@ -246,6 +253,20 @@ func NewKVServer(s *Server, opts kv.Options) (*KVServer, error) { return kv.NewS
 // NewKVClient builds a PRISM-KV client over a connection.
 func NewKVClient(conn *Conn, meta kv.Meta, clientID uint16) *KVClient {
 	return kv.NewClient(conn, meta, clientID)
+}
+
+// NewChainStore provisions the linked-chain layout on a server NIC
+// (§17): Buckets head cells pointing at pre-linked Depth-node chains,
+// the structure the CHASE verb program walks in one round trip.
+func NewChainStore(s *Server, opts ChainOptions) (*ChainStore, error) {
+	return kv.NewChainStoreOn(s, opts)
+}
+
+// NewChainClient wraps a connection to a chain store. The client offers
+// ChaseGet (one CHASE program round trip), HopGet (the classic one-sided
+// walk, one round trip per hop), and RPCGet (host CPU walks the chain).
+func NewChainClient(conn *Conn, meta ChainMeta) *ChainClient {
+	return kv.NewChainClient(conn, meta)
 }
 
 // NewPilafServer provisions the Pilaf baseline on a server NIC.

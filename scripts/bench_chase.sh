@@ -1,0 +1,158 @@
+#!/bin/sh
+# Regenerates BENCH_chase.json: the verb-program record. Two parts:
+#
+#   1. fig-chase    the simulated depth ladder (1..16 hops): "PRISM
+#                   chase" (one CHASE program round trip per lookup) vs
+#                   the per-hop one-sided walk vs the host-CPU RPC.
+#                   The CSV must be byte-identical under -parallel 4,
+#                   -intra 4, and -sparse-barriers; per-hop latency must
+#                   grow ~linearly with depth while the program grows
+#                   sub-linearly (its deep/shallow ratio at most half
+#                   the per-hop ratio), and at the deepest rung the
+#                   program must beat the walk outright.
+#
+#   2. live A/B     a real prismd -chain DEPTH on a unix socket:
+#                   prismload -workload chase vs -workload chasehop at
+#                   the same depth. Collapsing DEPTH round trips into
+#                   one must win on ops/s over real sockets too.
+#
+# Usage: scripts/bench_chase.sh
+#   [env: CHASE DEPTH BUCKETS VALUE CLIENTS SOCKETS DURATION OUT]
+
+CHASE=${CHASE:-}          # extra prismbench flags for the fig-chase runs
+DEPTH=${DEPTH:-8}         # live chain depth (the A/B needs >= 4)
+BUCKETS=${BUCKETS:-1024}  # live chain buckets
+VALUE=${VALUE:-128}
+CLIENTS=${CLIENTS:-64}
+SOCKETS=${SOCKETS:-4}
+DURATION=${DURATION:-3s}
+OUT=${OUT:-BENCH_chase.json}
+SOCK=${SOCK:-/tmp/prism-chase.$$.sock}
+
+. "$(dirname "$0")/lib.sh"
+
+cleanup_hook() {
+	[ -n "$PRISMD_PID" ] && kill "$PRISMD_PID" 2>/dev/null
+	:
+}
+
+build_tool .chase_prismbench ./cmd/prismbench
+build_tool .chase_prismd ./cmd/prismd
+build_tool .chase_prismload ./cmd/prismload
+tmp_register "$SOCK" .chase.csv .chase_par.csv .chase_intra.csv .chase_sparse.csv \
+	.chase.json .chase_live.json .chase_hop.json
+
+# --- Part 1: the simulated depth ladder -------------------------------
+
+./.chase_prismbench -format csv $CHASE -json .chase.json fig-chase > .chase.csv
+./.chase_prismbench -format csv $CHASE -parallel 4 fig-chase > .chase_par.csv
+cmp .chase.csv .chase_par.csv
+./.chase_prismbench -format csv $CHASE -intra 4 fig-chase > .chase_intra.csv
+cmp .chase.csv .chase_intra.csv
+./.chase_prismbench -format csv $CHASE -sparse-barriers fig-chase > .chase_sparse.csv
+cmp .chase.csv .chase_sparse.csv
+
+# mean_us of one ladder point (the label leads with "depth=N", two
+# spaces before the next token, so depth=1 cannot match depth=16).
+mean() {
+	awk -F, -v s="$1" -v d="depth=$2  " '
+		$1 == "fig-chase" && $2 == s && index($3, d) == 1 { print $6 }
+	' .chase.csv
+}
+CHASE1=$(mean "PRISM chase (1 RTT)" 1)
+CHASE16=$(mean "PRISM chase (1 RTT)" 16)
+HOP1=$(mean "per-hop one-sided" 1)
+HOP16=$(mean "per-hop one-sided" 16)
+RPC16=$(mean "RPC (host CPU walks)" 16)
+CHASE_R=$(awk "BEGIN{printf \"%.3f\", $CHASE16/$CHASE1}")
+HOP_R=$(awk "BEGIN{printf \"%.3f\", $HOP16/$HOP1}")
+
+PROGS=$(jnum program_ops .chase.json)
+STEPS=$(jnum steps_executed .chase.json)
+SAVED=$(jnum rtts_saved .chase.json)
+
+echo "fig-chase depth 1 -> 16: chase ${CHASE1}us -> ${CHASE16}us (x$CHASE_R), per-hop ${HOP1}us -> ${HOP16}us (x$HOP_R), rpc16 ${RPC16}us"
+echo "fig-chase programs: $PROGS ops, $STEPS steps, $SAVED round trips saved"
+
+# --- Part 2: the live socket A/B --------------------------------------
+
+./.chase_prismd -unix "$SOCK" -keys "$BUCKETS" -chain "$DEPTH" -value "$VALUE" \
+	-load $((BUCKETS * DEPTH)) &
+PRISMD_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		echo "FAIL: prismd never opened $SOCK" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+./.chase_prismload -addr "$SOCK" -workload chase -depth "$DEPTH" \
+	-clients "$CLIENTS" -sockets "$SOCKETS" -duration "$DURATION" -json .chase_live.json >/dev/null
+./.chase_prismload -addr "$SOCK" -workload chasehop -depth "$DEPTH" \
+	-clients "$CLIENTS" -sockets "$SOCKETS" -duration "$DURATION" -json .chase_hop.json >/dev/null
+
+kill -TERM "$PRISMD_PID"
+if ! wait "$PRISMD_PID"; then
+	echo "FAIL: prismd did not drain cleanly on SIGTERM" >&2
+	exit 1
+fi
+PRISMD_PID=
+
+LIVE_OPS=$(jnum ops_per_sec .chase_live.json)
+LIVE_P50=$(jnum p50_us .chase_live.json)
+LIVE_ERRS=$(jnum errors .chase_live.json)
+HOP_OPS=$(jnum ops_per_sec .chase_hop.json)
+HOP_P50=$(jnum p50_us .chase_hop.json)
+HOP_ERRS=$(jnum errors .chase_hop.json)
+HOPS=$(jnum hops .chase_hop.json)
+SPEEDUP=$(awk "BEGIN{printf \"%.3f\", $LIVE_OPS/$HOP_OPS}")
+echo "live depth=$DEPTH: chase $LIVE_OPS ops/s (p50 ${LIVE_P50}us) vs per-hop $HOP_OPS ops/s (p50 ${HOP_P50}us, $HOPS hops) — x$SPEEDUP"
+
+# --- The record -------------------------------------------------------
+
+{
+	printf '{\n'
+	printf '  "figure": "fig-chase",\n'
+	printf '  "csv_identical_parallel4": true,\n'
+	printf '  "csv_identical_intra4": true,\n'
+	printf '  "csv_identical_sparse": true,\n'
+	printf '  "sim_ladder": {\n'
+	printf '    "chase_mean_us_depth1": %s,\n' "$CHASE1"
+	printf '    "chase_mean_us_depth16": %s,\n' "$CHASE16"
+	printf '    "chase_deepening_ratio": %s,\n' "$CHASE_R"
+	printf '    "hop_mean_us_depth1": %s,\n' "$HOP1"
+	printf '    "hop_mean_us_depth16": %s,\n' "$HOP16"
+	printf '    "hop_deepening_ratio": %s,\n' "$HOP_R"
+	printf '    "rpc_mean_us_depth16": %s,\n' "$RPC16"
+	printf '    "program_ops": %s,\n' "$PROGS"
+	printf '    "steps_executed": %s,\n' "$STEPS"
+	printf '    "rtts_saved": %s\n' "$SAVED"
+	printf '  },\n'
+	printf '  "live_ab": {\n'
+	printf '    "depth": %s,\n' "$DEPTH"
+	printf '    "clients": %s,\n' "$CLIENTS"
+	printf '    "chase_ops_per_sec": %s,\n' "$LIVE_OPS"
+	printf '    "chase_p50_us": %s,\n' "$LIVE_P50"
+	printf '    "hop_ops_per_sec": %s,\n' "$HOP_OPS"
+	printf '    "hop_p50_us": %s,\n' "$HOP_P50"
+	printf '    "hop_round_trips": %s,\n' "$HOPS"
+	printf '    "chase_speedup": %s\n' "$SPEEDUP"
+	printf '  },\n'
+	printf '  "sim": '
+	cat .chase.json
+	printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT: sim chase x$CHASE_R vs per-hop x$HOP_R over depth 1->16; live chase x$SPEEDUP at depth $DEPTH"
+
+assert "$LIVE_ERRS == 0 && $HOP_ERRS == 0" "client errors during the live A/B"
+assert "$STEPS > $PROGS && $SAVED > 0" "verb-program telemetry never accumulated (progs=$PROGS steps=$STEPS saved=$SAVED)"
+# Per-hop must scale ~linearly with depth (>= half the ideal 16x)...
+assert "$HOP_R >= 8" "per-hop deepening ratio $HOP_R: the baseline is not paying per-hop round trips"
+# ...while the program's growth stays sub-linear relative to it.
+assert "$CHASE_R <= $HOP_R / 2" "chase deepening ratio $CHASE_R not sub-linear vs per-hop $HOP_R"
+assert "$CHASE16 < $HOP16" "chase mean ${CHASE16}us did not beat per-hop ${HOP16}us at depth 16"
+assert "$LIVE_OPS > $HOP_OPS" "live chase $LIVE_OPS ops/s did not beat the per-hop walk $HOP_OPS ops/s at depth $DEPTH"
